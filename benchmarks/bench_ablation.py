@@ -1,0 +1,145 @@
+"""Ablations of the design choices DESIGN.md §5 calls out.
+
+1. **Per-cell vs device-wide atomic units** — the tree barrier's whole
+   advantage is concurrent group atomics; a single device-wide atomic
+   unit (ablation) erases it.
+2. **Accumulating goalVal vs mutex reset** (paper §5.1) — the reset
+   variant pays an extra store + spin phase per round.
+3. **Parallel vs serial Arrayin gather** (paper §5.3) — the serial scan
+   grows linearly in N and loses the lock-free barrier's flat profile.
+"""
+
+from benchmarks.conftest import save_report
+from repro.algorithms import MeanMicrobench
+from repro.gpu.config import gtx280
+from repro.gpu.device import Device
+from repro.gpu.host import Host
+from repro.gpu.kernel import KernelSpec
+from repro.harness import run
+from repro.harness.report import format_table
+from repro.sync import get_strategy
+
+ROUNDS = 100
+BLOCKS = 30
+
+
+def _micro():
+    return MeanMicrobench(rounds=ROUNDS, num_blocks_hint=BLOCKS)
+
+
+def _run_with_device_wide_atomics(strategy_name: str, num_blocks: int) -> int:
+    """Like harness.run for a device strategy, but on a device whose
+    atomics all serialize through one unit."""
+    micro = _micro()
+    micro.reset()
+    device = Device(gtx280(), device_wide_atomics=True)
+    host = Host(device)
+    strategy = get_strategy(strategy_name)
+    strategy.prepare(device, num_blocks)
+
+    def program(ctx):
+        for r in range(micro.num_rounds()):
+            yield from ctx.compute(
+                micro.round_cost(r, ctx.block_id, num_blocks),
+                micro.round_work(r, ctx.block_id, num_blocks),
+            )
+            yield from strategy.barrier(ctx, r)
+
+    spec = KernelSpec(
+        name=f"ablate:{strategy_name}",
+        program=program,
+        grid_blocks=num_blocks,
+        block_threads=micro.threads_per_block,
+        shared_mem_per_block=strategy.shared_mem_request(device.config),
+    )
+
+    def host_program():
+        yield from host.launch(spec)
+        yield from host.synchronize()
+
+    device.engine.spawn(host_program(), "host")
+    return device.run()
+
+
+def test_ablation_atomic_unit_granularity(benchmark):
+    """Device-wide atomics collapse the tree barrier back to simple-like
+    serialization: 2-level tree stops beating GPU simple."""
+
+    def measure():
+        per_cell_tree = run(_micro(), "gpu-tree-2", BLOCKS).total_ns
+        per_cell_simple = run(_micro(), "gpu-simple", BLOCKS).total_ns
+        wide_tree = _run_with_device_wide_atomics("gpu-tree-2", BLOCKS)
+        wide_simple = _run_with_device_wide_atomics("gpu-simple", BLOCKS)
+        return per_cell_tree, per_cell_simple, wide_tree, wide_simple
+
+    per_cell_tree, per_cell_simple, wide_tree, wide_simple = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    assert per_cell_tree < per_cell_simple  # the paper's result
+    assert wide_tree >= wide_simple  # collapses without parallel atomics
+    save_report(
+        "ablation_atomics",
+        format_table(
+            ["configuration", "tree-2 (ms)", "simple (ms)"],
+            [
+                ["per-cell atomic units (hardware-like)",
+                 f"{per_cell_tree/1e6:.3f}", f"{per_cell_simple/1e6:.3f}"],
+                ["one device-wide atomic unit (ablation)",
+                 f"{wide_tree/1e6:.3f}", f"{wide_simple/1e6:.3f}"],
+            ],
+            title="Ablation 1 — atomic-unit granularity",
+        ),
+    )
+
+
+def test_ablation_goalval_accumulation(benchmark):
+    """Paper §5.1: accumulating goalVal beats resetting the mutex."""
+
+    def measure():
+        accumulate = run(_micro(), "gpu-simple", BLOCKS).total_ns
+        reset = run(_micro(), "gpu-simple-reset", BLOCKS).total_ns
+        return accumulate, reset
+
+    accumulate, reset = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert accumulate < reset
+    save_report(
+        "ablation_goalval",
+        format_table(
+            ["variant", "total (ms)", "per-round overhead vs accumulate (µs)"],
+            [
+                ["accumulating goalVal (paper)", f"{accumulate/1e6:.3f}", "0.00"],
+                ["reset per round (rejected)", f"{reset/1e6:.3f}",
+                 f"{(reset-accumulate)/ROUNDS/1e3:.2f}"],
+            ],
+            title="Ablation 2 — goalVal accumulation (paper §5.1)",
+        ),
+    )
+
+
+def test_ablation_parallel_gather(benchmark):
+    """Paper §5.3: N checker threads in parallel vs one serial scanner."""
+
+    def measure():
+        rows = []
+        for n in (8, 16, 30):
+            parallel = run(_micro(), "gpu-lockfree", n).total_ns
+            serial = run(_micro(), "gpu-lockfree-serial", n).total_ns
+            rows.append((n, parallel, serial))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    # Serial gather grows with N; parallel stays flat and always wins.
+    serial_costs = [serial for _n, _p, serial in rows]
+    assert serial_costs == sorted(serial_costs)
+    for _n, parallel, serial in rows:
+        assert parallel < serial
+    parallel_costs = {p for _n, p, _s in rows}
+    assert len(parallel_costs) == 1
+    save_report(
+        "ablation_gather",
+        format_table(
+            ["blocks", "parallel gather (ms)", "serial gather (ms)"],
+            [[str(n), f"{p/1e6:.3f}", f"{s/1e6:.3f}"] for n, p, s in rows],
+            title="Ablation 3 — Arrayin gather strategy (paper §5.3)",
+        ),
+    )

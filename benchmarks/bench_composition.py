@@ -1,0 +1,43 @@
+"""Figs. 7/10 — barrier time composition, measured from spans.
+
+The paper presents these as conceptual diagrams: GPU simple sync =
+serialized atomic adds + mutex checking (Fig. 7); lock-free sync = five
+non-atomic phases (Fig. 10).  The simulator records a span per
+primitive, so the decomposition is measured and its structure asserted:
+
+* simple sync's time is dominated by atomics (absent entirely from
+  lock-free) and its per-block atomic average is ~(N+1)/2·t_a;
+* lock-free's composition is flat, small, and atomic-free;
+* the tree sits between, with most atomic time removed.
+"""
+
+from benchmarks.conftest import save_report
+from repro.harness.tracestats import composition_study, render_composition
+from repro.model.calibration import default_timings
+
+BLOCKS = 30
+ROUNDS = 20
+
+
+def test_composition(benchmark):
+    study = benchmark.pedantic(
+        composition_study,
+        kwargs={"num_blocks": BLOCKS, "rounds": ROUNDS},
+        rounds=1,
+        iterations=1,
+    )
+    t = default_timings()
+    simple, tree, lockfree = (
+        study["gpu-simple"],
+        study["gpu-tree-2"],
+        study["gpu-lockfree"],
+    )
+    # Fig. 7 structure: atomics dominate GPU simple sync.
+    assert simple["atomic"] > simple["spin"] * 0.9
+    assert abs(simple["atomic"] - (BLOCKS + 1) / 2 * t.atomic_ns) < 0.05 * simple["atomic"]
+    # Fig. 10 structure: lock-free uses no atomics at all.
+    assert lockfree["atomic"] == 0.0
+    assert lockfree["total-sync"] < tree["total-sync"] < simple["total-sync"]
+    # The tree removes most of the atomic serialization.
+    assert tree["atomic"] < 0.3 * simple["atomic"]
+    save_report("composition", render_composition(study))

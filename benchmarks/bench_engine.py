@@ -1,0 +1,51 @@
+"""Simulator throughput — the one bench where host wall-clock matters.
+
+Measures the discrete-event engine's event rate and the end-to-end cost
+of a representative barrier kernel, so regressions in the simulation
+core show up as real-time numbers in pytest-benchmark's report.
+"""
+
+from repro.algorithms import MeanMicrobench
+from repro.harness import run
+from repro.simcore import Delay, Engine
+
+
+def test_engine_event_throughput(benchmark):
+    """Raw event dispatch rate (pure Delay ping-pong)."""
+
+    def spin(n_events: int):
+        engine = Engine()
+
+        def proc():
+            for _ in range(n_events):
+                yield Delay(1)
+
+        engine.spawn(proc())
+        engine.run()
+        return engine.events_dispatched
+
+    dispatched = benchmark(spin, 20_000)
+    assert dispatched == 20_001
+
+
+def test_lockfree_micro_wallclock(benchmark):
+    """End-to-end: 30-block lock-free micro-benchmark, 100 rounds."""
+    micro = MeanMicrobench(rounds=100)
+
+    def go():
+        return run(micro, "gpu-lockfree", 30)
+
+    result = benchmark.pedantic(go, rounds=3, iterations=1)
+    assert result.verified is True
+
+
+def test_simple_micro_wallclock(benchmark):
+    """End-to-end: 30-block GPU-simple micro-benchmark, 100 rounds
+    (atomic-heavy path)."""
+    micro = MeanMicrobench(rounds=100)
+
+    def go():
+        return run(micro, "gpu-simple", 30)
+
+    result = benchmark.pedantic(go, rounds=3, iterations=1)
+    assert result.verified is True

@@ -1,0 +1,52 @@
+"""Fig. 11 — micro-benchmark execution time vs number of blocks.
+
+All six strategies over the full 1–30 block grid.  Paper shapes: CPU
+explicit ≫ CPU implicit (both flat); GPU simple linear, crossing
+implicit between 23 and 24 blocks; 2-level tree beats simple from ~11
+blocks; lock-free flat and cheapest at scale.
+"""
+
+from benchmarks.conftest import save_report
+from repro.harness import experiments, report
+
+ROUNDS = 200  # paper: 10 000; per-round quantities are unchanged
+
+
+def _check_shape(sweep) -> None:
+    b = sweep.blocks
+    sync = {s: sweep.sync_series(s) for s in sweep.totals}
+    at = lambda s, n: sync[s][b.index(n)]  # noqa: E731
+
+    # Explicit dominates implicit everywhere.
+    assert all(e > i for e, i in zip(sync["cpu-explicit"], sync["cpu-implicit"]))
+    # Simple is strictly increasing and crosses implicit between 23 and 24.
+    simple = sync["gpu-simple"]
+    assert all(x < y for x, y in zip(simple, simple[1:]))
+    assert at("gpu-simple", 23) < at("cpu-implicit", 23)
+    assert at("gpu-simple", 24) > at("cpu-implicit", 24)
+    # 2-level tree crossover with simple near 11 blocks (paper: 11; our
+    # measured crossover is 10 because unbalanced groups let early
+    # representatives overlap their atomics and beat the Eq. 7 bound —
+    # the Eq. 7 *model* crossover is exactly 11, see tests/model).
+    assert at("gpu-tree-2", 9) > at("gpu-simple", 9)
+    assert at("gpu-tree-2", 12) < at("gpu-simple", 12)
+    # Lock-free is flat and the cheapest strategy from 6 blocks up.
+    lockfree = sync["gpu-lockfree"]
+    assert max(lockfree) == min(lockfree)
+    for n in range(6, 31):
+        for strat in sweep.totals:
+            if strat != "gpu-lockfree":
+                assert at("gpu-lockfree", n) < at(strat, n), (strat, n)
+
+
+def test_fig11(benchmark):
+    sweep = benchmark.pedantic(
+        experiments.fig11, kwargs={"rounds": ROUNDS}, rounds=1, iterations=1
+    )
+    _check_shape(sweep)
+    save_report(
+        "fig11",
+        report.render_sweep_totals(sweep, f"Fig. 11 (micro, {ROUNDS} rounds)")
+        + "\n\n"
+        + report.render_sweep_sync(sweep, f"Fig. 11 sync time (micro, {ROUNDS} rounds)"),
+    )

@@ -1,0 +1,37 @@
+"""Fig. 13 (a,b,c) — kernel execution time vs number of blocks.
+
+FFT / SWat / bitonic under CPU implicit and the four GPU barriers.
+Paper shapes: time falls as blocks increase; lock-free is always best;
+GPU simple loses its lead past its crossover with the 2-level tree.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_report, shared_algorithm_sweep
+from repro.harness import report
+
+
+def _check_shape(sweep) -> None:
+    last = len(sweep.blocks) - 1
+    # More blocks → faster kernels (paper §7.2 point 1).
+    for strat in ("cpu-implicit", "gpu-lockfree", "gpu-tree-2"):
+        assert sweep.totals[strat][0] > sweep.totals[strat][last], strat
+    # Lock-free is the best strategy at every block count (point 3).
+    for i in range(len(sweep.blocks)):
+        best = min(series[i] for series in sweep.totals.values())
+        assert sweep.totals["gpu-lockfree"][i] == best
+    # 2-level tree is never worse than 3-level in range (point 2).
+    for i in range(len(sweep.blocks)):
+        assert sweep.totals["gpu-tree-2"][i] <= sweep.totals["gpu-tree-3"][i]
+
+
+@pytest.mark.parametrize("algorithm", ["fft", "swat", "bitonic"])
+def test_fig13(benchmark, algorithm):
+    sweep = benchmark.pedantic(
+        shared_algorithm_sweep, args=(algorithm,), rounds=1, iterations=1
+    )
+    _check_shape(sweep)
+    save_report(
+        f"fig13_{algorithm}",
+        report.render_sweep_totals(sweep, f"Fig. 13 ({algorithm})"),
+    )

@@ -1,0 +1,50 @@
+"""Fig. 14 (a,b,c) — synchronization time vs number of blocks.
+
+In the paper this is the same measurement as Fig. 13 re-plotted with the
+compute-only run subtracted (§7.3); the sweep is therefore shared with
+``bench_fig13.py`` (an lru-cached session fixture) and this bench times
+the subtraction + rendering on top of it.  Run it standalone and the
+sweep cost is paid here instead.
+
+Paper shapes: lock-free lowest and flat; simple/tree grow with N;
+3-level tree dearest of the tree variants; CPU implicit flat and highest
+of the scalable strategies.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_report, shared_algorithm_sweep
+from repro.harness import report
+
+
+def _check_shape(sweep) -> None:
+    b = sweep.blocks
+    sync = {s: sweep.sync_series(s) for s in sweep.totals}
+    # Lock-free: flat and lowest everywhere.
+    lockfree = sync["gpu-lockfree"]
+    assert max(lockfree) - min(lockfree) <= 0.02 * max(lockfree)
+    for i in range(len(b)):
+        assert lockfree[i] == min(s[i] for s in sync.values())
+    # CPU implicit: flat (scalable) and above both trees everywhere.
+    implicit = sync["cpu-implicit"]
+    assert max(implicit) - min(implicit) <= 0.05 * max(implicit)
+    for i in range(len(b)):
+        assert implicit[i] > sync["gpu-tree-2"][i]
+        assert implicit[i] > sync["gpu-tree-3"][i]
+    # Simple and the trees grow with the block count.
+    for strat in ("gpu-simple", "gpu-tree-2"):
+        assert sync[strat][-1] > sync[strat][0], strat
+    # 3-level tree needs the most time among the tree variants.
+    for i in range(len(b)):
+        assert sync["gpu-tree-3"][i] >= sync["gpu-tree-2"][i]
+
+
+@pytest.mark.parametrize("algorithm", ["fft", "swat", "bitonic"])
+def test_fig14(benchmark, algorithm):
+    def derive():
+        sweep = shared_algorithm_sweep(algorithm)
+        return sweep, report.render_sweep_sync(sweep, f"Fig. 14 ({algorithm})")
+
+    sweep, rendered = benchmark.pedantic(derive, rounds=1, iterations=1)
+    _check_shape(sweep)
+    save_report(f"fig14_{algorithm}", rendered)

@@ -1,0 +1,31 @@
+"""Fig. 15 — percentage breakdown: computation vs synchronization.
+
+Paper shapes at 30 blocks: under CPU implicit sync the synchronization
+share is ~50 % for SWat, ~60 % for bitonic and ~20 % for FFT; GPU
+lock-free cuts those to roughly 30 %/30 %/10 %.
+"""
+
+from benchmarks.conftest import save_report
+from repro.harness import experiments, report
+
+
+def _check_shape(results) -> None:
+    for algo, per_strategy in results.items():
+        implicit = per_strategy["cpu-implicit"].sync_pct
+        lockfree = per_strategy["gpu-lockfree"].sync_pct
+        assert lockfree < implicit, algo
+        # Every strategy's split is a valid percentage stack.
+        for b in per_strategy.values():
+            assert 0 <= b.sync_pct <= 100
+    # FFT is compute-dominated; SWat/bitonic are sync-heavy under implicit.
+    assert results["fft"]["cpu-implicit"].sync_pct < 30
+    assert results["swat"]["cpu-implicit"].sync_pct > 40
+    assert results["bitonic"]["cpu-implicit"].sync_pct > 50
+    # Lock-free pushes FFT's sync share into single digits/teens.
+    assert results["fft"]["gpu-lockfree"].sync_pct < 15
+
+
+def test_fig15(benchmark):
+    results = benchmark.pedantic(experiments.fig15, rounds=1, iterations=1)
+    _check_shape(results)
+    save_report("fig15", report.render_fig15(results))

@@ -1,0 +1,91 @@
+"""Robustness — do the paper's conclusions survive hardware noise?
+
+The deterministic runs reproduce every crossover exactly; real GPUs have
+run-to-run variability.  This bench re-measures the headline comparisons
+with ±5 % lognormal jitter on every block's round computation (averaged
+over three seeds, like the paper's three runs) and asserts the
+*conclusions* are unchanged: strategy ordering at 30 blocks and the
+existence of the simple/implicit crossover.
+"""
+
+from benchmarks.conftest import save_report
+from repro.algorithms import MeanMicrobench
+from repro.harness.report import format_table
+from repro.harness.stats import repeat_run
+
+ROUNDS = 100
+JITTER = 5.0
+REPEATS = 3
+
+
+def test_ordering_robust_to_jitter(benchmark):
+    def measure():
+        micro = MeanMicrobench(rounds=ROUNDS, num_blocks_hint=30)
+        stats = {}
+        for strat in (
+            "cpu-explicit",
+            "cpu-implicit",
+            "gpu-simple",
+            "gpu-tree-2",
+            "gpu-lockfree",
+        ):
+            stats[strat] = repeat_run(
+                micro, strat, 30, repeats=REPEATS, jitter_pct=JITTER
+            )
+        return stats
+
+    stats = benchmark.pedantic(measure, rounds=1, iterations=1)
+    means = {k: v.mean_ns for k, v in stats.items()}
+    # The full ordering at 30 blocks must hold on noisy means.
+    assert (
+        means["gpu-lockfree"]
+        < means["gpu-tree-2"]
+        < means["cpu-implicit"]
+        < means["gpu-simple"]
+        < means["cpu-explicit"]
+    )
+    # Spread sanity: relative std stays near the injected noise level.
+    for name, s in stats.items():
+        assert s.relative_std < 0.10, name
+    save_report(
+        "jitter",
+        format_table(
+            ["strategy", "mean (ms)", "std (ms)", "rel. std"],
+            [
+                [
+                    name,
+                    f"{s.mean_ns/1e6:.3f}",
+                    f"{s.std_ns/1e6:.4f}",
+                    f"{100*s.relative_std:.2f}%",
+                ]
+                for name, s in sorted(
+                    stats.items(), key=lambda kv: kv[1].mean_ns
+                )
+            ],
+            title=(
+                f"Robustness — {JITTER:.0f}% compute jitter, "
+                f"{REPEATS} seeds, 30 blocks"
+            ),
+        ),
+    )
+
+
+def test_crossover_survives_jitter(benchmark):
+    """GPU simple still beats CPU implicit well below 24 blocks and
+    loses well above it, under noise."""
+
+    def measure():
+        micro = MeanMicrobench(rounds=ROUNDS, num_blocks_hint=30)
+        out = {}
+        for n in (12, 30):
+            out[n] = {
+                strat: repeat_run(
+                    micro, strat, n, repeats=REPEATS, jitter_pct=JITTER
+                ).mean_ns
+                for strat in ("cpu-implicit", "gpu-simple")
+            }
+        return out
+
+    out = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert out[12]["gpu-simple"] < out[12]["cpu-implicit"]
+    assert out[30]["gpu-simple"] > out[30]["cpu-implicit"]

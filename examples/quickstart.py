@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: run one workload under every barrier strategy.
+
+Runs a 4096-point FFT (12 barrier-separated stages) on the simulated
+GTX 280 under each synchronization strategy, verifies every result
+against numpy.fft, and prints the paper's central comparison: the
+device-side barriers — especially lock-free — beat relaunch-based CPU
+synchronization.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import FFT, run
+from repro.harness.report import format_table
+
+STRATEGIES = [
+    "cpu-explicit",
+    "cpu-implicit",
+    "gpu-simple",
+    "gpu-tree-2",
+    "gpu-tree-3",
+    "gpu-lockfree",
+]
+
+
+def main() -> None:
+    fft = FFT(n=2**12)
+    num_blocks = 30  # one block per SM — the co-residency limit
+
+    rows = []
+    baseline = None
+    for strategy in STRATEGIES:
+        result = run(fft, strategy, num_blocks)
+        assert result.verified, strategy
+        if strategy == "cpu-implicit":
+            baseline = result.total_ns
+        rows.append((strategy, result))
+
+    table = []
+    for strategy, result in rows:
+        vs_base = (
+            f"{100.0 * (baseline - result.total_ns) / baseline:+.1f}%"
+            if baseline
+            else "-"
+        )
+        table.append(
+            [
+                strategy,
+                f"{result.total_ms:.3f}",
+                str(result.kernel_launches),
+                str(result.atomic_ops),
+                vs_base,
+            ]
+        )
+    print(
+        format_table(
+            ["strategy", "kernel time (ms)", "launches", "atomics", "vs implicit"],
+            table,
+            title=f"FFT n={fft.n} ({fft.num_rounds()} stages, {num_blocks} blocks)",
+        )
+    )
+    print(
+        "\nEvery run verified against numpy.fft.fft — the barriers are"
+        " load-bearing, not decorative."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+This offline environment ships setuptools without the ``wheel`` package,
+so PEP 517 editable installs fail with ``invalid command 'bdist_wheel'``.
+Keeping a setup.py lets ``pip install -e . --no-build-isolation
+--no-use-pep517`` (and plain ``pip install -e .`` on modern toolchains)
+work either way.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,110 @@
+"""repro — Inter-Block GPU Communication via Fast Barrier Synchronization.
+
+A from-scratch reproduction of Xiao & Feng (IPDPS 2010) on a
+discrete-event GPU simulator.  See DESIGN.md for the system inventory
+and README.md for a quickstart.
+
+Top-level convenience re-exports cover the common workflow::
+
+    from repro import run, FFT, get_strategy
+
+    result = run(FFT(n=2**12), "gpu-lockfree", num_blocks=30)
+    print(result.total_ms, result.verified)
+
+Subpackages:
+
+* :mod:`repro.simcore`    — the discrete-event engine
+* :mod:`repro.gpu`        — the simulated GTX 280
+* :mod:`repro.sync`       — the barrier strategies (the contribution)
+* :mod:`repro.model`      — the paper's analytic performance models
+* :mod:`repro.algorithms` — FFT, Smith-Waterman, bitonic sort, micro
+* :mod:`repro.harness`    — experiment drivers for every table/figure
+"""
+
+from repro.algorithms import (
+    BitonicSort,
+    FFT,
+    JacobiPoisson,
+    MeanMicrobench,
+    PrefixSum,
+    Reduction,
+    RoundAlgorithm,
+    SmithWaterman,
+    VerificationError,
+)
+from repro.errors import (
+    ConfigError,
+    DeadlockError,
+    LaunchError,
+    OccupancyError,
+    ReproError,
+    SimulationError,
+    SyncProtocolError,
+)
+from repro.gpu import (
+    Device,
+    DeviceConfig,
+    Event,
+    Host,
+    KernelSpec,
+    StageCostModel,
+    Stream,
+    gtx280,
+)
+from repro.harness import RunResult, run
+from repro.sync import (
+    CpuExplicitSync,
+    CpuImplicitSync,
+    GpuDisseminationSync,
+    GpuLockFreeSync,
+    GpuSenseReversalSync,
+    GpuSimpleSync,
+    GpuTreeSync,
+    NullSync,
+    SyncStrategy,
+    get_strategy,
+    strategy_names,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BitonicSort",
+    "ConfigError",
+    "CpuExplicitSync",
+    "CpuImplicitSync",
+    "DeadlockError",
+    "Device",
+    "DeviceConfig",
+    "Event",
+    "FFT",
+    "GpuDisseminationSync",
+    "GpuLockFreeSync",
+    "GpuSenseReversalSync",
+    "GpuSimpleSync",
+    "GpuTreeSync",
+    "Host",
+    "JacobiPoisson",
+    "KernelSpec",
+    "LaunchError",
+    "MeanMicrobench",
+    "NullSync",
+    "OccupancyError",
+    "PrefixSum",
+    "Reduction",
+    "ReproError",
+    "RoundAlgorithm",
+    "RunResult",
+    "SimulationError",
+    "SmithWaterman",
+    "StageCostModel",
+    "Stream",
+    "SyncProtocolError",
+    "SyncStrategy",
+    "VerificationError",
+    "__version__",
+    "get_strategy",
+    "gtx280",
+    "run",
+    "strategy_names",
+]

@@ -1,0 +1,43 @@
+"""The paper's evaluation workloads (§5.4, §6).
+
+Every workload is a :class:`~repro.algorithms.base.RoundAlgorithm`: a
+sequence of *rounds* (parallel computation steps) separated by grid-wide
+barriers.  Within a round, blocks own disjoint slices of the data; across
+rounds, a block's slice depends on other blocks' previous-round writes —
+which is precisely why the barrier is required and why a broken barrier
+produces wrong FFTs, alignments and sort orders (tests rely on this).
+
+* :class:`MeanMicrobench` — §5.4's micro-benchmark (mean of two floats,
+  weak scaling).
+* :class:`FFT` — iterative radix-2 Cooley–Tukey; one barrier per stage.
+* :class:`SmithWaterman` — affine-gap wavefront matrix filling; one
+  barrier per anti-diagonal.
+* :class:`BitonicSort` — Batcher's network; one barrier per
+  compare-exchange step.
+* :class:`PrefixSum` — Hillis–Steele scan (extension workload, not in
+  the paper's evaluation).
+"""
+
+from repro.algorithms.base import RoundAlgorithm, VerificationError
+from repro.algorithms.bitonic import BitonicSort
+from repro.algorithms.fft import FFT
+from repro.algorithms.microbench import MeanMicrobench
+from repro.algorithms.reduce import Reduction
+from repro.algorithms.scan import PrefixSum
+from repro.algorithms.stencil import JacobiPoisson
+from repro.algorithms.swat import SmithWaterman
+from repro.algorithms.traceback import Alignment, traceback
+
+__all__ = [
+    "Alignment",
+    "BitonicSort",
+    "FFT",
+    "JacobiPoisson",
+    "MeanMicrobench",
+    "PrefixSum",
+    "Reduction",
+    "RoundAlgorithm",
+    "SmithWaterman",
+    "VerificationError",
+    "traceback",
+]

@@ -1,0 +1,108 @@
+"""Bitonic sort with one barrier per compare-exchange step (§6.3).
+
+"In each iteration, the numbers to be sorted are divided into pairs and
+a compare-and-swap operation is applied, which can be executed in
+parallel for different pairs ... the data dependency across adjacent
+iterations makes it necessary for a barrier to be used."
+
+Batcher's network over ``n = 2**k`` keys runs ``k(k+1)/2`` steps,
+enumerated by ``(size, stride)`` with ``size = 2,4,..,n`` and
+``stride = size/2, size/4, .., 1``.  In a step, index ``i`` is paired
+with ``i ^ stride``; the lower index owns the pair and orders it
+ascending when ``i & size == 0``, descending otherwise.  Pairs are
+disjoint, so blocks take contiguous index ranges; each step reads
+positions the previous step (possibly another block) wrote.
+
+The CUDA SDK version the paper contrasts against (§3) is limited to one
+512-thread block — at most 512 keys — precisely because it only has
+``__syncthreads()``; a grid-wide barrier lifts that limit, which is the
+motivating example for this whole line of work.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import RoundAlgorithm, VerificationError
+from repro.algorithms.costs import BITONIC_PAIR_NS, block_cost, block_items
+from repro.errors import ConfigError
+
+__all__ = ["BitonicSort", "bitonic_steps"]
+
+
+def bitonic_steps(n: int) -> List[Tuple[int, int]]:
+    """The network's ``(size, stride)`` step sequence for ``n`` keys."""
+    if n < 2 or n & (n - 1):
+        raise ConfigError(f"bitonic sort size must be a power of two >= 2, got {n}")
+    steps: List[Tuple[int, int]] = []
+    size = 2
+    while size <= n:
+        stride = size >> 1
+        while stride >= 1:
+            steps.append((size, stride))
+            stride >>= 1
+        size <<= 1
+    return steps
+
+
+class BitonicSort(RoundAlgorithm):
+    """Batcher's bitonic sorting network over float keys."""
+
+    name = "bitonic"
+    default_threads = 512  # paper §7.2
+
+    def __init__(self, n: int = 2**14, seed: int = 0):
+        self.n = n
+        self._steps = bitonic_steps(n)
+        rng = np.random.default_rng(seed)
+        self.input = rng.random(n)
+        self.keys = np.empty(n)
+        self.reset()
+
+    def num_rounds(self) -> int:
+        return len(self._steps)
+
+    def reset(self) -> None:
+        self.keys[:] = self.input
+
+    def _pairs(self) -> int:
+        return self.n // 2
+
+    def round_cost(self, round_idx: int, block_id: int, num_blocks: int) -> float:
+        items = len(block_items(self._pairs(), block_id, num_blocks))
+        return block_cost(items, BITONIC_PAIR_NS)
+
+    def round_work(
+        self, round_idx: int, block_id: int, num_blocks: int
+    ) -> Optional[Callable[[], None]]:
+        span = block_items(self._pairs(), block_id, num_blocks)
+        if len(span) == 0:
+            return None
+        size, stride = self._steps[round_idx]
+
+        def work() -> None:
+            # Enumerate this block's pairs by their lower index: pair p
+            # owns lower index i = (p // stride)·2·stride + (p % stride).
+            p = np.arange(span.start, span.stop, dtype=np.int64)
+            i = (p // stride) * (stride << 1) + (p % stride)
+            partner = i | stride
+            ascending = (i & size) == 0
+            a, b = self.keys[i], self.keys[partner]
+            swap = np.where(ascending, a > b, a < b)
+            lo = np.where(swap, b, a)
+            hi = np.where(swap, a, b)
+            self.keys[i] = lo
+            self.keys[partner] = hi
+
+        return work
+
+    def verify(self) -> None:
+        expected = np.sort(self.input)
+        if not np.array_equal(self.keys, expected):
+            bad = int(np.argmax(self.keys != expected))
+            raise VerificationError(
+                f"bitonic: position {bad} holds {self.keys[bad]!r}, "
+                f"expected {expected[bad]!r} (n={self.n})"
+            )

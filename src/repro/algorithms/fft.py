@@ -1,0 +1,118 @@
+"""Iterative radix-2 Cooley–Tukey FFT with one barrier per stage (§6.1).
+
+"For an N-point input sequence, FFT is computed in log(N) iterations.
+Within each iteration, computation of different points is independent
+... on the other hand, computation of an iteration cannot start until
+that of its previous iteration completes, which makes a barrier
+necessary."
+
+Layout: decimation-in-time with an up-front bit-reversal permutation
+(performed during kernel staging, like the cudaMemcpy of inputs), then
+``log2(n)`` butterfly stages.  Stage ``s`` (1-based) works on spans of
+``m = 2**s``: butterfly ``b`` pairs indices ``i1 = (b // h)·m + (b % h)``
+and ``i2 = i1 + h`` with ``h = m/2``, combining them through the twiddle
+``exp(-2πi·(b % h)/m)``.  Distinct butterflies touch disjoint pairs, so a
+round partitions the ``n/2`` butterflies across blocks; every stage reads
+values the *previous* stage wrote — other blocks' writes included —
+which is what makes the inter-block barrier load-bearing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.algorithms.base import RoundAlgorithm, VerificationError
+from repro.algorithms.costs import FFT_BUTTERFLY_NS, block_cost, block_items
+from repro.errors import ConfigError
+
+__all__ = ["FFT", "bit_reverse_permutation"]
+
+
+def bit_reverse_permutation(n: int) -> np.ndarray:
+    """Index permutation that bit-reverses ``log2(n)``-bit positions."""
+    if n < 1 or n & (n - 1):
+        raise ConfigError(f"FFT size must be a power of two, got {n}")
+    bits = n.bit_length() - 1
+    idx = np.arange(n, dtype=np.int64)
+    rev = np.zeros(n, dtype=np.int64)
+    for _ in range(bits):
+        rev = (rev << 1) | (idx & 1)
+        idx >>= 1
+    return rev
+
+
+class FFT(RoundAlgorithm):
+    """Radix-2 DIT FFT over a complex input vector."""
+
+    name = "fft"
+    default_threads = 448  # paper §7.2
+
+    def __init__(self, n: int = 2**15, seed: int = 0, inverse: bool = False):
+        if n < 2 or n & (n - 1):
+            raise ConfigError(f"FFT size must be a power of two >= 2, got {n}")
+        self.n = n
+        self.stages = n.bit_length() - 1
+        #: compute the inverse DFT (unnormalized; verify() accounts for
+        #: the 1/N factor, matching the paper's §6.1 definition).
+        self.inverse = inverse
+        rng = np.random.default_rng(seed)
+        self.input = (rng.standard_normal(n) + 1j * rng.standard_normal(n)).astype(
+            np.complex128
+        )
+        self._rev = bit_reverse_permutation(n)
+        self.buf = np.empty(n, dtype=np.complex128)
+        self.reset()
+
+    def num_rounds(self) -> int:
+        return self.stages
+
+    def reset(self) -> None:
+        # Bit-reversal happens at staging time (host side), like the
+        # input copy; the barrier-separated rounds are the stages.
+        self.buf[:] = self.input[self._rev]
+
+    def _butterflies(self) -> int:
+        return self.n // 2
+
+    def round_cost(self, round_idx: int, block_id: int, num_blocks: int) -> float:
+        items = len(block_items(self._butterflies(), block_id, num_blocks))
+        return block_cost(items, FFT_BUTTERFLY_NS)
+
+    def round_work(
+        self, round_idx: int, block_id: int, num_blocks: int
+    ) -> Optional[Callable[[], None]]:
+        span = block_items(self._butterflies(), block_id, num_blocks)
+        if len(span) == 0:
+            return None
+        stage = round_idx + 1
+        m = 1 << stage
+        h = m >> 1
+
+        sign = 2j if self.inverse else -2j
+
+        def work() -> None:
+            b = np.arange(span.start, span.stop, dtype=np.int64)
+            j = b % h
+            i1 = (b // h) * m + j
+            i2 = i1 + h
+            w = np.exp(sign * np.pi * j / m)
+            t = w * self.buf[i2]
+            u = self.buf[i1]
+            self.buf[i1] = u + t
+            self.buf[i2] = u - t
+
+        return work
+
+    def verify(self) -> None:
+        if self.inverse:
+            expected = np.fft.ifft(self.input) * self.n
+        else:
+            expected = np.fft.fft(self.input)
+        if not np.allclose(self.buf, expected, rtol=1e-9, atol=1e-6):
+            err = float(np.max(np.abs(self.buf - expected)))
+            raise VerificationError(
+                f"fft: max deviation {err:.3e} from numpy "
+                f"({'ifft' if self.inverse else 'fft'}, n={self.n})"
+            )

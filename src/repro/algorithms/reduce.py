@@ -1,0 +1,123 @@
+"""Parallel tree reduction — the minimal grid-barrier workload.
+
+Sum ``n`` values in two kinds of rounds:
+
+1. **round 0**: each block reduces its slice to one partial (intra-block
+   reduction uses ``__syncthreads()`` only — no grid sync needed);
+2. **rounds 1..ceil(log2 B)**: the partials array is halved each round
+   (``partials[i] += partials[i + stride]``), and because round ``r``
+   reads partials other blocks wrote in round ``r-1``, every halving
+   needs a grid-wide barrier.
+
+This is the smallest real workload in the library (a handful of rounds)
+and the one with the most extreme compute/sync ratio: nearly all the
+time is barriers, making it the best showcase for the lock-free barrier
+and the worst case for CPU relaunch synchronization.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.algorithms.base import RoundAlgorithm, VerificationError
+from repro.algorithms.costs import STAGE_OVERHEAD_NS, block_items
+from repro.errors import ConfigError
+
+__all__ = ["Reduction"]
+
+#: One accumulate (load + add) during the reduction.
+REDUCE_ELEMENT_NS = 6
+
+
+class Reduction(RoundAlgorithm):
+    """Grid-wide sum of ``n`` float64 values."""
+
+    name = "reduce"
+    default_threads = 256
+
+    def __init__(self, n: int = 2**16, num_blocks_hint: int = 30, seed: int = 0):
+        if n < 1:
+            raise ConfigError(f"reduction size must be >= 1, got {n}")
+        if num_blocks_hint < 1:
+            raise ConfigError("num_blocks_hint must be >= 1")
+        self.n = n
+        self.num_blocks_hint = num_blocks_hint
+        rng = np.random.default_rng(seed)
+        self.input = rng.random(n)
+        self.partials = np.zeros(num_blocks_hint)
+        self.reset()
+
+    def num_rounds(self) -> int:
+        # One partial-producing round, then halvings of the hint-sized
+        # partials array.
+        return 1 + max(1, math.ceil(math.log2(self.num_blocks_hint)))
+
+    def reset(self) -> None:
+        self.partials[:] = 0.0
+
+    @property
+    def result(self) -> float:
+        """The reduced sum (valid after all rounds ran)."""
+        return float(self.partials[0])
+
+    def round_cost(self, round_idx: int, block_id: int, num_blocks: int) -> float:
+        if round_idx == 0:
+            items = len(block_items(self.n, block_id, num_blocks))
+            return STAGE_OVERHEAD_NS + items * REDUCE_ELEMENT_NS
+        stride = self._stride(round_idx)
+        items = len(block_items(stride, block_id, num_blocks))
+        return STAGE_OVERHEAD_NS + items * REDUCE_ELEMENT_NS
+
+    def _stride(self, round_idx: int) -> int:
+        """Active pair count in halving round ``round_idx`` (>= 1)."""
+        width = self.num_blocks_hint
+        for _ in range(round_idx):
+            width = max(1, -(-width // 2))  # ceil halving
+        return width
+
+    def round_work(
+        self, round_idx: int, block_id: int, num_blocks: int
+    ) -> Optional[Callable[[], None]]:
+        if round_idx == 0:
+            span = block_items(self.n, block_id, num_blocks)
+            if len(span) == 0:
+                return None
+            # Partials are indexed by *data slice*, so the result does not
+            # depend on how many blocks execute (the runner may use fewer
+            # blocks than the hint).
+            slot = block_id % self.num_blocks_hint
+
+            def produce(span=span, slot=slot) -> None:
+                self.partials[slot] += float(
+                    self.input[span.start : span.stop].sum()
+                )
+
+            return produce
+
+        prev_width = self._stride(round_idx - 1) if round_idx > 1 else self.num_blocks_hint
+        width = max(1, -(-prev_width // 2))
+        span = block_items(width, block_id, num_blocks)
+        if len(span) == 0:
+            return None
+
+        def halve(span=span, width=width, prev_width=prev_width) -> None:
+            for i in range(span.start, span.stop):
+                j = i + width
+                if j < prev_width:
+                    self.partials[i] += self.partials[j]
+                    self.partials[j] = 0.0
+
+        return halve
+
+    def verify(self) -> None:
+        expected = float(self.input.sum())
+        if not math.isclose(self.result, expected, rel_tol=1e-9):
+            raise VerificationError(
+                f"reduce: sum is {self.result!r}, expected {expected!r} "
+                f"(n={self.n})"
+            )
+        if not np.allclose(self.partials[1:], 0.0):
+            raise VerificationError("reduce: partials not fully folded")

@@ -1,0 +1,89 @@
+"""Parallel inclusive prefix sum (Hillis–Steele scan) — extension workload.
+
+Not one of the paper's three evaluation algorithms, but the canonical
+"needs a grid barrier" kernel: in step ``d`` every element ``i ≥ 2^d``
+reads ``x[i - 2^d]`` — an element another block wrote in the *previous*
+step — so the ``log2(n)`` steps must be separated by grid-wide barriers.
+Included to demonstrate the framework on a fourth round-structured
+algorithm (see ``examples/`` and ``benchmarks/bench_extensions.py``).
+
+Uses double buffering: step ``d`` reads buffer ``d % 2`` and writes
+buffer ``1 - d % 2``, which keeps intra-step block slices write-disjoint
+and makes every cross-step read a previous-round value (the barrier is
+load-bearing, as with the paper's workloads).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.algorithms.base import RoundAlgorithm, VerificationError
+from repro.algorithms.costs import STAGE_OVERHEAD_NS, block_items
+from repro.errors import ConfigError
+
+__all__ = ["PrefixSum"]
+
+#: One scan element update (one add + two global accesses).
+SCAN_ELEMENT_NS = 8
+
+
+class PrefixSum(RoundAlgorithm):
+    """Hillis–Steele inclusive scan over float keys."""
+
+    name = "scan"
+    default_threads = 256
+
+    def __init__(self, n: int = 2**14, seed: int = 0):
+        if n < 2 or n & (n - 1):
+            raise ConfigError(f"scan size must be a power of two >= 2, got {n}")
+        self.n = n
+        self.steps = n.bit_length() - 1
+        rng = np.random.default_rng(seed)
+        self.input = rng.random(n)
+        self._bufs = [np.empty(n), np.empty(n)]
+        self.reset()
+
+    def num_rounds(self) -> int:
+        return self.steps
+
+    def reset(self) -> None:
+        self._bufs[0][:] = self.input
+        self._bufs[1][:] = 0.0
+
+    @property
+    def result(self) -> np.ndarray:
+        """The buffer holding the final scan after all rounds ran."""
+        return self._bufs[self.steps % 2]
+
+    def round_cost(self, round_idx: int, block_id: int, num_blocks: int) -> float:
+        items = len(block_items(self.n, block_id, num_blocks))
+        return STAGE_OVERHEAD_NS + items * SCAN_ELEMENT_NS
+
+    def round_work(
+        self, round_idx: int, block_id: int, num_blocks: int
+    ) -> Optional[Callable[[], None]]:
+        span = block_items(self.n, block_id, num_blocks)
+        if len(span) == 0:
+            return None
+        src = self._bufs[round_idx % 2]
+        dst = self._bufs[1 - round_idx % 2]
+        stride = 1 << round_idx
+        lo, hi = span.start, span.stop
+
+        def work() -> None:
+            i = np.arange(lo, hi, dtype=np.int64)
+            shifted = np.where(i >= stride, src[i - stride], 0.0)
+            dst[lo:hi] = src[lo:hi] + shifted
+
+        return work
+
+    def verify(self) -> None:
+        expected = np.cumsum(self.input)
+        if not np.allclose(self.result, expected, rtol=1e-10, atol=1e-9):
+            bad = int(np.argmax(~np.isclose(self.result, expected)))
+            raise VerificationError(
+                f"scan: element {bad} is {self.result[bad]!r}, "
+                f"expected {expected[bad]!r} (n={self.n})"
+            )

@@ -1,0 +1,108 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All errors raised by the simulator, the GPU device model, the barrier
+strategies and the harness derive from :class:`ReproError`, so callers can
+catch one type at an API boundary.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "DeadlockError",
+    "ProcessError",
+    "KernelTimeoutError",
+    "ConfigError",
+    "MemoryError_",
+    "LaunchError",
+    "OccupancyError",
+    "SyncProtocolError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class SimulationError(ReproError):
+    """An invariant of the discrete-event engine was violated."""
+
+
+class DeadlockError(SimulationError):
+    """The simulation cannot make progress.
+
+    Raised when the event queue drains while live processes remain blocked
+    on signals, resources or joins.  This is the simulated analogue of a
+    real CUDA grid hanging forever: e.g. launching more blocks than can be
+    co-resident while using a device-side spin barrier (paper §5).
+
+    Attributes
+    ----------
+    blocked:
+        A list of ``(process_name, reason)`` pairs describing each process
+        that was still waiting when the queue drained.
+    """
+
+    def __init__(self, blocked: list[tuple[str, str]]):
+        self.blocked = list(blocked)
+        detail = "; ".join(f"{name}: {reason}" for name, reason in self.blocked)
+        super().__init__(
+            f"deadlock: event queue drained with {len(self.blocked)} "
+            f"blocked process(es) [{detail}]"
+        )
+
+
+class ProcessError(SimulationError):
+    """A simulated process raised or misused the effect protocol."""
+
+
+class KernelTimeoutError(SimulationError):
+    """The device watchdog killed a kernel (CUDA: "the launch timed out").
+
+    Display-attached GPUs abort kernels that run longer than the
+    watchdog interval (~a few seconds).  This is how a deadlocked
+    device-side barrier actually *manifests* on such a card — a launch
+    failure after the timeout, not an eternal hang.  Enable via
+    ``DeviceConfig(watchdog_ns=...)``.
+    """
+
+    def __init__(self, kernel_name: str, watchdog_ns: int, started_ns: int):
+        self.kernel_name = kernel_name
+        self.watchdog_ns = watchdog_ns
+        self.started_ns = started_ns
+        super().__init__(
+            f"kernel {kernel_name!r} exceeded the {watchdog_ns} ns watchdog "
+            f"(started at {started_ns} ns); on a display-attached GPU the "
+            "driver kills such launches"
+        )
+
+
+class ConfigError(ReproError):
+    """Invalid device, kernel or experiment configuration."""
+
+
+class MemoryError_(ReproError):
+    """Invalid access to simulated global or shared memory."""
+
+
+class LaunchError(ReproError):
+    """A kernel launch request was malformed."""
+
+
+class OccupancyError(LaunchError):
+    """A kernel cannot satisfy its resource/co-residency requirements.
+
+    Raised *before* launching when a device-side barrier requires all
+    blocks to be co-resident (one block per SM, paper §5) but the grid is
+    larger than the number of SMs.
+    """
+
+
+class SyncProtocolError(ReproError):
+    """A barrier implementation violated its own protocol invariants."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was asked for an impossible configuration."""

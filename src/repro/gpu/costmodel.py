@@ -1,0 +1,79 @@
+"""A principled per-stage cost model for user-written kernels.
+
+The bundled workloads use per-item constants calibrated against the
+paper's Table 1 (:mod:`repro.algorithms.costs`).  Kernels written
+*against* this library (see ``examples/custom_kernel.py``) have no such
+calibration; :class:`StageCostModel` derives a defensible cost from
+first principles instead:
+
+* memory-bound term: bytes touched divided by the SM's fair share of
+  global-memory bandwidth, degraded by a coalescing factor;
+* compute-bound term: flops divided by the SM's issue rate
+  (``sps_per_sm × clock``);
+* the stage costs the *maximum* of the two (latency hiding overlaps
+  them) plus a fixed pipeline-fill overhead.
+
+This is deliberately a roofline-style model — crude but transparent,
+and consistent with the device configuration it is built from.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.gpu.config import DeviceConfig
+
+__all__ = ["StageCostModel"]
+
+
+@dataclass(frozen=True)
+class StageCostModel:
+    """Roofline-style stage costs for one kernel shape on one device."""
+
+    config: DeviceConfig
+    threads_per_block: int
+    #: fraction of peak bandwidth achieved (1.0 = perfectly coalesced).
+    coalescing: float = 1.0
+    #: fixed pipeline-fill / launch-of-stage overhead per stage (ns).
+    stage_overhead_ns: float = 200.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.coalescing <= 1.0:
+            raise ConfigError(
+                f"coalescing must be in (0, 1], got {self.coalescing}"
+            )
+        if self.threads_per_block < 1:
+            raise ConfigError("threads_per_block must be >= 1")
+        if self.stage_overhead_ns < 0:
+            raise ConfigError("stage_overhead_ns must be non-negative")
+
+    @property
+    def bytes_per_ns(self) -> float:
+        """Effective global-memory bandwidth available to one block."""
+        return self.config.bytes_per_ns_per_sm * self.coalescing
+
+    @property
+    def flops_per_ns(self) -> float:
+        """Issue rate of one SM (one flop per SP per cycle)."""
+        return self.config.sps_per_sm * self.config.clock_mhz / 1e3
+
+    def stage_cost_ns(
+        self, items: int, bytes_per_item: float, flops_per_item: float = 0.0
+    ) -> float:
+        """Cost of one block processing ``items`` work items in a stage.
+
+        Items are processed at the SM's throughput; the warp-granular
+        schedule quantizes occupancy, which matters for tiny stages.
+        """
+        if items < 0 or bytes_per_item < 0 or flops_per_item < 0:
+            raise ConfigError("stage parameters must be non-negative")
+        if items == 0:
+            return self.stage_overhead_ns
+        # Partial warps still occupy a whole warp's issue slots.
+        w = self.config.warp_size
+        effective_items = math.ceil(items / w) * w
+        mem_ns = effective_items * bytes_per_item / self.bytes_per_ns
+        compute_ns = effective_items * flops_per_item / self.flops_per_ns
+        return self.stage_overhead_ns + max(mem_ns, compute_ns)

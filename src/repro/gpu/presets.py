@@ -1,0 +1,57 @@
+"""Device presets beyond the paper's GTX 280.
+
+:func:`gtx280` (in :mod:`repro.gpu.config`) is the calibrated testbed.
+This module adds an **illustrative Fermi-class preset** for the
+what-would-change-a-generation-later study
+(``benchmarks/bench_generations.py``).  Fermi (GTX 480, 2010) matters to
+this paper's story because it changed exactly the quantities the
+barriers are made of:
+
+* global atomics became L2-cached — roughly 3× cheaper;
+* more, wider SMs (15 × 32 SPs) with 48 KB shared memory each;
+* kernel launch overheads dropped.
+
+The Fermi numbers here are era-plausible estimates, **not** calibrated
+against measurements the way the GTX 280 preset is; the generations
+bench only draws qualitative conclusions from them (which crossovers
+move in which direction), never absolute ones.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.config import DeviceConfig
+from repro.model.calibration import CalibratedTimings
+
+__all__ = ["fermi_class"]
+
+
+def fermi_class() -> DeviceConfig:
+    """An illustrative GTX-480-like device (see module docstring)."""
+    timings = CalibratedTimings(
+        host_launch_ns=4_500,  # leaner driver path
+        host_async_call_ns=1_500,
+        kernel_setup_ns=2_000,
+        kernel_teardown_ns=2_000,
+        atomic_ns=80,  # L2-cached atomics: ~3x cheaper
+        spin_read_ns=140,  # L2 hit for the spin observation
+        global_read_ns=140,
+        global_write_ns=220,
+        syncthreads_ns=100,
+        tree_level_overhead_ns=240,
+        lockfree_overhead_ns=220,
+    )
+    return DeviceConfig(
+        name="Fermi-class (illustrative)",
+        num_sms=15,
+        sps_per_sm=32,
+        clock_mhz=1401,
+        shared_mem_per_sm=48 * 1024,
+        registers_per_sm=32 * 1024,
+        global_mem_bytes=1536 * 1024**2,
+        global_bandwidth_gbps=177.4,
+        pcie_gbps=8.0,
+        max_threads_per_block=1024,
+        max_threads_per_sm=1536,
+        max_blocks_per_sm=8,
+        timings=timings,
+    )

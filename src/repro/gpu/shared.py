@@ -1,0 +1,71 @@
+"""Per-block shared memory (the SM's 16 KB scratchpad, paper §2).
+
+Shared memory is private to one block and an order of magnitude faster
+than global memory; its size is also the paper's occupancy lever (§5:
+request all 16 KB to pin one block per SM).  :class:`SharedMemory`
+enforces the *budget* a kernel requested at launch: allocations beyond
+``shared_mem_per_block`` raise, exactly like exceeding the static +
+dynamic shared-memory size on a real launch.
+
+Accesses cost :attr:`~repro.model.calibration.CalibratedTimings.shared_access_ns`
+per transaction (a few cycles, bank-conflict-free), charged through the
+:class:`~repro.gpu.context.BlockCtx` helpers ``sread``/``swrite``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Sequence, Union
+
+import numpy as np
+
+from repro.errors import MemoryError_
+
+__all__ = ["SharedMemory"]
+
+
+class SharedMemory:
+    """One block's shared-memory scratchpad with a hard byte budget."""
+
+    def __init__(self, owner: str, capacity_bytes: int):
+        self.owner = owner
+        self.capacity_bytes = capacity_bytes
+        self._arrays: Dict[str, np.ndarray] = {}
+
+    def alloc(
+        self,
+        name: str,
+        shape: Union[int, Sequence[int]],
+        dtype: Any = np.float64,
+    ) -> np.ndarray:
+        """Allocate a named array within the block's budget."""
+        if name in self._arrays:
+            raise MemoryError_(
+                f"{self.owner}: shared allocation {name!r} already exists"
+            )
+        data = np.zeros(shape, dtype=dtype)
+        if self.used_bytes + data.nbytes > self.capacity_bytes:
+            raise MemoryError_(
+                f"{self.owner}: shared allocation {name!r} ({data.nbytes} B) "
+                f"exceeds the block's budget "
+                f"({self.used_bytes}/{self.capacity_bytes} B used); request "
+                "more shared memory at launch (shared_mem_per_block)"
+            )
+        self._arrays[name] = data
+        return data
+
+    def get(self, name: str) -> np.ndarray:
+        """Look up an allocation by name."""
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise MemoryError_(
+                f"{self.owner}: no shared allocation named {name!r}"
+            ) from None
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently allocated."""
+        return sum(a.nbytes for a in self._arrays.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._arrays

@@ -1,0 +1,67 @@
+"""CUDA streams and events on the simulated device.
+
+Semantics follow the paper's hardware generation (CUDA 2.x / compute
+1.3, GTX 280):
+
+* launches within one :class:`Stream` execute in issue order;
+* the device has a **single kernel engine** — concurrent kernel
+  execution does not exist before Fermi, so kernels from *different*
+  streams also serialize, in issue order (streams still matter for
+  host-side structuring and for events);
+* a launch that waits on an :class:`Event` blocks the kernel engine
+  head-of-line, exactly like a real pre-Fermi device — including the
+  possibility of wedging the device if the event can only be recorded
+  by a later launch (the engine's deadlock detector reports this).
+
+Events are the ``cudaEvent`` shape: record into a stream, then let the
+host (or another stream) wait on them; a recorded event also carries its
+timestamp so host code can measure device intervals the way
+``cudaEventElapsedTime`` does.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import TYPE_CHECKING, Optional
+
+from repro.simcore.signal import Signal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simcore.process import Process
+
+__all__ = ["Event", "Stream"]
+
+_STREAM_IDS = count()
+_EVENT_IDS = count()
+
+
+class Stream:
+    """An in-order launch queue (host-side handle)."""
+
+    def __init__(self, name: Optional[str] = None):
+        self.name = name or f"stream{next(_STREAM_IDS)}"
+        #: last process enqueued on this stream (kernel or event marker).
+        self.last_process: Optional["Process"] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Stream({self.name!r})"
+
+
+class Event:
+    """A ``cudaEvent``: a timestamped completion marker in a stream."""
+
+    def __init__(self, name: Optional[str] = None):
+        self.name = name or f"event{next(_EVENT_IDS)}"
+        self.recorded = False
+        self.timestamp_ns: Optional[int] = None
+        self.signal = Signal(f"event:{self.name}")
+
+    def elapsed_since(self, earlier: "Event") -> int:
+        """``cudaEventElapsedTime``: nanoseconds between two events."""
+        if self.timestamp_ns is None or earlier.timestamp_ns is None:
+            raise ValueError("both events must have completed to compare")
+        return self.timestamp_ns - earlier.timestamp_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = f"@{self.timestamp_ns}" if self.recorded else "pending"
+        return f"Event({self.name!r}, {state})"

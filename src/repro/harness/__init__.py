@@ -1,0 +1,33 @@
+"""Experiment harness: run, measure, and reproduce every table & figure.
+
+* :mod:`repro.harness.runner` — execute one (algorithm × strategy ×
+  grid) configuration on a fresh simulated device and verify the output.
+* :mod:`repro.harness.phases` — the paper's §7.3 phase-accounting
+  methodology (sync time = total − compute-only run).
+* :mod:`repro.harness.experiments` — drivers for Table 1, Fig. 11,
+  Fig. 13a–c, Fig. 14a–c, Fig. 15, the headline speedups and the
+  model-validation study.
+* :mod:`repro.harness.report` — plain-text table/series rendering.
+* :mod:`repro.harness.cli` — ``python -m repro.harness <experiment>``.
+"""
+
+from repro.harness.autotune import TuneResult, autotune, probe_barrier_cost
+from repro.harness.phases import Breakdown, breakdown, compute_only, sync_time_ns
+from repro.harness.runner import RaceMonitor, RunResult, run
+from repro.harness.stats import RunStatistics, repeat_run, summarize
+
+__all__ = [
+    "Breakdown",
+    "RaceMonitor",
+    "RunResult",
+    "RunStatistics",
+    "TuneResult",
+    "autotune",
+    "breakdown",
+    "compute_only",
+    "probe_barrier_cost",
+    "repeat_run",
+    "run",
+    "summarize",
+    "sync_time_ns",
+]

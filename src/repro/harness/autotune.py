@@ -1,0 +1,120 @@
+"""Empirical strategy auto-tuning.
+
+:mod:`repro.model.advisor` predicts the best barrier from the analytic
+models alone.  This module *measures* instead: it probes each candidate
+barrier's per-round cost with a tiny zero-compute kernel at the target
+block count (seconds of simulated time, microseconds of real time), then
+combines the probed costs with the algorithm's own per-round compute
+profile to predict the total — the measure-a-little, predict-the-rest
+pattern of practical auto-tuners.
+
+Hybrid by design: probing captures effects the closed-form models miss
+(unbalanced tree partitions, arrival pipelining) while staying thousands
+of times cheaper than running the full workload under every strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algorithms.base import RoundAlgorithm
+from repro.algorithms.microbench import MeanMicrobench
+from repro.errors import ConfigError
+from repro.gpu.config import DeviceConfig, gtx280
+from repro.harness.phases import compute_only, sync_time_ns
+from repro.harness.runner import run
+
+__all__ = ["TuneResult", "autotune", "probe_barrier_cost"]
+
+DEFAULT_CANDIDATES = (
+    "cpu-implicit",
+    "gpu-simple",
+    "gpu-tree-2",
+    "gpu-tree-3",
+    "gpu-lockfree",
+)
+
+
+def probe_barrier_cost(
+    strategy: str,
+    num_blocks: int,
+    config: Optional[DeviceConfig] = None,
+    probe_rounds: int = 8,
+) -> float:
+    """Measure one strategy's per-round barrier cost at ``num_blocks``.
+
+    Uses the §7.3 methodology on a minimal weak-scaled kernel: probe
+    total minus compute-only total, divided by rounds.
+    """
+    if probe_rounds < 1:
+        raise ConfigError(f"probe_rounds must be >= 1, got {probe_rounds}")
+    cfg = config or gtx280()
+    micro = MeanMicrobench(
+        rounds=probe_rounds, num_blocks_hint=num_blocks, threads_per_block=64
+    )
+    null = compute_only(micro, num_blocks, config=cfg)
+    result = run(micro, strategy, num_blocks, config=cfg)
+    return sync_time_ns(result, null) / probe_rounds
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """Outcome of :func:`autotune`."""
+
+    strategy: str  #: the winning candidate
+    predicted_ns: float  #: its predicted total time
+    #: candidate → (probed per-round barrier cost, predicted total),
+    #: every candidate included.
+    candidates: Dict[str, Tuple[float, float]]
+
+    def ranking(self) -> List[Tuple[str, float]]:
+        """Candidates by predicted total time, fastest first."""
+        return sorted(
+            ((name, total) for name, (_cost, total) in self.candidates.items()),
+            key=lambda kv: kv[1],
+        )
+
+
+def autotune(
+    algorithm: RoundAlgorithm,
+    num_blocks: int,
+    config: Optional[DeviceConfig] = None,
+    candidates: Sequence[str] = DEFAULT_CANDIDATES,
+    probe_rounds: int = 8,
+) -> TuneResult:
+    """Choose a barrier for ``algorithm`` at ``num_blocks`` empirically.
+
+    Per-round compute is taken as the slowest block's cost (the barrier
+    releases only when the last block arrives); the prediction is
+    ``Σ_r (compute_r + probed_barrier)`` plus the launch/boundary terms
+    each mode pays (Eqs. 4/5).
+    """
+    if not candidates:
+        raise ConfigError("autotune needs at least one candidate")
+    cfg = config or gtx280()
+    rounds = algorithm.num_rounds()
+    compute_total = sum(
+        max(
+            algorithm.round_cost(r, b, num_blocks) for b in range(num_blocks)
+        )
+        for r in range(rounds)
+    )
+    t = cfg.timings
+    scored: Dict[str, Tuple[float, float]] = {}
+    for name in candidates:
+        cost = probe_barrier_cost(name, num_blocks, cfg, probe_rounds)
+        if name.startswith("cpu"):
+            # Per-round kernel boundary is *inside* the probed cost; only
+            # the first launch is extra (Eq. 4 / Eq. 3 shape).
+            total = t.host_launch_ns + compute_total + rounds * cost
+        else:
+            total = (
+                t.host_launch_ns
+                + t.cpu_implicit_barrier_ns  # the single kernel's setup+teardown
+                + compute_total
+                + rounds * cost
+            )
+        scored[name] = (cost, total)
+    best = min(scored.items(), key=lambda kv: kv[1][1])
+    return TuneResult(strategy=best[0], predicted_ns=best[1][1], candidates=scored)

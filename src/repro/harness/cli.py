@@ -1,0 +1,287 @@
+"""Command-line entry point: ``python -m repro.harness <experiment>``.
+
+Experiments (DESIGN.md §4):
+
+* ``table1``   — % of time on inter-block communication (Table 1)
+* ``fig11``    — micro-benchmark time vs blocks, all strategies (Fig. 11)
+* ``fig13``    — kernel time vs blocks for fft/swat/bitonic (Fig. 13a–c)
+* ``fig14``    — synchronization time vs blocks (Fig. 14a–c)
+* ``fig15``    — compute/sync percentage breakdown (Fig. 15)
+* ``headline`` — the abstract's speedup numbers
+* ``models``   — barrier cost: measured vs Eqs. 6/7/9
+* ``all``      — everything above (slow)
+
+Extras beyond the paper:
+
+* ``extensions`` — sense-reversal & dissemination barriers vs the
+  paper's three, plus the prefix-scan workload
+* ``trace``      — run one configuration and write a Chrome-tracing
+  JSON of every block's compute/sync spans (``--out``)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.harness import experiments, report
+
+__all__ = ["main"]
+
+
+def _persist_sweep(args: argparse.Namespace, sweep, stem: str) -> None:
+    if args.save_sweeps is None:
+        return
+    from pathlib import Path
+
+    from repro.harness.store import save_sweep
+
+    out = Path(args.save_sweeps)
+    out.mkdir(parents=True, exist_ok=True)
+    save_sweep(sweep, out / f"{stem}.json")
+    (out / f"{stem}.csv").write_text(sweep.to_csv())
+    (out / f"{stem}_sync.csv").write_text(sweep.to_csv(sync=True))
+
+
+def _fig13_14(args: argparse.Namespace, sync: bool) -> str:
+    chunks: List[str] = []
+    for algo in args.algorithms:
+        sweep = experiments.algorithm_sweep(algo, step=args.step)
+        fig = "Fig. 14" if sync else "Fig. 13"
+        title = f"{fig} ({algo})"
+        if sync:
+            chunks.append(report.render_sweep_sync(sweep, title))
+        else:
+            chunks.append(report.render_sweep_totals(sweep, title))
+        if args.plot:
+            from repro.harness.plot import plot_sweep
+
+            chunks.append(plot_sweep(sweep, sync=sync, title=title))
+        _persist_sweep(args, sweep, f"{'fig14' if sync else 'fig13'}_{algo}")
+    return "\n\n".join(chunks)
+
+
+def _extensions_study(args: argparse.Namespace) -> str:
+    """Compare all six device barriers on the micro-benchmark."""
+    from repro.algorithms import MeanMicrobench
+    from repro.harness.phases import compute_only, sync_time_ns
+    from repro.harness.runner import run
+
+    rounds, blocks = min(args.rounds, 200), 30
+    micro = MeanMicrobench(rounds=rounds, num_blocks_hint=blocks)
+    null = compute_only(micro, blocks)
+    rows = []
+    for strat in (
+        "gpu-simple",
+        "gpu-sense-reversal",
+        "gpu-tree-2",
+        "gpu-tree-3",
+        "gpu-dissemination",
+        "gpu-lockfree",
+    ):
+        result = run(micro, strat, blocks)
+        rows.append(
+            (strat, sync_time_ns(result, null) / rounds)
+        )
+    rows.sort(key=lambda r: r[1])
+    return report.format_table(
+        ["barrier", "per-round cost (µs)"],
+        [[name, f"{cost/1e3:.2f}"] for name, cost in rows],
+        title=f"Extension barriers — micro, {blocks} blocks",
+    )
+
+
+def _trace_one(args: argparse.Namespace) -> str:
+    """Run one configuration and dump a Chrome-tracing JSON."""
+    from repro.algorithms import FFT
+    from repro.harness.runner import run
+    from repro.harness.traceview import write_chrome_trace
+
+    result = run(
+        FFT(n=2**10), args.strategy, args.blocks, keep_device=True
+    )
+    path = write_chrome_trace(result.device.trace, args.out)
+    return (
+        f"ran fft (n=1024) under {args.strategy} on {args.blocks} blocks: "
+        f"{result.total_ms:.3f} ms, verified={result.verified}\n"
+        f"wrote {len(result.device.trace)} spans to {path} "
+        "(open in chrome://tracing or ui.perfetto.dev)"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-harness",
+        description=(
+            "Reproduce the tables and figures of 'Inter-Block GPU "
+            "Communication via Fast Barrier Synchronization' (IPDPS 2010) "
+            "on the simulated GTX 280."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[
+            "table1",
+            "fig11",
+            "fig13",
+            "fig14",
+            "fig15",
+            "headline",
+            "models",
+            "extensions",
+            "composition",
+            "trace",
+            "report",
+            "diff",
+            "all",
+        ],
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=200,
+        help="micro-benchmark rounds (paper: 10000; default 200)",
+    )
+    parser.add_argument(
+        "--step",
+        type=int,
+        default=3,
+        help="block-count step for algorithm sweeps (paper: 1; default 3)",
+    )
+    parser.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["fft", "swat", "bitonic"],
+        choices=["fft", "swat", "bitonic"],
+        help="workloads for fig13/fig14",
+    )
+    parser.add_argument(
+        "--strategy",
+        default="gpu-lockfree",
+        help="strategy for the trace experiment",
+    )
+    parser.add_argument(
+        "--blocks",
+        type=int,
+        default=8,
+        help="grid size for the trace experiment",
+    )
+    parser.add_argument(
+        "--out",
+        default="trace.json",
+        help="output path for the trace experiment",
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="render fig11/fig13/fig14 as ASCII charts as well as tables",
+    )
+    parser.add_argument(
+        "--report-out",
+        default="report.md",
+        help="output path for the report experiment",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="diff: path to the blessed sweep JSON",
+    )
+    parser.add_argument(
+        "--current",
+        default=None,
+        help="diff: path to the sweep JSON to compare against the baseline",
+    )
+    parser.add_argument(
+        "--rel-tol",
+        type=float,
+        default=0.0,
+        help="diff: relative tolerance before a point counts as drift",
+    )
+    parser.add_argument(
+        "--save-sweeps",
+        metavar="DIR",
+        default=None,
+        help=(
+            "persist fig11/fig13/fig14 sweeps as JSON + CSV under DIR "
+            "(reload with repro.harness.store.load_sweep; diff with "
+            "repro.harness.regression.compare_sweeps)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    started = time.time()
+    sections: List[str] = []
+    want = args.experiment
+
+    if want in ("table1", "all"):
+        sections.append(report.render_table1(experiments.table1()))
+    if want in ("fig11", "all"):
+        sweep = experiments.fig11(rounds=args.rounds)
+        sections.append(
+            report.render_sweep_totals(
+                sweep, f"Fig. 11 (micro-benchmark, {args.rounds} rounds)"
+            )
+        )
+        _persist_sweep(args, sweep, "fig11")
+        if args.plot:
+            from repro.harness.plot import plot_sweep
+
+            sections.append(
+                plot_sweep(sweep, sync=True, title="Fig. 11 sync time")
+            )
+    if want in ("fig13", "all"):
+        sections.append(_fig13_14(args, sync=False))
+    if want in ("fig14", "all"):
+        sections.append(_fig13_14(args, sync=True))
+    if want in ("fig15", "all"):
+        sections.append(report.render_fig15(experiments.fig15()))
+    if want in ("headline", "all"):
+        sections.append(report.render_headline(experiments.headline()))
+    if want in ("models", "all"):
+        sections.append(
+            report.render_model_validation(experiments.model_validation())
+        )
+    if want in ("extensions", "all"):
+        sections.append(_extensions_study(args))
+    if want in ("composition", "all"):
+        from repro.harness.tracestats import composition_study, render_composition
+
+        sections.append(render_composition(composition_study()))
+    if want == "trace":
+        sections.append(_trace_one(args))
+    if want == "report":
+        from repro.harness.paperreport import generate_report
+
+        path = generate_report(args.report_out, micro_rounds=args.rounds)
+        sections.append(f"wrote reproduction report to {path}")
+    if want == "diff":
+        if not args.baseline or not args.current:
+            parser.error("diff requires --baseline and --current")
+        from repro.harness.regression import compare_sweeps
+        from repro.harness.store import load_sweep
+
+        drifts = compare_sweeps(
+            load_sweep(args.baseline), load_sweep(args.current), args.rel_tol
+        )
+        if drifts:
+            sections.append(
+                f"{len(drifts)} drifted point(s):\n"
+                + "\n".join(f"  {d}" for d in drifts)
+            )
+            print("\n\n".join(sections))
+            print(
+                f"\n[{want} completed in {time.time() - started:.1f}s]",
+                file=sys.stderr,
+            )
+            return 1
+        sections.append("no drift: sweeps are identical within tolerance")
+
+    print("\n\n".join(sections))
+    print(f"\n[{want} completed in {time.time() - started:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

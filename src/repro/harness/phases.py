@@ -1,0 +1,92 @@
+"""Phase accounting — the paper's §7.3 measurement methodology.
+
+"the synchronization time is the difference between the total kernel
+execution time and the computation time, which is obtained by running an
+implementation ... with the synchronization function __gpu_sync()
+removed.  For the implementation with the CPU [synchronization] method,
+we assume its computation time is the same as the others."
+
+:func:`compute_only` is the removed-barrier run (the ``null`` strategy);
+:func:`sync_time_ns` and :func:`breakdown` derive synchronization time
+and the Fig. 15 percentage split from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.algorithms.base import RoundAlgorithm
+from repro.errors import ExperimentError
+from repro.gpu.config import DeviceConfig
+from repro.harness.runner import RunResult, run
+
+__all__ = ["Breakdown", "breakdown", "compute_only", "sync_time_ns"]
+
+
+def compute_only(
+    algorithm: RoundAlgorithm,
+    num_blocks: int,
+    threads_per_block: Optional[int] = None,
+    config: Optional[DeviceConfig] = None,
+) -> RunResult:
+    """Run the algorithm with the barrier removed (timing only).
+
+    Verification is disabled — without barriers the results are
+    unspecified; only the clock matters here.
+    """
+    return run(
+        algorithm,
+        "null",
+        num_blocks,
+        threads_per_block=threads_per_block,
+        config=config,
+        verify=False,
+        monitor_races=False,
+    )
+
+
+def sync_time_ns(result: RunResult, compute_only_result: RunResult) -> int:
+    """Total synchronization time: measured total − compute-only total."""
+    if result.algorithm != compute_only_result.algorithm:
+        raise ExperimentError(
+            f"mismatched runs: {result.algorithm} vs "
+            f"{compute_only_result.algorithm}"
+        )
+    if result.num_blocks != compute_only_result.num_blocks:
+        raise ExperimentError(
+            "sync_time_ns needs both runs at the same block count "
+            f"({result.num_blocks} vs {compute_only_result.num_blocks})"
+        )
+    return result.total_ns - compute_only_result.total_ns
+
+
+@dataclass(frozen=True)
+class Breakdown:
+    """The Fig. 15 split of one run into computation vs synchronization."""
+
+    strategy: str
+    total_ns: int
+    compute_ns: int
+    sync_ns: int
+
+    @property
+    def compute_pct(self) -> float:
+        """Computation share of the total, in percent."""
+        return 100.0 * self.compute_ns / self.total_ns if self.total_ns else 0.0
+
+    @property
+    def sync_pct(self) -> float:
+        """Synchronization share of the total, in percent."""
+        return 100.0 * self.sync_ns / self.total_ns if self.total_ns else 0.0
+
+
+def breakdown(result: RunResult, compute_only_result: RunResult) -> Breakdown:
+    """Split one run's total into computation and synchronization."""
+    sync = sync_time_ns(result, compute_only_result)
+    return Breakdown(
+        strategy=result.strategy,
+        total_ns=result.total_ns,
+        compute_ns=result.total_ns - sync,
+        sync_ns=sync,
+    )

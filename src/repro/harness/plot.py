@@ -1,0 +1,112 @@
+"""ASCII line plots for the terminal — the figures as *figures*.
+
+The report tables carry the exact numbers; these plots make the shapes
+(Fig. 11's linear-vs-flat race, Fig. 13's falling curves, Fig. 14's
+fan-out) visible in a terminal with no plotting dependency::
+
+    sweep = experiments.fig11(rounds=100)
+    print(ascii_plot(sweep.blocks,
+                     {s: sweep.sync_series(s) for s in sweep.totals},
+                     title="Fig. 11 sync time", ylabel="ns"))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigError
+
+__all__ = ["ascii_plot", "plot_sweep"]
+
+_MARKERS = "ox+*#%@&"
+
+
+def ascii_plot(
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    title: str = "",
+    ylabel: str = "",
+    width: int = 64,
+    height: int = 18,
+) -> str:
+    """Render one or more y(x) series as an ASCII chart with a legend."""
+    if not series:
+        raise ConfigError("ascii_plot needs at least one series")
+    if width < 16 or height < 4:
+        raise ConfigError("plot must be at least 16x4")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ConfigError(
+                f"series {name!r} has {len(ys)} points for {len(xs)} x values"
+            )
+    if len(xs) < 2:
+        raise ConfigError("need at least 2 x values")
+
+    all_y = [y for ys in series.values() for y in ys]
+    y_min, y_max = min(all_y), max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1
+    x_min, x_max = min(xs), max(xs)
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    def col(x: float) -> int:
+        return round((x - x_min) / (x_max - x_min) * (width - 1))
+
+    def row(y: float) -> int:
+        frac = (y - y_min) / (y_max - y_min)
+        return (height - 1) - round(frac * (height - 1))
+
+    legend = []
+    for i, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[i % len(_MARKERS)]
+        legend.append(f"  {marker} {name}")
+        # Draw line segments with simple interpolation between points.
+        for (x0, y0), (x1, y1) in zip(zip(xs, ys), zip(xs[1:], ys[1:])):
+            c0, c1 = col(x0), col(x1)
+            for c in range(c0, c1 + 1):
+                t = 0.0 if c1 == c0 else (c - c0) / (c1 - c0)
+                y = y0 + t * (y1 - y0)
+                grid[row(y)][c] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:,.0f}"
+    bottom_label = f"{y_min:,.0f}"
+    label_w = max(len(top_label), len(bottom_label), len(ylabel))
+    for r, grid_row in enumerate(grid):
+        if r == 0:
+            label = top_label
+        elif r == height - 1:
+            label = bottom_label
+        elif r == height // 2 and ylabel:
+            label = ylabel
+        else:
+            label = ""
+        lines.append(f"{label.rjust(label_w)} |{''.join(grid_row)}")
+    axis = f"{'':>{label_w}} +{'-' * width}"
+    lines.append(axis)
+    x_line = f"{x_min:g}".ljust(width - len(f"{x_max:g}")) + f"{x_max:g}"
+    lines.append(f"{'':>{label_w}}  {x_line}")
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+def plot_sweep(sweep, sync: bool = False, title: Optional[str] = None) -> str:
+    """Plot a :class:`~repro.harness.experiments.SweepResult`.
+
+    ``sync=True`` plots synchronization time (Fig. 14 style) instead of
+    total time (Fig. 11/13 style).
+    """
+    series = {
+        name: (sweep.sync_series(name) if sync else sweep.totals[name])
+        for name in sweep.totals
+    }
+    return ascii_plot(
+        sweep.blocks,
+        series,
+        title=title or f"{sweep.algorithm}: "
+        + ("synchronization time" if sync else "total kernel time"),
+        ylabel="ns",
+    )

@@ -1,0 +1,92 @@
+"""Regression comparison between stored experiment sweeps.
+
+Workflow: persist a blessed sweep with
+:func:`repro.harness.store.save_sweep`, re-run the experiment after a
+change, and diff::
+
+    baseline = load_sweep("blessed/fig11.json")
+    current = experiments.fig11(rounds=200)
+    drifts = compare_sweeps(baseline, current, rel_tol=0.01)
+    assert not drifts, "\\n".join(map(str, drifts))
+
+Because the simulator is deterministic, the expected drift for a
+behavior-preserving change is exactly zero; ``rel_tol`` exists for
+intentional recalibrations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ExperimentError
+from repro.harness.experiments import SweepResult
+
+__all__ = ["Drift", "compare_sweeps"]
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One point whose value moved more than the tolerance."""
+
+    strategy: str  #: series name ("<null>" for the compute-only baseline)
+    blocks: int
+    baseline_ns: int
+    current_ns: int
+
+    @property
+    def relative(self) -> float:
+        """Signed relative change (current vs baseline)."""
+        if self.baseline_ns == 0:
+            return float("inf") if self.current_ns else 0.0
+        return (self.current_ns - self.baseline_ns) / self.baseline_ns
+
+    def __str__(self) -> str:
+        return (
+            f"{self.strategy} @ {self.blocks} blocks: "
+            f"{self.baseline_ns} → {self.current_ns} ns "
+            f"({100 * self.relative:+.2f}%)"
+        )
+
+
+def compare_sweeps(
+    baseline: SweepResult, current: SweepResult, rel_tol: float = 0.0
+) -> List[Drift]:
+    """All points of ``current`` that drifted beyond ``rel_tol``.
+
+    The sweeps must describe the same experiment: same algorithm, same
+    block counts, same strategy set — structural mismatches raise
+    (they mean you are comparing different experiments, not a
+    regression).
+    """
+    if rel_tol < 0:
+        raise ExperimentError(f"rel_tol must be non-negative, got {rel_tol}")
+    if baseline.algorithm != current.algorithm:
+        raise ExperimentError(
+            f"different experiments: {baseline.algorithm!r} vs "
+            f"{current.algorithm!r}"
+        )
+    if baseline.blocks != current.blocks:
+        raise ExperimentError(
+            f"different block grids: {baseline.blocks} vs {current.blocks}"
+        )
+    if set(baseline.totals) != set(current.totals):
+        raise ExperimentError(
+            "different strategy sets: "
+            f"{sorted(baseline.totals)} vs {sorted(current.totals)}"
+        )
+
+    drifts: List[Drift] = []
+
+    def check(name: str, base_series, cur_series) -> None:
+        for n, b, c in zip(baseline.blocks, base_series, cur_series):
+            if b == c:
+                continue
+            if b != 0 and abs(c - b) / abs(b) <= rel_tol:
+                continue
+            drifts.append(Drift(name, n, b, c))
+
+    for name in baseline.totals:
+        check(name, baseline.totals[name], current.totals[name])
+    check("<null>", baseline.nulls, current.nulls)
+    return drifts

@@ -1,0 +1,157 @@
+"""Plain-text rendering of experiment results (tables and series)."""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+from repro.harness.experiments import SweepResult
+from repro.harness.phases import Breakdown
+
+__all__ = [
+    "format_table",
+    "render_table1",
+    "render_sweep_totals",
+    "render_sweep_sync",
+    "render_fig15",
+    "render_headline",
+    "render_model_validation",
+]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: Optional[str] = None,
+) -> str:
+    """Monospace table with right-aligned numeric-looking columns."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def _ms(ns: float) -> str:
+    return f"{ns / 1e6:.3f}"
+
+
+def _us(ns: float) -> str:
+    return f"{ns / 1e3:.2f}"
+
+
+def render_table1(results: Mapping[str, Breakdown]) -> str:
+    """Table 1: % of time spent on inter-block communication."""
+    rows = [
+        [
+            name,
+            _ms(b.total_ns),
+            _ms(b.compute_ns),
+            _ms(b.sync_ns),
+            f"{b.sync_pct:.1f}%",
+        ]
+        for name, b in results.items()
+    ]
+    return format_table(
+        ["algorithm", "total (ms)", "compute (ms)", "sync (ms)", "sync share"],
+        rows,
+        title="Table 1 — time spent on inter-block communication (CPU implicit)",
+    )
+
+
+def render_sweep_totals(sweep: SweepResult, title: str) -> str:
+    """Fig. 11 / Fig. 13 style: total time per strategy per block count."""
+    strategies = list(sweep.totals)
+    headers = ["blocks"] + strategies
+    rows = []
+    for i, n in enumerate(sweep.blocks):
+        rows.append([str(n)] + [_ms(sweep.totals[s][i]) for s in strategies])
+    return format_table(headers, rows, title=f"{title} — total kernel time (ms)")
+
+
+def render_sweep_sync(sweep: SweepResult, title: str) -> str:
+    """Fig. 14 style: synchronization time per strategy per block count."""
+    strategies = list(sweep.totals)
+    headers = ["blocks"] + strategies
+    rows = []
+    for i, n in enumerate(sweep.blocks):
+        rows.append(
+            [str(n)] + [_ms(sweep.sync_series(s)[i]) for s in strategies]
+        )
+    return format_table(headers, rows, title=f"{title} — synchronization time (ms)")
+
+
+def render_fig15(results: Mapping[str, Mapping[str, Breakdown]]) -> str:
+    """Fig. 15: computation vs synchronization percentage stacks."""
+    rows = []
+    for algo, per_strategy in results.items():
+        for strat, b in per_strategy.items():
+            rows.append(
+                [algo, strat, f"{b.compute_pct:.1f}%", f"{b.sync_pct:.1f}%"]
+            )
+    return format_table(
+        ["algorithm", "strategy", "compute", "sync"],
+        rows,
+        title="Fig. 15 — computation vs synchronization share",
+    )
+
+
+def render_headline(numbers: Mapping[str, float]) -> str:
+    """The abstract's headline comparisons."""
+    rows = [
+        [
+            "micro: lock-free vs CPU explicit",
+            f"{numbers['micro_lockfree_vs_explicit']:.2f}x",
+            "7.8x",
+        ],
+        [
+            "micro: lock-free vs CPU implicit",
+            f"{numbers['micro_lockfree_vs_implicit']:.2f}x",
+            "3.7x",
+        ],
+        ["FFT kernel-time improvement", f"{numbers['fft_improvement_pct']:.1f}%", "8%"],
+        [
+            "SWat kernel-time improvement",
+            f"{numbers['swat_improvement_pct']:.1f}%",
+            "24%",
+        ],
+        [
+            "Bitonic kernel-time improvement",
+            f"{numbers['bitonic_improvement_pct']:.1f}%",
+            "39%",
+        ],
+    ]
+    return format_table(
+        ["quantity", "measured", "paper"], rows, title="Headline numbers"
+    )
+
+
+def render_model_validation(
+    results: Mapping[str, Mapping[int, Mapping[str, float]]],
+) -> str:
+    """Eqs. 6/7/9: measured vs predicted per-round barrier cost (µs)."""
+    rows = []
+    for strat, per_n in results.items():
+        for n, pair in per_n.items():
+            measured, predicted = pair["measured"], pair["predicted"]
+            err = (
+                100.0 * (measured - predicted) / predicted if predicted else 0.0
+            )
+            rows.append(
+                [strat, str(n), _us(measured), _us(predicted), f"{err:+.1f}%"]
+            )
+    return format_table(
+        ["strategy", "blocks", "measured (µs)", "model (µs)", "deviation"],
+        rows,
+        title="Barrier cost: measurement vs Eqs. 6/7/9",
+    )

@@ -1,0 +1,217 @@
+"""Run one algorithm under one synchronization strategy and measure it."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.algorithms.base import RoundAlgorithm
+from repro.errors import ConfigError
+from repro.gpu.config import DeviceConfig, gtx280
+from repro.gpu.context import BlockCtx
+from repro.gpu.device import Device
+from repro.gpu.host import Host
+from repro.gpu.kernel import KernelSpec
+from repro.sync.base import SyncStrategy, get_strategy
+
+__all__ = ["RaceMonitor", "RunResult", "run"]
+
+
+class RaceMonitor:
+    """Detects barrier violations during a run.
+
+    Every block's round work is wrapped; when block ``b`` executes round
+    ``r`` before every block finished round ``r-1``, a violation is
+    recorded.  A correct barrier yields zero violations; the broken/null
+    configurations exercised in tests and the deadlock demo yield many.
+    """
+
+    def __init__(self, rounds: int, num_blocks: int):
+        self.num_blocks = num_blocks
+        self._done = np.zeros(rounds, dtype=np.int64)
+        #: ``(round, block, blocks_done_in_previous_round)`` records.
+        self.violations: List[Tuple[int, int, int]] = []
+
+    def wrap(self, round_idx: int, block_id: int, work):
+        """Wrap (possibly ``None``) round work with violation tracking."""
+
+        def wrapped() -> None:
+            if round_idx > 0 and self._done[round_idx - 1] < self.num_blocks:
+                self.violations.append(
+                    (round_idx, block_id, int(self._done[round_idx - 1]))
+                )
+            if work is not None:
+                work()
+            self._done[round_idx] += 1
+
+        return wrapped
+
+    @property
+    def clean(self) -> bool:
+        """True when no violation was observed."""
+        return not self.violations
+
+
+@dataclass
+class RunResult:
+    """Everything measured from one configuration."""
+
+    algorithm: str
+    strategy: str
+    num_blocks: int
+    threads_per_block: int
+    rounds: int
+    total_ns: int  #: wall-clock virtual time of the whole run
+    kernel_launches: int
+    verified: Optional[bool]  #: None when verification was skipped
+    violations: int  #: barrier violations seen by the race monitor (-1: off)
+    atomic_ops: int
+    trace_compute_ns: int  #: sum of per-block compute spans
+    trace_sync_ns: int  #: sum of per-block sync + sync-overhead spans
+    device: Optional[Device] = field(default=None, repr=False)
+
+    @property
+    def total_ms(self) -> float:
+        """Total time in milliseconds."""
+        return self.total_ns / 1e6
+
+
+def run(
+    algorithm: RoundAlgorithm,
+    strategy: Union[str, SyncStrategy],
+    num_blocks: int,
+    threads_per_block: Optional[int] = None,
+    config: Optional[DeviceConfig] = None,
+    verify: bool = True,
+    monitor_races: bool = True,
+    keep_device: bool = False,
+    jitter_pct: float = 0.0,
+    jitter_seed: int = 0,
+) -> RunResult:
+    """Execute ``algorithm`` under ``strategy`` on a fresh device.
+
+    * device strategies run a single kernel whose blocks loop over rounds
+      calling the strategy's barrier (paper Fig. 4);
+    * host strategies launch one kernel per round, synchronizing between
+      launches when the strategy is explicit (paper Fig. 2).
+
+    The algorithm is :meth:`~repro.algorithms.base.RoundAlgorithm.reset`
+    before running and, unless ``verify=False`` or the strategy is the
+    ``null`` timing stub, verified afterwards.
+
+    ``jitter_pct`` adds hardware-style run-to-run variability: each
+    block's round cost is scaled by a lognormal factor with that
+    relative spread, deterministically derived from ``jitter_seed`` (so
+    a given seed is exactly reproducible — use
+    :func:`repro.harness.stats.repeat_run` to average over seeds the way
+    the paper averages three runs).
+    """
+    if isinstance(strategy, str):
+        strategy = get_strategy(strategy)
+    cfg = config or gtx280()
+    threads = threads_per_block or algorithm.default_threads
+    if threads > cfg.max_threads_per_block:
+        raise ConfigError(
+            f"{threads} threads/block exceeds the device limit "
+            f"{cfg.max_threads_per_block}"
+        )
+    if jitter_pct < 0:
+        raise ConfigError(f"jitter_pct must be non-negative, got {jitter_pct}")
+    strategy.validate_grid(cfg, num_blocks)
+
+    algorithm.reset()
+    device = Device(cfg)
+    host = Host(device)
+    rounds = algorithm.num_rounds()
+    monitor = RaceMonitor(rounds, num_blocks) if monitor_races else None
+
+    if jitter_pct > 0:
+        sigma = jitter_pct / 100.0
+        jitter_rng = np.random.default_rng(jitter_seed)
+
+        def jitter(cost: float) -> float:
+            return cost * jitter_rng.lognormal(mean=0.0, sigma=sigma)
+
+    else:
+
+        def jitter(cost: float) -> float:
+            return cost
+
+    def work_for(round_idx: int, block_id: int):
+        work = algorithm.round_work(round_idx, block_id, num_blocks)
+        if monitor is None:
+            return work
+        return monitor.wrap(round_idx, block_id, work)
+
+    if strategy.mode == "device":
+        strategy.prepare(device, num_blocks)
+
+        def program(ctx: BlockCtx) -> Generator:
+            for r in range(rounds):
+                cost = jitter(algorithm.round_cost(r, ctx.block_id, num_blocks))
+                yield from ctx.compute(cost, work_for(r, ctx.block_id), round=r)
+                yield from strategy.barrier(ctx, r)
+
+        spec = KernelSpec(
+            name=f"{algorithm.name}:{strategy.name}",
+            program=program,
+            grid_blocks=num_blocks,
+            block_threads=threads,
+            shared_mem_per_block=strategy.shared_mem_request(cfg),
+        )
+
+        def host_program() -> Generator:
+            yield from host.launch(spec)
+            yield from host.synchronize()
+
+    else:
+
+        def round_program(ctx: BlockCtx, round_idx: int) -> Generator:
+            cost = jitter(
+                algorithm.round_cost(round_idx, ctx.block_id, num_blocks)
+            )
+            yield from ctx.compute(
+                cost, work_for(round_idx, ctx.block_id), round=round_idx
+            )
+
+        def host_program() -> Generator:
+            for r in range(rounds):
+                spec = KernelSpec(
+                    name=f"{algorithm.name}:r{r}",
+                    program=round_program,
+                    grid_blocks=num_blocks,
+                    block_threads=threads,
+                    params={"round_idx": r},
+                )
+                yield from host.launch(spec)
+                if strategy.explicit:
+                    yield from host.synchronize()
+            yield from host.synchronize()
+
+    device.engine.spawn(host_program(), "host")
+    total_ns = device.run()
+
+    verified: Optional[bool] = None
+    if verify and strategy.name != "null":
+        algorithm.verify()  # raises VerificationError on mismatch
+        verified = True
+
+    return RunResult(
+        algorithm=algorithm.name,
+        strategy=strategy.name,
+        num_blocks=num_blocks,
+        threads_per_block=threads,
+        rounds=rounds,
+        total_ns=total_ns,
+        kernel_launches=len(host.launches),
+        verified=verified,
+        violations=len(monitor.violations) if monitor is not None else -1,
+        atomic_ops=device.atomics.ops,
+        trace_compute_ns=device.trace.total("compute"),
+        trace_sync_ns=(
+            device.trace.total("sync") + device.trace.total("sync-overhead")
+        ),
+        device=device if keep_device else None,
+    )

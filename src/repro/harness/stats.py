@@ -1,0 +1,116 @@
+"""Multi-run statistics — the paper's "each result is the average of
+three runs" (§5.4, §7.1), made explicit.
+
+On deterministic simulation a single run *is* the truth, so averaging
+only matters when hardware-style variability is enabled
+(``jitter_pct``).  :func:`repeat_run` runs one configuration under
+``repeats`` different jitter seeds and aggregates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from repro.algorithms.base import RoundAlgorithm
+from repro.errors import ConfigError
+from repro.gpu.config import DeviceConfig
+from repro.harness.runner import RunResult, run
+from repro.sync.base import SyncStrategy
+
+__all__ = ["RunStatistics", "repeat_run", "summarize"]
+
+
+@dataclass(frozen=True)
+class RunStatistics:
+    """Aggregate of repeated measurements of one configuration."""
+
+    algorithm: str
+    strategy: str
+    num_blocks: int
+    repeats: int
+    mean_ns: float
+    std_ns: float
+    min_ns: int
+    max_ns: int
+    samples_ns: tuple
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean total time in milliseconds."""
+        return self.mean_ns / 1e6
+
+    @property
+    def relative_std(self) -> float:
+        """Coefficient of variation (std / mean)."""
+        return self.std_ns / self.mean_ns if self.mean_ns else 0.0
+
+    @property
+    def ci95_ns(self) -> float:
+        """Half-width of a normal-approximation 95 % confidence interval."""
+        if self.repeats < 2:
+            return 0.0
+        return 1.96 * self.std_ns / math.sqrt(self.repeats)
+
+
+def summarize(results: List[RunResult]) -> RunStatistics:
+    """Aggregate already-collected results of one configuration."""
+    if not results:
+        raise ConfigError("summarize needs at least one result")
+    first = results[0]
+    for r in results[1:]:
+        if (r.algorithm, r.strategy, r.num_blocks) != (
+            first.algorithm,
+            first.strategy,
+            first.num_blocks,
+        ):
+            raise ConfigError("summarize requires homogeneous results")
+    samples = [r.total_ns for r in results]
+    n = len(samples)
+    mean = sum(samples) / n
+    var = sum((s - mean) ** 2 for s in samples) / (n - 1) if n > 1 else 0.0
+    return RunStatistics(
+        algorithm=first.algorithm,
+        strategy=first.strategy,
+        num_blocks=first.num_blocks,
+        repeats=n,
+        mean_ns=mean,
+        std_ns=math.sqrt(var),
+        min_ns=min(samples),
+        max_ns=max(samples),
+        samples_ns=tuple(samples),
+    )
+
+
+def repeat_run(
+    algorithm: RoundAlgorithm,
+    strategy: Union[str, SyncStrategy],
+    num_blocks: int,
+    repeats: int = 3,
+    jitter_pct: float = 2.0,
+    base_seed: int = 0,
+    config: Optional[DeviceConfig] = None,
+    verify: bool = True,
+) -> RunStatistics:
+    """Run a configuration ``repeats`` times with distinct jitter seeds.
+
+    Defaults mirror the paper: three runs, a small run-to-run spread.
+    Each repetition re-verifies the output (jitter perturbs *timing*
+    only, never results — a failed verification means a barrier bug).
+    """
+    if repeats < 1:
+        raise ConfigError(f"repeats must be >= 1, got {repeats}")
+    results = [
+        run(
+            algorithm,
+            strategy,
+            num_blocks,
+            config=config,
+            verify=verify,
+            jitter_pct=jitter_pct,
+            jitter_seed=base_seed + i,
+        )
+        for i in range(repeats)
+    ]
+    return summarize(results)

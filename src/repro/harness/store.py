@@ -1,0 +1,75 @@
+"""Persist experiment results as versioned JSON.
+
+Sweeps take minutes at full fidelity; storing them lets reports, plots
+and regression comparisons rerun instantly::
+
+    sweep = experiments.fig11(rounds=200)
+    save_sweep(sweep, "out/fig11.json")
+    ...
+    sweep = load_sweep("out/fig11.json")
+
+The schema is versioned so stored files fail loudly instead of silently
+misparsing after a format change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import ExperimentError
+from repro.harness.experiments import SweepResult
+
+__all__ = ["SCHEMA_VERSION", "load_sweep", "save_sweep"]
+
+SCHEMA_VERSION = 1
+
+
+def save_sweep(sweep: SweepResult, path: Union[str, Path]) -> Path:
+    """Serialize a sweep (totals + compute-only baselines) to JSON."""
+    path = Path(path)
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "kind": "sweep",
+        "algorithm": sweep.algorithm,
+        "blocks": list(sweep.blocks),
+        "totals": {k: list(v) for k, v in sweep.totals.items()},
+        "nulls": list(sweep.nulls),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=1))
+    return path
+
+
+def load_sweep(path: Union[str, Path]) -> SweepResult:
+    """Load a sweep previously written by :func:`save_sweep`."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ExperimentError(f"cannot read sweep from {path}: {exc}") from exc
+    if payload.get("kind") != "sweep":
+        raise ExperimentError(f"{path} does not contain a sweep")
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ExperimentError(
+            f"{path} has schema {payload.get('schema')!r}; this build reads "
+            f"{SCHEMA_VERSION}"
+        )
+    blocks = list(payload["blocks"])
+    nulls = list(payload["nulls"])
+    totals = {k: list(v) for k, v in payload["totals"].items()}
+    for name, series in totals.items():
+        if len(series) != len(blocks):
+            raise ExperimentError(
+                f"{path}: series {name!r} length {len(series)} != "
+                f"{len(blocks)} block counts"
+            )
+    if len(nulls) != len(blocks):
+        raise ExperimentError(f"{path}: nulls length mismatch")
+    return SweepResult(
+        algorithm=payload["algorithm"],
+        blocks=blocks,
+        totals=totals,
+        nulls=nulls,
+    )

@@ -1,0 +1,99 @@
+"""Trace analytics: the paper's barrier time-composition diagrams, measured.
+
+Figures 7 and 10 of the paper are *conceptual* timing diagrams — how the
+GPU simple and lock-free barriers decompose into atomic additions,
+checking and intra-block synchronization.  The device records a span for
+every atomic, spin observation and ``__syncthreads()``, so here the
+decomposition is *measured*:
+
+* :func:`barrier_composition` aggregates one run's spans into per-round,
+  per-block averages for each primitive;
+* :func:`composition_study` runs the micro-benchmark under each device
+  barrier and tabulates the decomposition (the Fig. 7/10 reproduction —
+  ``python -m repro.harness composition``).
+
+A note on reading the numbers: spans are summed *per block* and averaged
+over blocks and rounds, so the atomic figure for GPU simple reflects
+each block's queue wait + service (the serialization that Eq. 6 counts
+once, globally) — blocks arriving later wait longer, and the average
+sits near ``(N/2)·t_a``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.algorithms.microbench import MeanMicrobench
+from repro.errors import ExperimentError
+from repro.gpu.config import DeviceConfig, gtx280
+from repro.harness.runner import RunResult, run
+from repro.simcore.trace import Trace
+
+__all__ = ["barrier_composition", "composition_study", "BARRIER_PRIMITIVES"]
+
+#: the primitive phases recorded by the BlockCtx helpers.
+BARRIER_PRIMITIVES = ("atomic", "spin", "syncthreads", "sync-overhead")
+
+
+def barrier_composition(result: RunResult) -> Dict[str, float]:
+    """Average per-block, per-round time in each barrier primitive (ns).
+
+    Requires a result obtained with ``keep_device=True`` (the spans live
+    on the device trace).
+    """
+    if result.device is None:
+        raise ExperimentError(
+            "barrier_composition needs run(..., keep_device=True)"
+        )
+    trace: Trace = result.device.trace
+    denominator = result.num_blocks * result.rounds
+    out: Dict[str, float] = {}
+    for phase in BARRIER_PRIMITIVES:
+        out[phase] = trace.total(phase) / denominator
+    out["total-sync"] = trace.total("sync") / denominator
+    return out
+
+
+def composition_study(
+    strategies: Sequence[str] = (
+        "gpu-simple",
+        "gpu-tree-2",
+        "gpu-lockfree",
+    ),
+    num_blocks: int = 30,
+    rounds: int = 20,
+    config: Optional[DeviceConfig] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Figs. 7/10 as data: barrier decomposition per strategy.
+
+    Returns ``{strategy: {primitive: avg ns per block per round}}``.
+    """
+    cfg = config or gtx280()
+    micro = MeanMicrobench(rounds=rounds, num_blocks_hint=num_blocks)
+    out: Dict[str, Dict[str, float]] = {}
+    for strategy in strategies:
+        result = run(micro, strategy, num_blocks, config=cfg, keep_device=True)
+        out[strategy] = barrier_composition(result)
+    return out
+
+
+def render_composition(study: Dict[str, Dict[str, float]]) -> str:
+    """Plain-text table of a :func:`composition_study` result."""
+    from repro.harness.report import format_table
+
+    headers = ["strategy"] + [p for p in BARRIER_PRIMITIVES] + ["total sync"]
+    rows = []
+    for strategy, comp in study.items():
+        rows.append(
+            [strategy]
+            + [f"{comp[p] / 1e3:.2f}" for p in BARRIER_PRIMITIVES]
+            + [f"{comp['total-sync'] / 1e3:.2f}"]
+        )
+    return format_table(
+        headers,
+        rows,
+        title=(
+            "Barrier time composition, µs per block per round "
+            "(paper Figs. 7/10, measured)"
+        ),
+    )

@@ -1,0 +1,89 @@
+"""Strategy advisor — the paper's future-work item, built from its models.
+
+The conclusion sketches "a general model to characterize algorithms'
+parallelism properties, based on which better performance can be obtained".
+This module realizes the obvious version of that: given an algorithm's
+per-round computation time, its number of rounds and a block count, use
+Eqs. 3–9 to predict the total kernel time under every synchronization
+strategy and recommend the fastest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.errors import ConfigError
+from repro.model.barrier_costs import lockfree_cost, simple_cost, tree_cost
+from repro.model.calibration import CalibratedTimings, default_timings
+from repro.model.kernel_time import (
+    cpu_explicit_time,
+    cpu_implicit_time,
+    gpu_sync_time,
+)
+
+__all__ = ["Recommendation", "predict_all", "recommend"]
+
+Number = Union[int, float]
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """Outcome of :func:`recommend`."""
+
+    strategy: str  #: name of the predicted-fastest strategy
+    predicted_ns: float  #: its predicted total time
+    ranking: List[tuple]  #: all (strategy, predicted_ns) sorted ascending
+    rho: float  #: compute fraction under the CPU-implicit baseline
+
+
+def predict_all(
+    rounds: int,
+    compute_ns: Union[Number, Sequence[Number]],
+    num_blocks: int,
+    timings: Optional[CalibratedTimings] = None,
+) -> Dict[str, float]:
+    """Predicted total time (ns) for every strategy at this configuration."""
+    if num_blocks < 1:
+        raise ConfigError(f"num_blocks must be >= 1, got {num_blocks}")
+    t = timings or default_timings()
+    return {
+        "cpu-explicit": cpu_explicit_time(rounds, compute_ns, t),
+        "cpu-implicit": cpu_implicit_time(rounds, compute_ns, t),
+        "gpu-simple": gpu_sync_time(
+            rounds, compute_ns, simple_cost(num_blocks, t), t
+        ),
+        "gpu-tree-2": gpu_sync_time(
+            rounds, compute_ns, tree_cost(num_blocks, 2, t), t
+        ),
+        "gpu-tree-3": gpu_sync_time(
+            rounds, compute_ns, tree_cost(num_blocks, 3, t), t
+        ),
+        "gpu-lockfree": gpu_sync_time(
+            rounds, compute_ns, lockfree_cost(num_blocks, t), t
+        ),
+    }
+
+
+def recommend(
+    rounds: int,
+    compute_ns: Union[Number, Sequence[Number]],
+    num_blocks: int,
+    timings: Optional[CalibratedTimings] = None,
+) -> Recommendation:
+    """Recommend the predicted-fastest synchronization strategy."""
+    t = timings or default_timings()
+    predictions = predict_all(rounds, compute_ns, num_blocks, t)
+    ranking = sorted(predictions.items(), key=lambda kv: kv[1])
+    baseline = predictions["cpu-implicit"]
+    total_compute = (
+        compute_ns * rounds
+        if isinstance(compute_ns, (int, float))
+        else float(sum(compute_ns))
+    )
+    return Recommendation(
+        strategy=ranking[0][0],
+        predicted_ns=ranking[0][1],
+        ranking=ranking,
+        rho=total_compute / baseline,
+    )

@@ -1,0 +1,158 @@
+"""Analytic barrier cost models — Eqs. 6, 7, 8 and 9 of the paper.
+
+These are the *predictions*; the simulator produces *measurements*.
+``benchmarks/bench_models.py`` and ``tests/model/test_barrier_costs.py``
+check that the two agree (paper §5.4: "the time needed for each GPU
+synchronization approach matches the time consumption model well").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.errors import ConfigError
+from repro.model.calibration import CalibratedTimings, default_timings
+
+__all__ = [
+    "simple_cost",
+    "tree_num_groups",
+    "tree_group_sizes",
+    "tree_level_plan",
+    "tree_cost",
+    "lockfree_cost",
+]
+
+
+def _check_blocks(num_blocks: int) -> None:
+    if num_blocks < 1:
+        raise ConfigError(f"num_blocks must be >= 1, got {num_blocks}")
+
+
+def simple_cost(
+    num_blocks: int, timings: Optional[CalibratedTimings] = None
+) -> int:
+    """Eq. 6: GPU simple synchronization cost ``t = N·t_a + t_c``.
+
+    ``t_c`` here is the fixed tail: one successful spin observation plus
+    the closing ``__syncthreads()``.
+    """
+    _check_blocks(num_blocks)
+    t = timings or default_timings()
+    return num_blocks * t.atomic_ns + t.spin_read_ns + t.syncthreads_ns
+
+
+def tree_num_groups(num_participants: int, levels_remaining: int) -> int:
+    """Number of groups at a tree level (Eq. 8 generalized).
+
+    With ``k = levels_remaining`` levels left to resolve ``r``
+    participants, a balanced tree uses ``ceil(r ** ((k-1)/k))`` groups.
+    For ``k == 2`` this is exactly the paper's ``m = ceil(sqrt(N))``.
+    """
+    _check_blocks(num_participants)
+    if levels_remaining < 2:
+        raise ConfigError(
+            f"levels_remaining must be >= 2, got {levels_remaining}"
+        )
+    k = levels_remaining
+    m = math.ceil(num_participants ** ((k - 1) / k))
+    return max(1, min(m, num_participants))
+
+
+def tree_group_sizes(num_blocks: int, num_groups: int) -> List[int]:
+    """The paper's §5.2 partition of ``N`` blocks into ``m`` groups.
+
+    If ``m**2 == N`` every group holds ``m`` blocks; otherwise the first
+    ``m-1`` groups hold ``floor(N/(m-1))`` and the last takes the rest.
+    Degenerate partitions (an empty last group, or more groups than
+    blocks) are repaired by dropping empty groups, which preserves the
+    paper's sizes for every N that matters (1..30) while keeping the
+    function total.
+    """
+    _check_blocks(num_blocks)
+    if num_groups < 1:
+        raise ConfigError(f"num_groups must be >= 1, got {num_groups}")
+    if num_groups == 1:
+        return [num_blocks]
+    if num_groups >= num_blocks:
+        return [1] * num_blocks
+    if num_groups * num_groups == num_blocks:
+        return [num_groups] * num_groups
+    per = num_blocks // (num_groups - 1)
+    sizes = [per] * (num_groups - 1)
+    rest = num_blocks - per * (num_groups - 1)
+    if rest > 0:
+        sizes.append(rest)
+    return sizes
+
+
+def tree_level_plan(num_blocks: int, levels: int) -> List[List[int]]:
+    """Group sizes for every tree level, bottom-up.
+
+    Returns ``levels`` lists; list ``l`` holds the group sizes at level
+    ``l``.  The last list is the single top-level group of
+    representatives.  Example: ``tree_level_plan(11, 2)`` →
+    ``[[3, 3, 3, 2], [4]]``.
+
+    This plan is shared by the analytic model (:func:`tree_cost`) and the
+    executable barrier (:class:`repro.sync.GpuTreeSync`), so the two can
+    never drift apart structurally.
+    """
+    _check_blocks(num_blocks)
+    if levels < 2:
+        raise ConfigError(f"a tree barrier needs >= 2 levels, got {levels}")
+    plan: List[List[int]] = []
+    remaining = num_blocks
+    for level in range(levels - 1):
+        k = levels - level
+        m = tree_num_groups(remaining, k)
+        sizes = tree_group_sizes(remaining, m)
+        plan.append(sizes)
+        remaining = len(sizes)
+    plan.append([remaining])
+    return plan
+
+
+def tree_cost(
+    num_blocks: int,
+    levels: int = 2,
+    timings: Optional[CalibratedTimings] = None,
+) -> int:
+    """Eq. 7 generalized to ``levels`` levels.
+
+    2-level: ``t = (n̂·t_a + t_c1) + (m·t_a + t_c2)`` where
+    ``n̂ = max_i n_i``.  Each level contributes its largest group's
+    serialized atomics plus a spin observation and the per-level
+    bookkeeping overhead; the closing ``__syncthreads()`` is charged once.
+    """
+    t = timings or default_timings()
+    plan = tree_level_plan(num_blocks, levels)
+    total = 0
+    for sizes in plan:
+        n_hat = max(sizes)
+        total += n_hat * t.atomic_ns + t.spin_read_ns + t.tree_level_overhead_ns
+    total += t.syncthreads_ns
+    return total
+
+
+def lockfree_cost(
+    num_blocks: int, timings: Optional[CalibratedTimings] = None
+) -> int:
+    """Eq. 9: ``t = t_SI + t_CI + t_Sync + t_SO + t_CO`` — independent of N.
+
+    Critical path: store into ``Arrayin`` → checker observes →
+    ``__syncthreads()`` in the checking block → store into ``Arrayout`` →
+    leader observes → closing ``__syncthreads()`` — plus a fixed
+    bookkeeping term.
+    """
+    _check_blocks(num_blocks)
+    t = timings or default_timings()
+    return (
+        t.lockfree_overhead_ns
+        + t.global_write_ns  # t_SI
+        + t.spin_read_ns  # t_CI
+        + t.syncthreads_ns  # t_Sync
+        + t.global_write_ns  # t_SO
+        + t.spin_read_ns  # t_CO
+        + t.syncthreads_ns  # closing barrier in every block
+    )

@@ -1,0 +1,88 @@
+"""Inverse calibration: recover the model constants from measurements.
+
+The forward direction (constants → predicted barrier cost) lives in
+:mod:`repro.model.barrier_costs`.  This module closes the loop: given a
+measured cost-vs-blocks sweep, least-squares-fit the model's parameters
+— the atomic service time ``t_a`` and fixed tail ``t_c`` of Eq. 6, or
+the constant of Eq. 9 — the way one would characterize an *unknown* GPU
+from micro-benchmark data.  On the simulator the fits recover the
+calibration exactly (a strong end-to-end consistency check, asserted in
+``tests/model/test_fit.py``); on real hardware they would produce that
+hardware's constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["LinearFit", "fit_constant", "fit_simple", "characterize"]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Least-squares line ``cost = slope · N + intercept``."""
+
+    slope: float
+    intercept: float
+    residual_rms: float
+
+    def predict(self, num_blocks: float) -> float:
+        """Evaluate the fitted line."""
+        return self.slope * num_blocks + self.intercept
+
+
+def _check(xs: Sequence[float], ys: Sequence[float], minimum: int) -> None:
+    if len(xs) != len(ys):
+        raise ConfigError(
+            f"mismatched sweep: {len(xs)} block counts, {len(ys)} costs"
+        )
+    if len(xs) < minimum:
+        raise ConfigError(f"need at least {minimum} points, got {len(xs)}")
+
+
+def fit_simple(
+    block_counts: Sequence[float], costs_ns: Sequence[float]
+) -> LinearFit:
+    """Fit Eq. 6's line: slope = ``t_a``, intercept = ``t_c``."""
+    _check(block_counts, costs_ns, 2)
+    x = np.asarray(block_counts, dtype=float)
+    y = np.asarray(costs_ns, dtype=float)
+    slope, intercept = np.polyfit(x, y, 1)
+    rms = float(np.sqrt(np.mean((slope * x + intercept - y) ** 2)))
+    return LinearFit(float(slope), float(intercept), rms)
+
+
+def fit_constant(costs_ns: Sequence[float]) -> LinearFit:
+    """Fit Eq. 9's constant (slope pinned to zero)."""
+    if len(costs_ns) < 1:
+        raise ConfigError("need at least 1 point")
+    y = np.asarray(costs_ns, dtype=float)
+    c = float(y.mean())
+    rms = float(np.sqrt(np.mean((y - c) ** 2)))
+    return LinearFit(0.0, c, rms)
+
+
+def characterize(
+    sweeps: Dict[str, Dict[int, float]],
+) -> Dict[str, LinearFit]:
+    """Characterize a device from per-strategy cost sweeps.
+
+    ``sweeps`` maps strategy name → {block count: per-round cost (ns)}.
+    Linear strategies (``gpu-simple``, ``gpu-sense-reversal``) get a
+    line fit; everything else gets a constant fit — crude for trees, but
+    exactly what a black-box measurement campaign would start with.
+    """
+    out: Dict[str, LinearFit] = {}
+    for strategy, points in sweeps.items():
+        ns = sorted(points)
+        costs = [points[n] for n in ns]
+        if strategy in ("gpu-simple", "gpu-sense-reversal"):
+            out[strategy] = fit_simple(ns, costs)
+        else:
+            out[strategy] = fit_constant(costs)
+    return out

@@ -1,0 +1,109 @@
+"""The paper's reported numbers, as structured data.
+
+Single source of truth for "what the paper says", consumed by the
+shape-assertion benches, EXPERIMENTS.md tooling and tests — so a claim
+like "Table 1 says SWat spends 49.7 % synchronizing" exists in exactly
+one place.  Values are transcribed from the IPDPS 2010 paper (preprint
+2009/9/19); section references are attached to each item.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = [
+    "PaperClaim",
+    "TABLE1_SYNC_PCT",
+    "HEADLINE",
+    "CROSSOVERS",
+    "THREADS_PER_BLOCK",
+    "GTX280",
+    "claims",
+]
+
+
+@dataclass(frozen=True)
+class PaperClaim:
+    """One quantitative claim and where the paper makes it."""
+
+    value: float
+    where: str
+    note: str = ""
+
+
+#: Table 1 — percent of kernel time spent on inter-block communication
+#: under CPU implicit synchronization.
+TABLE1_SYNC_PCT: Dict[str, PaperClaim] = {
+    "fft": PaperClaim(19.6, "Table 1"),
+    "swat": PaperClaim(49.7, "Table 1"),
+    "bitonic": PaperClaim(59.6, "Table 1"),
+}
+
+#: Abstract / §7.2 headline results.
+HEADLINE: Dict[str, PaperClaim] = {
+    "micro_lockfree_vs_explicit": PaperClaim(
+        7.8, "abstract", "micro-benchmark synchronization-time ratio"
+    ),
+    "micro_lockfree_vs_implicit": PaperClaim(
+        3.7, "abstract", "micro-benchmark synchronization-time ratio"
+    ),
+    "fft_improvement_pct": PaperClaim(
+        8.0, "abstract / §7.2", "kernel time, lock-free vs CPU implicit"
+    ),
+    "swat_improvement_pct": PaperClaim(24.0, "abstract / §7.2"),
+    "bitonic_improvement_pct": PaperClaim(39.0, "abstract / §7.2"),
+}
+
+#: Block-count crossovers the paper reports (§5.4, §7.2).  Each entry is
+#: (first N where the second strategy wins, where stated).
+CROSSOVERS: Dict[Tuple[str, str], PaperClaim] = {
+    ("cpu-implicit", "gpu-simple"): PaperClaim(
+        24.0, "§5.4 obs. 3", "simple cheaper below 24 blocks, dearer at 24+"
+    ),
+    ("gpu-simple", "gpu-tree-2"): PaperClaim(
+        11.0, "§5.4 obs. 4", "2-level tree wins from 11 blocks"
+    ),
+    ("gpu-tree-2", "gpu-tree-3"): PaperClaim(
+        29.0, "§5.4 obs. 4", "stated threshold; not observed in our model"
+    ),
+    ("gpu-simple", "gpu-lockfree"): PaperClaim(
+        4.0, "§5.4 obs. 5", "lock-free best for more than 3 blocks"
+    ),
+    ("gpu-simple", "gpu-tree-2-fig13-fft"): PaperClaim(
+        24.0, "§7.2", "kernel-time crossover for FFT"
+    ),
+    ("gpu-simple", "gpu-tree-2-fig13-swat"): PaperClaim(20.0, "§7.2"),
+    ("gpu-simple", "gpu-tree-2-fig13-bitonic"): PaperClaim(20.0, "§7.2"),
+}
+
+#: Threads per block used in the algorithm studies (§7.2).
+THREADS_PER_BLOCK: Dict[str, int] = {
+    "fft": 448,
+    "swat": 256,
+    "bitonic": 512,
+}
+
+#: The testbed GPU (§2, §7.1).
+GTX280: Dict[str, PaperClaim] = {
+    "num_sms": PaperClaim(30, "§2"),
+    "sps": PaperClaim(240, "§2"),
+    "clock_mhz": PaperClaim(1296, "§2"),
+    "shared_mem_kb": PaperClaim(16, "§2"),
+    "global_mem_gb": PaperClaim(1, "§2"),
+    "bandwidth_gbps": PaperClaim(141.7, "§2"),
+    "max_items_single_block_bitonic": PaperClaim(
+        512, "§3", "CUDA SDK bitonic sort limit the paper motivates against"
+    ),
+}
+
+
+def claims() -> Dict[str, Dict]:
+    """Every claim group, keyed by name (for reports and docs tooling)."""
+    return {
+        "table1_sync_pct": TABLE1_SYNC_PCT,
+        "headline": HEADLINE,
+        "crossovers": CROSSOVERS,
+        "threads_per_block": THREADS_PER_BLOCK,
+        "gtx280": GTX280,
+    }

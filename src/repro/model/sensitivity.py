@@ -1,0 +1,102 @@
+"""Sensitivity of the paper's conclusions to the hardware constants.
+
+Every crossover the paper reports (simple/implicit at 24 blocks,
+tree/simple at 11) is a function of the timing constants — chiefly the
+atomic service time.  This module computes, from the closed-form models,
+where those crossovers move as a constant varies; the cross-generation
+bench (`bench_generations.py`) shows the simulated version of the same
+story, and `bench_sensitivity.py` tabulates it.
+
+Example::
+
+    >>> crossover_blocks(simple_vs_implicit, timings)   # ≈ 24 on GT200
+    >>> sweep_parameter("atomic_ns", [80, 160, 240, 320])
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.model.barrier_costs import lockfree_cost, simple_cost, tree_cost
+from repro.model.calibration import CalibratedTimings, default_timings
+
+__all__ = [
+    "crossover_blocks",
+    "simple_vs_implicit",
+    "tree2_vs_simple",
+    "lockfree_vs_simple",
+    "sweep_parameter",
+]
+
+#: A comparison: f(n, timings) -> True when the *second* strategy wins.
+Comparison = Callable[[int, CalibratedTimings], bool]
+
+
+def simple_vs_implicit(n: int, t: CalibratedTimings) -> bool:
+    """True when CPU implicit beats GPU simple at ``n`` blocks."""
+    return t.cpu_implicit_barrier_ns < simple_cost(n, t)
+
+
+def tree2_vs_simple(n: int, t: CalibratedTimings) -> bool:
+    """True when the 2-level tree beats GPU simple at ``n`` blocks."""
+    return tree_cost(n, 2, t) < simple_cost(n, t)
+
+
+def lockfree_vs_simple(n: int, t: CalibratedTimings) -> bool:
+    """True when lock-free beats GPU simple at ``n`` blocks."""
+    return lockfree_cost(n, t) < simple_cost(n, t)
+
+
+def crossover_blocks(
+    comparison: Comparison,
+    timings: Optional[CalibratedTimings] = None,
+    max_blocks: int = 1024,
+) -> Optional[int]:
+    """Smallest N at which the comparison flips (None if it never does).
+
+    Assumes the comparison is monotone in N — true for every pair above,
+    whose cost difference is monotone in N by construction.
+    """
+    t = timings or default_timings()
+    if max_blocks < 1:
+        raise ConfigError(f"max_blocks must be >= 1, got {max_blocks}")
+    for n in range(1, max_blocks + 1):
+        if comparison(n, t):
+            return n
+    return None
+
+
+def sweep_parameter(
+    param: str,
+    values: Sequence[float],
+    base: Optional[CalibratedTimings] = None,
+    max_blocks: int = 1024,
+) -> List[Dict[str, object]]:
+    """Crossover positions as one timing constant sweeps through values.
+
+    Returns one row per value: ``{param, simple_vs_implicit,
+    tree2_vs_simple, lockfree_vs_simple}`` — each a block count or None.
+    """
+    base = base or default_timings()
+    if not hasattr(base, param):
+        raise ConfigError(f"unknown timing parameter {param!r}")
+    rows: List[Dict[str, object]] = []
+    for value in values:
+        t = dataclasses.replace(base, **{param: int(value)})
+        rows.append(
+            {
+                param: value,
+                "simple_vs_implicit": crossover_blocks(
+                    simple_vs_implicit, t, max_blocks
+                ),
+                "tree2_vs_simple": crossover_blocks(
+                    tree2_vs_simple, t, max_blocks
+                ),
+                "lockfree_vs_simple": crossover_blocks(
+                    lockfree_vs_simple, t, max_blocks
+                ),
+            }
+        )
+    return rows

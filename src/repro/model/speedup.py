@@ -1,0 +1,51 @@
+"""Eq. 2: the Amdahl-style bound on kernel speedup from faster barriers.
+
+``S_T = 1 / (ρ + (1 - ρ)/S_S)`` where ``ρ = t_C / T`` is the compute
+fraction under the baseline (CPU implicit) synchronization and ``S_S`` is
+the synchronization speedup.  The smaller ρ is, the more total speedup a
+faster barrier buys — which is why SWat and bitonic sort (ρ ≈ 0.5) gain
+24 % and 39 % while FFT (ρ > 0.8) gains only 8 %.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+
+__all__ = ["rho", "kernel_speedup", "max_speedup"]
+
+
+def rho(compute_ns: float, total_ns: float) -> float:
+    """Compute fraction ``ρ = t_C / T`` of the baseline execution."""
+    if total_ns <= 0:
+        raise ConfigError(f"total time must be positive, got {total_ns}")
+    if compute_ns < 0 or compute_ns > total_ns:
+        raise ConfigError(
+            f"compute time {compute_ns} must lie in [0, total={total_ns}]"
+        )
+    return compute_ns / total_ns
+
+
+def kernel_speedup(rho_value: float, sync_speedup: float) -> float:
+    """Eq. 2: ``S_T = 1 / (ρ + (1 - ρ)/S_S)``.
+
+    ``sync_speedup`` may be ``math.inf`` (a free barrier), giving the
+    Amdahl ceiling ``1/ρ``.
+    """
+    if not 0.0 <= rho_value <= 1.0:
+        raise ConfigError(f"rho must lie in [0, 1], got {rho_value}")
+    if sync_speedup <= 0:
+        raise ConfigError(f"sync speedup must be positive, got {sync_speedup}")
+    if math.isinf(sync_speedup):
+        return max_speedup(rho_value)
+    return 1.0 / (rho_value + (1.0 - rho_value) / sync_speedup)
+
+
+def max_speedup(rho_value: float) -> float:
+    """The ceiling ``S_S → ∞`` limit of Eq. 2: ``1/ρ`` (``inf`` at ρ=0)."""
+    if not 0.0 <= rho_value <= 1.0:
+        raise ConfigError(f"rho must lie in [0, 1], got {rho_value}")
+    if rho_value == 0.0:
+        return math.inf
+    return 1.0 / rho_value

@@ -1,0 +1,279 @@
+"""The discrete-event engine: event heap, effect dispatch, deadlock detection."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.errors import DeadlockError, ProcessError, SimulationError
+from repro.simcore.effects import (
+    Acquire,
+    Delay,
+    Effect,
+    Fire,
+    Join,
+    Release,
+    Spawn,
+    WaitUntil,
+)
+from repro.simcore.process import Cancelled, Process, ProcessState
+from repro.simcore.resource import Resource
+from repro.simcore.signal import Signal
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """A deterministic process-oriented discrete-event simulator.
+
+    Virtual time is an integer nanosecond counter starting at 0.  Events
+    at equal times execute in scheduling order (FIFO), which makes every
+    run exactly reproducible.
+
+    Typical use::
+
+        engine = Engine()
+        engine.spawn(my_generator(), name="host")
+        engine.run()
+        print(engine.now)
+    """
+
+    def __init__(self, max_events: int = 200_000_000):
+        #: current virtual time in nanoseconds.
+        self.now: int = 0
+        self._heap: List[Tuple[int, int, Process, Any]] = []
+        self._seq = 0
+        self._pid = 0
+        self._processes: List[Process] = []
+        self._max_events = max_events
+        self._events_dispatched = 0
+        self._running = False
+
+    # -- public API ----------------------------------------------------------
+
+    def spawn(
+        self, generator: Generator[Effect, Any, Any], name: str = "proc", delay: int = 0
+    ) -> Process:
+        """Register ``generator`` as a new process starting ``delay`` ns from now."""
+        if not hasattr(generator, "send"):
+            raise ProcessError(
+                f"spawn expects a generator, got {type(generator).__name__}"
+            )
+        self._pid += 1
+        process = Process(self._pid, name, generator)
+        self._processes.append(process)
+        process.state = ProcessState.RUNNING
+        self._schedule(process, self.now + int(delay), None)
+        return process
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Run until the event heap drains (or virtual time reaches ``until``).
+
+        Returns the final virtual time.  Raises
+        :class:`repro.errors.DeadlockError` if processes remain blocked
+        when the heap drains, and re-raises any exception raised inside a
+        process (annotated with the process name).
+        """
+        if self._running:
+            raise SimulationError("engine.run() is not reentrant")
+        self._running = True
+        try:
+            while self._heap:
+                when, _seq, process, value = heapq.heappop(self._heap)
+                if until is not None and when > until:
+                    # Push back and stop at the horizon.
+                    heapq.heappush(self._heap, (when, _seq, process, value))
+                    self.now = until
+                    return self.now
+                if when < self.now:
+                    raise SimulationError("time went backwards (engine bug)")
+                self.now = when
+                if process.state == ProcessState.CANCELLED:
+                    # Lazily dropped heap entry of a killed process.
+                    continue
+                self._events_dispatched += 1
+                if self._events_dispatched > self._max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={self._max_events}; "
+                        "likely a runaway simulation"
+                    )
+                self._step(process, value)
+        finally:
+            self._running = False
+
+        blocked = [
+            (p.name, p.waiting_on or "unknown") for p in self._processes if p.alive
+        ]
+        if blocked:
+            raise DeadlockError(blocked)
+        return self.now
+
+    def cancel(self, process: Process, reason: str = "cancelled") -> bool:
+        """Kill a process: detach it, free its resources, wake joiners.
+
+        The simulated analogue of the driver killing a kernel (or an
+        operator killing a job): the process never runs again, resources
+        it held are granted to the next waiters, and anything joined on
+        it resumes with a :class:`~repro.simcore.process.Cancelled`
+        sentinel carrying ``reason``.  Returns ``False`` if the process
+        had already finished.
+        """
+        if not process.alive:
+            return False
+        # Detach from whatever it is parked on.
+        blocker = process.blocked_on
+        if isinstance(blocker, Signal):
+            blocker._remove_waiter(process)
+        elif isinstance(blocker, Resource):
+            blocker._remove_queued(process)
+        elif isinstance(blocker, Process):
+            if process in blocker.joiners:
+                blocker.joiners.remove(process)
+        process.blocked_on = None
+        # Hand its held resource units to the next waiters.
+        for resource in process.holding:
+            granted = resource._release()
+            if granted is not None:
+                woken, enq_time = granted
+                woken.waiting_on = None
+                woken.blocked_on = None
+                woken.holding.append(resource)
+                self._schedule(woken, self.now, self.now - enq_time)
+        process.holding.clear()
+        # Mark dead; heap entries are dropped lazily by the run loop.
+        process.state = ProcessState.CANCELLED
+        process.result = Cancelled(reason)
+        process.finished_at = self.now
+        process.waiting_on = None
+        process.generator.close()
+        for joiner in process.joiners:
+            joiner.waiting_on = None
+            joiner.blocked_on = None
+            self._schedule(joiner, self.now, process.result)
+        process.joiners.clear()
+        return True
+
+    def fire(self, signal: Signal) -> int:
+        """Fire ``signal`` now, waking waiters whose predicates hold.
+
+        Returns the number of processes woken.  Safe to call from outside
+        process context (e.g. a memory store performed while dispatching
+        another process's effect).
+        """
+        ready = signal._collect_ready()
+        for process, polls in ready:
+            process.waiting_on = None
+            process.blocked_on = None
+            self._schedule(process, self.now, polls)
+        return len(ready)
+
+    @property
+    def live_processes(self) -> List[Process]:
+        """Processes that have not yet finished."""
+        return [p for p in self._processes if p.alive]
+
+    @property
+    def events_dispatched(self) -> int:
+        """Total events executed so far (diagnostics)."""
+        return self._events_dispatched
+
+    # -- internals -------------------------------------------------------------
+
+    def _schedule(self, process: Process, when: int, value: Any) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, process, value))
+
+    def _step(self, process: Process, value: Any) -> None:
+        """Resume ``process`` with ``value`` and dispatch its next effect."""
+        if not process.alive:
+            raise SimulationError(f"resumed finished process {process.name!r}")
+        if process.started_at is None:
+            process.started_at = self.now
+        process.state = ProcessState.RUNNING
+        process.waiting_on = None
+        process.blocked_on = None
+        try:
+            effect = process.generator.send(value)
+        except StopIteration as stop:
+            self._finish(process, stop.value)
+            return
+        except BaseException as exc:
+            process.state = ProcessState.FAILED
+            process.exception = exc
+            process.finished_at = self.now
+            from repro.errors import ReproError
+
+            if isinstance(exc, ReproError):
+                # Library errors keep their type (callers catch on it);
+                # the failing process is recorded on the exception object.
+                raise
+            raise ProcessError(
+                f"process {process.name!r} raised {type(exc).__name__}: {exc}"
+            ) from exc
+        self._dispatch(process, effect)
+
+    def _finish(self, process: Process, result: Any) -> None:
+        process.state = ProcessState.DONE
+        process.result = result
+        process.finished_at = self.now
+        for joiner in process.joiners:
+            joiner.waiting_on = None
+            self._schedule(joiner, self.now, result)
+        process.joiners.clear()
+
+    def _dispatch(self, process: Process, effect: Effect) -> None:
+        if isinstance(effect, Delay):
+            self._schedule(process, self.now + int(round(effect.ns)), None)
+        elif isinstance(effect, WaitUntil):
+            if effect.predicate():
+                self._schedule(process, self.now, 0)
+            else:
+                process.state = ProcessState.BLOCKED
+                process.waiting_on = (
+                    f"{effect.reason} (signal {effect.signal.name!r})"
+                )
+                process.blocked_on = effect.signal
+                effect.signal._add_waiter(process, effect.predicate, effect.reason)
+        elif isinstance(effect, Acquire):
+            resource = effect.resource
+            if resource._try_acquire():
+                process.holding.append(resource)
+                self._schedule(process, self.now, 0)
+            else:
+                process.state = ProcessState.BLOCKED
+                process.waiting_on = (
+                    f"{effect.reason} (resource {resource.name!r})"
+                )
+                process.blocked_on = resource
+                resource._enqueue(process, self.now, effect.reason)
+        elif isinstance(effect, Release):
+            if effect.resource in process.holding:
+                process.holding.remove(effect.resource)
+            granted = effect.resource._release()
+            if granted is not None:
+                woken, enq_time = granted
+                woken.waiting_on = None
+                woken.blocked_on = None
+                woken.holding.append(effect.resource)
+                self._schedule(woken, self.now, self.now - enq_time)
+            self._schedule(process, self.now, None)
+        elif isinstance(effect, Spawn):
+            child = self.spawn(effect.generator, name=effect.name)
+            self._schedule(process, self.now, child)
+        elif isinstance(effect, Join):
+            target = effect.process
+            if not target.alive:
+                self._schedule(process, self.now, target.result)
+            else:
+                process.state = ProcessState.BLOCKED
+                process.waiting_on = f"{effect.reason} (process {target.name!r})"
+                process.blocked_on = target
+                target.joiners.append(process)
+        elif isinstance(effect, Fire):
+            self.fire(effect.signal)
+            self._schedule(process, self.now, None)
+        else:
+            raise ProcessError(
+                f"process {process.name!r} yielded non-effect "
+                f"{type(effect).__name__}: {effect!r}"
+            )

@@ -1,0 +1,98 @@
+"""FIFO resources for modelling serialized hardware units.
+
+The GPU model uses one :class:`Resource` with ``capacity=1`` as the
+global-memory *atomic unit*: every ``atomicAdd`` must hold it for the
+atomic's service time, which is exactly why the paper's GPU simple
+synchronization costs ``N * t_a`` for ``N`` contending blocks (Eq. 6).
+SM slots use higher capacities.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, List, Tuple
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simcore.process import Process
+
+__all__ = ["Resource"]
+
+
+class Resource:
+    """A counted FIFO resource.
+
+    ``capacity`` units exist; :class:`~repro.simcore.effects.Acquire`
+    grants one unit or queues the process in strict FIFO order, and
+    :class:`~repro.simcore.effects.Release` returns one unit, granting it
+    to the head of the queue if any.
+    """
+
+    __slots__ = ("name", "capacity", "in_use", "_queue")
+
+    def __init__(self, name: str, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self.in_use = 0
+        #: queued (process, enqueue_time, reason) triples.
+        self._queue: Deque[Tuple["Process", int, str]] = deque()
+
+    # -- engine-facing API -------------------------------------------------
+
+    def _try_acquire(self) -> bool:
+        """Grant a unit immediately if one is free."""
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            return True
+        return False
+
+    def _enqueue(self, process: "Process", now: int, reason: str) -> None:
+        self._queue.append((process, now, reason))
+
+    def _remove_queued(self, process: "Process") -> None:
+        """Drop a waiter from the queue (cancellation support)."""
+        self._queue = deque(
+            entry for entry in self._queue if entry[0] is not process
+        )
+
+    def _release(self) -> "Tuple[Process, int] | None":
+        """Return a unit; if a process is queued, transfer the unit to it.
+
+        Returns ``(process, enqueue_time)`` for the waiter now holding the
+        unit, or ``None`` when nobody was waiting.
+        """
+        if self.in_use <= 0:
+            raise SimulationError(
+                f"release of resource {self.name!r} that is not held"
+            )
+        if self._queue:
+            # Unit passes directly to the head waiter; in_use is unchanged.
+            process, enq_time, _reason = self._queue.popleft()
+            return process, enq_time
+        self.in_use -= 1
+        return None
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def queue_length(self) -> int:
+        """Number of processes waiting for a unit."""
+        return len(self._queue)
+
+    @property
+    def available(self) -> int:
+        """Units currently free."""
+        return self.capacity - self.in_use
+
+    def waiting_processes(self) -> List[Tuple[str, str]]:
+        """``(process_name, reason)`` pairs for deadlock diagnostics."""
+        return [(p.name, reason) for p, _t, reason in self._queue]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Resource({self.name!r}, {self.in_use}/{self.capacity} used, "
+            f"{len(self._queue)} queued)"
+        )

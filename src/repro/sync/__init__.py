@@ -1,0 +1,43 @@
+"""Inter-block barrier synchronization strategies — the paper's contribution.
+
+Five strategies (paper §4–5), all behind one interface
+(:class:`~repro.sync.base.SyncStrategy`):
+
+====================  ======  =====================================================
+name                  mode    mechanism
+====================  ======  =====================================================
+``cpu-explicit``      host    relaunch per round + ``cudaThreadSynchronize()``
+``cpu-implicit``      host    relaunch per round, launches pipeline (baseline)
+``gpu-simple``        device  one global mutex: ``atomicAdd`` + spin (Eq. 6)
+``gpu-tree-2/3/n``    device  tree of mutexes, groups of ``ceil(sqrt(N))`` (Eq. 7/8)
+``gpu-lockfree``      device  ``Arrayin``/``Arrayout``, no atomics (Eq. 9)
+``null``              device  no barrier — compute-only timing runs (§7.3)
+====================  ======  =====================================================
+
+Device strategies enforce the paper's safety rule: at most one block per
+SM (they request an SM's full shared memory and validate the grid against
+``num_sms``), because blocks are non-preemptive and an over-subscribed
+grid would spin forever (see ``examples/deadlock_demo.py``).
+"""
+
+from repro.sync.base import SyncStrategy, get_strategy, strategy_names
+from repro.sync.cpu import CpuExplicitSync, CpuImplicitSync
+from repro.sync.extensions import GpuDisseminationSync, GpuSenseReversalSync
+from repro.sync.gpu_lockfree import GpuLockFreeSync
+from repro.sync.gpu_simple import GpuSimpleSync
+from repro.sync.gpu_tree import GpuTreeSync
+from repro.sync.null import NullSync
+
+__all__ = [
+    "CpuExplicitSync",
+    "CpuImplicitSync",
+    "GpuDisseminationSync",
+    "GpuLockFreeSync",
+    "GpuSenseReversalSync",
+    "GpuSimpleSync",
+    "GpuTreeSync",
+    "NullSync",
+    "SyncStrategy",
+    "get_strategy",
+    "strategy_names",
+]

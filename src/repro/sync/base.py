@@ -1,0 +1,110 @@
+"""The common interface every synchronization strategy implements."""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Callable, Dict, Generator, List
+
+from repro.errors import ConfigError, OccupancyError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.config import DeviceConfig
+    from repro.gpu.context import BlockCtx
+    from repro.gpu.device import Device
+
+__all__ = ["SyncStrategy", "register_strategy", "get_strategy", "strategy_names"]
+
+
+class SyncStrategy(abc.ABC):
+    """One way of implementing the inter-block barrier.
+
+    Two modes exist:
+
+    * ``mode == "host"`` — the barrier *is* the kernel boundary.  The
+      runner launches one kernel per round; :attr:`explicit` selects
+      whether the host calls ``cudaThreadSynchronize()`` between launches
+      (paper §4.1) or lets launches pipeline (§4.2).  :meth:`prepare` and
+      :meth:`barrier` are unused.
+    * ``mode == "device"`` — a single kernel runs all rounds, and every
+      block calls :meth:`barrier` between rounds (paper §4.3, §5).
+      :meth:`prepare` allocates the strategy's device state;
+      :meth:`shared_mem_request` and :meth:`max_blocks` enforce the
+      one-block-per-SM co-residency rule.
+    """
+
+    #: strategy identifier, e.g. ``"gpu-lockfree"``.
+    name: str = "abstract"
+    #: ``"host"`` or ``"device"``.
+    mode: str = "device"
+    #: host mode only: call cudaThreadSynchronize() between launches.
+    explicit: bool = False
+
+    # -- device-mode API ------------------------------------------------------
+
+    def prepare(self, device: "Device", num_blocks: int) -> None:
+        """Allocate device state for a grid of ``num_blocks`` blocks."""
+        raise NotImplementedError(f"{self.name} is a host-side strategy")
+
+    def barrier(self, ctx: "BlockCtx", round_idx: int) -> Generator:
+        """The device barrier; called by every block, once per round."""
+        raise NotImplementedError(f"{self.name} is a host-side strategy")
+
+    def shared_mem_request(self, config: "DeviceConfig") -> int:
+        """Shared memory per block to request at launch.
+
+        Device barriers claim the whole SM (paper §5) so occupancy is one
+        block per SM; host strategies claim nothing.
+        """
+        if self.mode == "device":
+            return config.shared_mem_per_sm
+        return 0
+
+    def max_blocks(self, config: "DeviceConfig") -> int:
+        """Largest grid this strategy can synchronize on ``config``."""
+        if self.mode == "device":
+            return config.num_sms
+        # Host barriers restart the grid each round, so any size works.
+        return 2**31 - 1
+
+    def validate_grid(self, config: "DeviceConfig", num_blocks: int) -> None:
+        """Raise :class:`~repro.errors.OccupancyError` on unsafe grids."""
+        if num_blocks < 1:
+            raise ConfigError(f"num_blocks must be >= 1, got {num_blocks}")
+        limit = self.max_blocks(config)
+        if num_blocks > limit:
+            raise OccupancyError(
+                f"{self.name}: {num_blocks} blocks exceed the "
+                f"{limit}-block co-residency limit; a device-side barrier "
+                "would deadlock (non-preemptive blocks, paper §5)"
+            )
+
+    def describe(self) -> str:
+        """One-line human description (reports, CLI)."""
+        return f"{self.name} ({self.mode}-side barrier)"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+_REGISTRY: Dict[str, Callable[[], SyncStrategy]] = {}
+
+
+def register_strategy(name: str, factory: Callable[[], SyncStrategy]) -> None:
+    """Register a strategy factory under ``name`` (overwrites allowed)."""
+    _REGISTRY[name] = factory
+
+
+def get_strategy(name: str) -> SyncStrategy:
+    """Instantiate a registered strategy by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown strategy {name!r}; known: {', '.join(strategy_names())}"
+        ) from None
+    return factory()
+
+
+def strategy_names() -> List[str]:
+    """All registered strategy names, sorted."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,37 @@
+"""CPU-side synchronization: the barrier is the kernel boundary (paper §4.1–4.2)."""
+
+from __future__ import annotations
+
+from repro.sync.base import SyncStrategy, register_strategy
+
+__all__ = ["CpuExplicitSync", "CpuImplicitSync"]
+
+
+class CpuExplicitSync(SyncStrategy):
+    """Relaunch per round with ``cudaThreadSynchronize()`` in between.
+
+    Every round pays the full, un-pipelined host launch latency on top of
+    the kernel boundary (Eq. 3).  The paper notes this approach is never
+    worth using in practice; it exists as the worst-case baseline.
+    """
+
+    name = "cpu-explicit"
+    mode = "host"
+    explicit = True
+
+
+class CpuImplicitSync(SyncStrategy):
+    """Relaunch per round with pipelined asynchronous launches.
+
+    Launch ``i+1`` overlaps computation ``i`` (Eq. 4), so only the first
+    launch is exposed.  This is the paper's baseline ("the current state
+    of the art") against which the GPU barriers are measured.
+    """
+
+    name = "cpu-implicit"
+    mode = "host"
+    explicit = False
+
+
+register_strategy("cpu-explicit", CpuExplicitSync)
+register_strategy("cpu-implicit", CpuImplicitSync)

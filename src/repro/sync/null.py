@@ -1,0 +1,38 @@
+"""The no-op barrier used for compute-only timing runs (paper §7.3).
+
+The paper measures synchronization time as *total kernel time minus the
+time of the same kernel with* ``__gpu_sync()`` *removed*.  ``NullSync``
+is that removed-barrier configuration: a single-kernel device run whose
+barrier does nothing.  Results computed under it are generally **wrong**
+(blocks race freely); it exists purely to measure computation time, and
+the harness never verifies its output.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.sync.base import SyncStrategy, register_strategy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.context import BlockCtx
+    from repro.gpu.device import Device
+
+__all__ = ["NullSync"]
+
+
+class NullSync(SyncStrategy):
+    """Barrier removed — compute-only timing (never use for results)."""
+
+    name = "null"
+    mode = "device"
+
+    def prepare(self, device: "Device", num_blocks: int) -> None:
+        self.validate_grid(device.config, num_blocks)
+
+    def barrier(self, ctx: "BlockCtx", round_idx: int) -> Generator:
+        return
+        yield  # pragma: no cover - makes this a generator function
+
+
+register_strategy("null", NullSync)

@@ -1,0 +1,13 @@
+"""Shared helper: execute an algorithm's rounds serially (no simulator)."""
+
+from repro.algorithms.base import RoundAlgorithm
+
+
+def run_rounds_serially(algorithm: RoundAlgorithm, num_blocks: int) -> None:
+    """Apply every round's work in order — a correct-barrier execution."""
+    algorithm.reset()
+    for r in range(algorithm.num_rounds()):
+        for b in range(num_blocks):
+            work = algorithm.round_work(r, b, num_blocks)
+            if work is not None:
+                work()

@@ -1,0 +1,106 @@
+"""Tests for the bitonic-sort workload."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import BitonicSort, VerificationError
+from repro.algorithms.bitonic import bitonic_steps
+from repro.errors import ConfigError
+
+from tests.algorithms.conftest import run_rounds_serially
+
+
+class TestSteps:
+    def test_step_count_is_k_k_plus_1_over_2(self):
+        for k in range(1, 12):
+            assert len(bitonic_steps(1 << k)) == k * (k + 1) // 2
+
+    def test_step_sequence_for_8(self):
+        assert bitonic_steps(8) == [
+            (2, 1),
+            (4, 2),
+            (4, 1),
+            (8, 4),
+            (8, 2),
+            (8, 1),
+        ]
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ConfigError):
+            bitonic_steps(12)
+        with pytest.raises(ConfigError):
+            bitonic_steps(1)
+
+
+class TestBitonicSort:
+    @pytest.mark.parametrize("n", [2, 8, 256, 4096])
+    @pytest.mark.parametrize("num_blocks", [1, 3, 30])
+    def test_sorts(self, n, num_blocks):
+        sort = BitonicSort(n=n)
+        run_rounds_serially(sort, num_blocks)
+        sort.verify()
+
+    def test_sorts_beyond_single_block_limit(self):
+        """The paper's motivation (§3): the CUDA SDK bitonic sort caps at
+        512 keys (one block); a grid barrier removes the cap."""
+        sort = BitonicSort(n=2048)  # 4x the single-block limit
+        run_rounds_serially(sort, 30)
+        sort.verify()
+
+    def test_verify_detects_unsorted(self):
+        sort = BitonicSort(n=64)
+        run_rounds_serially(sort, 2)
+        sort.keys[0], sort.keys[-1] = sort.keys[-1], sort.keys[0]
+        with pytest.raises(VerificationError, match="bitonic"):
+            sort.verify()
+
+    def test_result_is_permutation_of_input(self):
+        sort = BitonicSort(n=128)
+        run_rounds_serially(sort, 4)
+        assert np.array_equal(np.sort(sort.input), sort.keys)
+
+    def test_skipped_step_breaks_order(self):
+        sort = BitonicSort(n=256)
+        sort.reset()
+        for r in range(sort.num_rounds()):
+            if r == 5:
+                continue  # a whole network step is dropped
+            for b in range(4):
+                work = sort.round_work(r, b, 4)
+                if work is not None:
+                    work()
+        with pytest.raises(VerificationError):
+            sort.verify()
+
+    def test_reset_restores_input(self):
+        sort = BitonicSort(n=32)
+        run_rounds_serially(sort, 2)
+        sort.reset()
+        assert np.array_equal(sort.keys, sort.input)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        bits=st.integers(1, 10),
+        num_blocks=st.integers(1, 30),
+        seed=st.integers(0, 2**16),
+    )
+    def test_property_sorts_any_size_any_grid(self, bits, num_blocks, seed):
+        sort = BitonicSort(n=1 << bits, seed=seed)
+        run_rounds_serially(sort, num_blocks)
+        sort.verify()
+
+    def test_sorts_adversarial_inputs(self):
+        """Already-sorted, reversed and constant inputs (network property:
+        fixed comparator sequence sorts *anything*)."""
+        for values in (
+            np.arange(64.0),
+            np.arange(64.0)[::-1].copy(),
+            np.zeros(64),
+            np.tile([3.0, 1.0], 32),
+        ):
+            sort = BitonicSort(n=64)
+            sort.input = values
+            run_rounds_serially(sort, 3)
+            sort.verify()

@@ -1,0 +1,62 @@
+"""Tests for work partitioning and cost helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algorithms.costs import STAGE_OVERHEAD_NS, block_cost, block_items
+
+
+def test_even_partition():
+    assert list(block_items(8, 0, 4)) == [0, 1]
+    assert list(block_items(8, 3, 4)) == [6, 7]
+
+
+def test_uneven_partition_last_block_short():
+    # 10 items over 4 blocks: ceil(10/4)=3 → 3,3,3,1.
+    sizes = [len(block_items(10, b, 4)) for b in range(4)]
+    assert sizes == [3, 3, 3, 1]
+
+
+def test_blocks_past_the_end_get_empty_ranges():
+    sizes = [len(block_items(4, b, 8)) for b in range(8)]
+    assert sizes == [1, 1, 1, 1, 0, 0, 0, 0]
+
+
+def test_zero_items():
+    assert len(block_items(0, 0, 4)) == 0
+
+
+def test_invalid_blocks():
+    with pytest.raises(ValueError):
+        block_items(4, 0, 0)
+
+
+@given(
+    total=st.integers(0, 10_000),
+    num_blocks=st.integers(1, 64),
+)
+def test_partition_covers_everything_disjointly(total, num_blocks):
+    seen = []
+    for b in range(num_blocks):
+        seen.extend(block_items(total, b, num_blocks))
+    assert seen == list(range(total))
+
+
+@given(
+    total=st.integers(1, 10_000),
+    num_blocks=st.integers(1, 64),
+)
+def test_partition_is_balanced(total, num_blocks):
+    sizes = [len(block_items(total, b, num_blocks)) for b in range(num_blocks)]
+    nonzero = [s for s in sizes if s]
+    assert max(nonzero) - min(nonzero) <= max(nonzero)  # sanity
+    # No block exceeds ceil(total/num_blocks).
+    import math
+
+    assert max(sizes) == math.ceil(total / num_blocks)
+
+
+def test_block_cost_includes_overhead():
+    assert block_cost(0, 45) == STAGE_OVERHEAD_NS
+    assert block_cost(10, 45) == STAGE_OVERHEAD_NS + 450

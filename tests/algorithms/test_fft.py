@@ -1,0 +1,95 @@
+"""Tests for the radix-2 FFT workload."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import FFT, VerificationError
+from repro.algorithms.fft import bit_reverse_permutation
+from repro.errors import ConfigError
+
+from tests.algorithms.conftest import run_rounds_serially
+
+
+class TestBitReversal:
+    def test_known_permutation(self):
+        assert list(bit_reverse_permutation(8)) == [0, 4, 2, 6, 1, 5, 3, 7]
+
+    def test_is_an_involution(self):
+        rev = bit_reverse_permutation(64)
+        assert np.array_equal(rev[rev], np.arange(64))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigError):
+            bit_reverse_permutation(12)
+
+    @given(bits=st.integers(1, 12))
+    def test_is_a_permutation(self, bits):
+        rev = bit_reverse_permutation(1 << bits)
+        assert sorted(rev) == list(range(1 << bits))
+
+
+class TestFFT:
+    @pytest.mark.parametrize("n", [2, 4, 64, 1024])
+    @pytest.mark.parametrize("num_blocks", [1, 3, 30])
+    def test_matches_numpy(self, n, num_blocks):
+        fft = FFT(n=n)
+        run_rounds_serially(fft, num_blocks)
+        fft.verify()
+
+    def test_rounds_is_log2_n(self):
+        assert FFT(n=2**10).num_rounds() == 10
+
+    def test_reset_restores_bit_reversed_input(self):
+        fft = FFT(n=16)
+        run_rounds_serially(fft, 2)
+        fft.reset()
+        assert np.array_equal(
+            fft.buf, fft.input[bit_reverse_permutation(16)]
+        )
+
+    def test_verify_detects_corruption(self):
+        fft = FFT(n=64)
+        run_rounds_serially(fft, 2)
+        fft.buf[5] += 1.0
+        with pytest.raises(VerificationError, match="fft"):
+            fft.verify()
+
+    def test_skipped_round_breaks_result(self):
+        """Stage dependencies are real: dropping one block's work in one
+        stage corrupts the transform."""
+        fft = FFT(n=256)
+        fft.reset()
+        for r in range(fft.num_rounds()):
+            for b in range(4):
+                if (r, b) == (3, 2):
+                    continue  # a block misses a stage
+                work = fft.round_work(r, b, 4)
+                if work is not None:
+                    work()
+        with pytest.raises(VerificationError):
+            fft.verify()
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ConfigError):
+            FFT(n=12)
+        with pytest.raises(ConfigError):
+            FFT(n=1)
+
+    def test_cost_scales_with_slice(self):
+        fft = FFT(n=1024)
+        full = fft.round_cost(0, 0, 1)
+        split = fft.round_cost(0, 0, 2)
+        assert full > split
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        bits=st.integers(2, 9),
+        num_blocks=st.integers(1, 30),
+        seed=st.integers(0, 2**16),
+    )
+    def test_property_any_size_any_grid(self, bits, num_blocks, seed):
+        fft = FFT(n=1 << bits, seed=seed)
+        run_rounds_serially(fft, num_blocks)
+        fft.verify()

@@ -1,0 +1,93 @@
+"""Tests for the tree-reduction extension workload."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import Reduction, VerificationError
+from repro.errors import ConfigError
+
+from tests.algorithms.conftest import run_rounds_serially
+
+
+@pytest.mark.parametrize("n", [1, 7, 1024])
+@pytest.mark.parametrize("num_blocks", [1, 4, 30])
+def test_sums_correctly(n, num_blocks):
+    algo = Reduction(n=n, num_blocks_hint=30)
+    run_rounds_serially(algo, num_blocks)
+    algo.verify()
+
+
+def test_more_blocks_than_hint():
+    algo = Reduction(n=256, num_blocks_hint=8)
+    run_rounds_serially(algo, 30)
+    algo.verify()
+
+
+def test_round_count_is_log_of_hint():
+    assert Reduction(n=64, num_blocks_hint=30).num_rounds() == 6  # 1 + ceil(log2 30)
+    assert Reduction(n=64, num_blocks_hint=2).num_rounds() == 2
+
+
+def test_verify_detects_missing_fold():
+    algo = Reduction(n=128, num_blocks_hint=8)
+    algo.reset()
+    for r in range(algo.num_rounds()):
+        if r == 2:
+            continue  # drop one halving round entirely
+        for b in range(4):
+            work = algo.round_work(r, b, 4)
+            if work is not None:
+                work()
+    with pytest.raises(VerificationError):
+        algo.verify()
+
+
+def test_reset_allows_reruns():
+    algo = Reduction(n=64, num_blocks_hint=4)
+    run_rounds_serially(algo, 4)
+    first = algo.result
+    run_rounds_serially(algo, 2)  # runner resets internally via helper
+    assert algo.result == pytest.approx(first)
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        Reduction(n=0)
+    with pytest.raises(ConfigError):
+        Reduction(n=4, num_blocks_hint=0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(1, 2000),
+    hint=st.integers(1, 32),
+    num_blocks=st.integers(1, 30),
+    seed=st.integers(0, 2**16),
+)
+def test_property_any_shape(n, hint, num_blocks, seed):
+    algo = Reduction(n=n, num_blocks_hint=hint, seed=seed)
+    run_rounds_serially(algo, num_blocks)
+    algo.verify()
+
+
+@pytest.mark.parametrize("strategy", ["cpu-implicit", "gpu-lockfree", "gpu-tree-2"])
+def test_end_to_end_through_simulator(strategy):
+    from repro.harness import run
+
+    algo = Reduction(n=4096, num_blocks_hint=16)
+    result = run(algo, strategy, num_blocks=16, threads_per_block=64)
+    assert result.verified is True
+    assert result.violations == 0
+
+
+def test_sync_dominates_this_workload():
+    """The extreme-ρ case: almost everything is barrier time under CPU
+    implicit sync — the paper's Eq. 2 says this workload gains most."""
+    from repro.harness import run
+    from repro.harness.phases import breakdown, compute_only
+
+    algo = Reduction(n=4096, num_blocks_hint=30)
+    null = compute_only(algo, 30)
+    b = breakdown(run(algo, "cpu-implicit", 30), null)
+    assert b.sync_pct > 60

@@ -1,0 +1,82 @@
+"""Tests for the prefix-sum extension workload."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import PrefixSum, VerificationError
+from repro.errors import ConfigError
+
+from tests.algorithms.conftest import run_rounds_serially
+
+
+@pytest.mark.parametrize("n", [2, 16, 1024])
+@pytest.mark.parametrize("num_blocks", [1, 5, 30])
+def test_matches_cumsum(n, num_blocks):
+    scan = PrefixSum(n=n)
+    run_rounds_serially(scan, num_blocks)
+    scan.verify()
+
+
+def test_rounds_is_log2_n():
+    assert PrefixSum(n=1024).num_rounds() == 10
+
+
+def test_verify_detects_corruption():
+    scan = PrefixSum(n=64)
+    run_rounds_serially(scan, 2)
+    scan.result[10] += 1.0
+    with pytest.raises(VerificationError, match="scan"):
+        scan.verify()
+
+
+def test_skipped_block_breaks_scan():
+    scan = PrefixSum(n=256)
+    scan.reset()
+    for r in range(scan.num_rounds()):
+        for b in range(4):
+            if (r, b) == (2, 1):
+                continue
+            work = scan.round_work(r, b, 4)
+            if work is not None:
+                work()
+    with pytest.raises(VerificationError):
+        scan.verify()
+
+
+def test_reset_restores_input():
+    scan = PrefixSum(n=32)
+    run_rounds_serially(scan, 2)
+    scan.reset()
+    assert np.array_equal(scan._bufs[0], scan.input)
+
+
+def test_rejects_bad_sizes():
+    with pytest.raises(ConfigError):
+        PrefixSum(n=12)
+    with pytest.raises(ConfigError):
+        PrefixSum(n=1)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    bits=st.integers(1, 10),
+    num_blocks=st.integers(1, 30),
+    seed=st.integers(0, 2**16),
+)
+def test_property_any_size_any_grid(bits, num_blocks, seed):
+    scan = PrefixSum(n=1 << bits, seed=seed)
+    run_rounds_serially(scan, num_blocks)
+    scan.verify()
+
+
+@pytest.mark.parametrize(
+    "strategy", ["cpu-implicit", "gpu-lockfree", "gpu-dissemination"]
+)
+def test_end_to_end_through_simulator(strategy):
+    from repro.harness import run
+
+    result = run(PrefixSum(n=512), strategy, num_blocks=6, threads_per_block=64)
+    assert result.verified is True
+    assert result.violations == 0

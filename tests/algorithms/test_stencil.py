@@ -1,0 +1,89 @@
+"""Tests for the Jacobi stencil workload."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import JacobiPoisson, VerificationError
+from repro.errors import ConfigError
+
+from tests.algorithms.conftest import run_rounds_serially
+
+
+@pytest.mark.parametrize("n", [2, 31, 256])
+@pytest.mark.parametrize("num_blocks", [1, 4, 30])
+def test_matches_serial_reference(n, num_blocks):
+    algo = JacobiPoisson(n=n, sweeps=30)
+    run_rounds_serially(algo, num_blocks)
+    algo.verify()
+
+
+def test_more_sweeps_converge_further():
+    residuals = []
+    for sweeps in (10, 100, 1000):
+        algo = JacobiPoisson(n=64, sweeps=sweeps)
+        run_rounds_serially(algo, 4)
+        algo.verify()
+        residuals.append(algo.residual())
+    assert residuals[0] > residuals[1] > residuals[2]
+
+
+def test_verify_detects_halo_corruption():
+    algo = JacobiPoisson(n=64, sweeps=20)
+    run_rounds_serially(algo, 4)
+    algo._bufs[algo.sweeps % 2][10] += 1e-6
+    with pytest.raises(VerificationError, match="serial reference"):
+        algo.verify()
+
+
+def test_skipped_block_sweep_detected():
+    algo = JacobiPoisson(n=64, sweeps=20)
+    algo.reset()
+    for r in range(algo.num_rounds()):
+        for b in range(4):
+            if (r, b) == (5, 2):
+                continue
+            work = algo.round_work(r, b, 4)
+            if work is not None:
+                work()
+    with pytest.raises(VerificationError):
+        algo.verify()
+
+
+def test_exact_solution_properties():
+    algo = JacobiPoisson(n=32, sweeps=5)
+    exact = algo.exact()
+    # -u'' = f with f > 0 and zero boundaries → u > 0 inside.
+    assert (exact > 0).all()
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        JacobiPoisson(n=1)
+    with pytest.raises(ConfigError):
+        JacobiPoisson(n=8, sweeps=0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(2, 128),
+    sweeps=st.integers(1, 60),
+    num_blocks=st.integers(1, 30),
+)
+def test_property_any_configuration(n, sweeps, num_blocks):
+    algo = JacobiPoisson(n=n, sweeps=sweeps)
+    run_rounds_serially(algo, num_blocks)
+    algo.verify()
+
+
+@pytest.mark.parametrize(
+    "strategy", ["cpu-implicit", "gpu-lockfree", "gpu-dissemination"]
+)
+def test_end_to_end_through_simulator(strategy):
+    from repro.harness import run
+
+    algo = JacobiPoisson(n=256, sweeps=40)
+    result = run(algo, strategy, num_blocks=8, threads_per_block=64)
+    assert result.verified is True
+    assert result.violations == 0

@@ -1,0 +1,69 @@
+"""Tests for the roofline-style stage cost model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.gpu.config import gtx280
+from repro.gpu.costmodel import StageCostModel
+
+
+@pytest.fixture
+def model():
+    return StageCostModel(gtx280(), threads_per_block=256)
+
+
+def test_zero_items_costs_only_overhead(model):
+    assert model.stage_cost_ns(0, 8.0) == model.stage_overhead_ns
+
+
+def test_memory_bound_stage(model):
+    # 1024 items × 32 B at ~4.72 B/ns/SM ≈ 6.9 µs, far above the flop term.
+    cost = model.stage_cost_ns(1024, 32.0, flops_per_item=1.0)
+    mem_only = model.stage_cost_ns(1024, 32.0)
+    assert cost == mem_only
+
+
+def test_compute_bound_stage(model):
+    # 1 B/item but 10k flops/item: the flop term dominates.
+    cost = model.stage_cost_ns(1024, 1.0, flops_per_item=10_000.0)
+    assert cost > model.stage_cost_ns(1024, 1.0)
+
+
+def test_partial_warp_rounds_up(model):
+    assert model.stage_cost_ns(1, 32.0) == model.stage_cost_ns(32, 32.0)
+    assert model.stage_cost_ns(33, 32.0) == model.stage_cost_ns(64, 32.0)
+
+
+def test_coalescing_degrades_bandwidth():
+    full = StageCostModel(gtx280(), 256, coalescing=1.0)
+    half = StageCostModel(gtx280(), 256, coalescing=0.5)
+    assert half.stage_cost_ns(1024, 32.0) > full.stage_cost_ns(1024, 32.0)
+
+
+def test_rates_derive_from_config(model):
+    cfg = gtx280()
+    assert model.flops_per_ns == pytest.approx(8 * 1.296)
+    assert model.bytes_per_ns == pytest.approx(cfg.global_bandwidth_gbps / 30)
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        StageCostModel(gtx280(), 256, coalescing=0.0)
+    with pytest.raises(ConfigError):
+        StageCostModel(gtx280(), 0)
+    with pytest.raises(ConfigError):
+        StageCostModel(gtx280(), 256).stage_cost_ns(-1, 8.0)
+
+
+@given(
+    items=st.integers(0, 10_000),
+    bpi=st.floats(0, 128),
+    fpi=st.floats(0, 1000),
+)
+def test_cost_is_monotone_and_bounded_below(items, bpi, fpi):
+    model = StageCostModel(gtx280(), 128)
+    cost = model.stage_cost_ns(items, bpi, fpi)
+    assert cost >= model.stage_overhead_ns
+    assert model.stage_cost_ns(items + 64, bpi, fpi) >= cost

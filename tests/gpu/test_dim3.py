@@ -1,0 +1,101 @@
+"""Tests for 2-D grid/block dimensions (paper Figs. 6/9 indexing)."""
+
+import pytest
+
+from repro.errors import LaunchError
+from repro.gpu.device import Device
+from repro.gpu.host import Host
+from repro.gpu.kernel import KernelSpec
+
+
+def run_kernel(spec):
+    device = Device()
+    host = Host(device)
+
+    def host_program():
+        yield from host.launch(spec)
+        yield from host.synchronize()
+
+    device.engine.spawn(host_program(), "host")
+    device.run()
+    return device
+
+
+def test_dim3_constructor_linearizes():
+    spec = KernelSpec.dim3("k", lambda ctx: iter(()), grid=(3, 4), block=(16, 8))
+    assert spec.grid_blocks == 12
+    assert spec.block_threads == 128
+    assert spec.effective_grid_dim == (3, 4)
+    assert spec.effective_block_dim == (16, 8)
+
+
+def test_one_d_defaults():
+    spec = KernelSpec("k", lambda ctx: iter(()), grid_blocks=6, block_threads=64)
+    assert spec.effective_grid_dim == (6, 1)
+    assert spec.effective_block_dim == (64, 1)
+
+
+def test_dim_validation():
+    with pytest.raises(LaunchError, match="multiply out"):
+        KernelSpec(
+            "k", lambda ctx: iter(()), grid_blocks=5, block_threads=32,
+            grid_dim=(2, 2),
+        )
+    with pytest.raises(LaunchError, match="positive"):
+        KernelSpec(
+            "k", lambda ctx: iter(()), grid_blocks=4, block_threads=32,
+            grid_dim=(4, 0),
+        )
+
+
+def test_paper_fig9_linearization_through_kernel():
+    """bid == blockIdx.x * gridDim.y + blockIdx.y for every block."""
+    seen = {}
+
+    def program(ctx):
+        seen[ctx.block_id] = (ctx.block_idx, ctx.grid_dim, ctx.block_dim)
+        yield from ctx.compute(10)
+
+    spec = KernelSpec.dim3("k", program, grid=(3, 4), block=(8, 8))
+    run_kernel(spec)
+    assert len(seen) == 12
+    for bid, (idx, grid_dim, block_dim) in seen.items():
+        bx, by = idx
+        assert bid == bx * grid_dim[1] + by
+        assert 0 <= bx < 3 and 0 <= by < 4
+        assert block_dim == (8, 8)
+    # Every (bx, by) pair appears exactly once.
+    assert len({idx for idx, _g, _b in seen.values()}) == 12
+
+
+def test_2d_grid_works_with_device_barrier():
+    from repro.algorithms import MeanMicrobench
+    from repro.sync import get_strategy
+
+    device = Device()
+    host = Host(device)
+    micro = MeanMicrobench(rounds=4, num_blocks_hint=12, threads_per_block=64)
+    micro.reset()
+    strategy = get_strategy("gpu-lockfree")
+    strategy.prepare(device, 12)
+
+    def program(ctx):
+        for r in range(4):
+            yield from ctx.compute(
+                micro.round_cost(r, ctx.block_id, 12),
+                micro.round_work(r, ctx.block_id, 12),
+            )
+            yield from strategy.barrier(ctx, r)
+
+    spec = KernelSpec.dim3(
+        "k", program, grid=(4, 3), block=(8, 8),
+        shared_mem_per_block=device.config.shared_mem_per_sm,
+    )
+
+    def host_program():
+        yield from host.launch(spec)
+        yield from host.synchronize()
+
+    device.engine.spawn(host_program(), "host")
+    device.run()
+    micro.verify()

@@ -1,0 +1,95 @@
+"""Tests for host↔device transfer modeling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu.config import DeviceConfig
+from repro.gpu.device import Device
+from repro.gpu.host import Host
+from repro.gpu.kernel import KernelSpec
+
+
+@pytest.fixture
+def setup():
+    device = Device()
+    return device, Host(device)
+
+
+def run_host(device, gen):
+    device.engine.spawn(gen, "host")
+    return device.run()
+
+
+def test_h2d_charges_overhead_plus_bandwidth(setup):
+    device, host = setup
+    arr = device.memory.alloc("x", 1024, dtype=np.float64)
+    data = np.arange(1024.0)
+    cfg = device.config
+
+    def program():
+        yield from host.memcpy_h2d(arr, data)
+
+    total = run_host(device, program())
+    expected = cfg.timings.memcpy_overhead_ns + data.nbytes / cfg.pcie_gbps
+    assert total == round(expected)
+    assert np.array_equal(arr.data, data)
+
+
+def test_d2h_returns_copy(setup):
+    device, host = setup
+    arr = device.memory.alloc("y", 16, dtype=np.float64, fill=3.5)
+    out = {}
+
+    def program():
+        result = yield from host.memcpy_d2h(arr)
+        out["data"] = result
+
+    run_host(device, program())
+    assert np.array_equal(out["data"], np.full(16, 3.5))
+    out["data"][0] = -1  # mutating the copy must not touch device memory
+    assert arr.data[0] == 3.5
+
+
+def test_memcpy_synchronizes_with_stream(setup):
+    """cudaMemcpy d2h must observe the preceding kernel's writes."""
+    device, host = setup
+    arr = device.memory.alloc("z", 8, dtype=np.float64)
+
+    def kernel(ctx):
+        yield from ctx.compute(500, lambda: arr.store(slice(None), 7.0))
+
+    spec = KernelSpec("k", kernel, grid_blocks=1, block_threads=32)
+    out = {}
+
+    def program():
+        yield from host.launch(spec)
+        result = yield from host.memcpy_d2h(arr)  # no explicit synchronize
+        out["data"] = result
+
+    run_host(device, program())
+    assert np.array_equal(out["data"], np.full(8, 7.0))
+
+
+def test_bigger_transfers_cost_more(setup):
+    device, host = setup
+    small = device.memory.alloc("small", 64)
+    big = device.memory.alloc("big", 1 << 20)
+
+    def timed(array, data):
+        dev = Device()
+        h = Host(dev)
+        a = dev.memory.alloc("a", array.shape, dtype=array.dtype)
+
+        def program():
+            yield from h.memcpy_h2d(a, data)
+
+        dev.engine.spawn(program(), "host")
+        return dev.run()
+
+    assert timed(big, np.zeros(1 << 20)) > timed(small, np.zeros(64))
+
+
+def test_pcie_config_validation():
+    with pytest.raises(ConfigError):
+        DeviceConfig(pcie_gbps=0)

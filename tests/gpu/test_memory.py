@@ -1,0 +1,114 @@
+"""Tests for simulated global memory."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryError_
+from repro.gpu.device import Device
+from repro.simcore import Delay, WaitUntil
+
+
+@pytest.fixture
+def device():
+    return Device()
+
+
+def test_alloc_and_access(device):
+    arr = device.memory.alloc("x", 16, dtype=np.int64, fill=7)
+    assert arr.shape == (16,)
+    assert arr.dtype == np.int64
+    assert arr.load(3) == 7
+    arr.store(3, 42)
+    assert arr.data[3] == 42
+    assert arr.stores == 1
+    assert arr.loads == 1
+
+
+def test_alloc_2d(device):
+    arr = device.memory.alloc("m", (4, 5))
+    arr.store((2, 3), 1.5)
+    assert arr.load((2, 3)) == 1.5
+
+
+def test_duplicate_alloc_rejected(device):
+    device.memory.alloc("x", 4)
+    with pytest.raises(MemoryError_):
+        device.memory.alloc("x", 4)
+
+
+def test_capacity_enforced():
+    device = Device()
+    # 1 GB capacity: a 2 GB request must fail.
+    with pytest.raises(MemoryError_):
+        device.memory.alloc("huge", 2 * 1024**3, dtype=np.uint8)
+
+
+def test_used_bytes_tracking(device):
+    device.memory.alloc("a", 128, dtype=np.float64)
+    assert device.memory.used_bytes == 128 * 8
+    device.memory.free("a")
+    assert device.memory.used_bytes == 0
+
+
+def test_free_unknown_rejected(device):
+    with pytest.raises(MemoryError_):
+        device.memory.free("nope")
+
+
+def test_get_and_contains(device):
+    arr = device.memory.alloc("flags", 8)
+    assert device.memory.get("flags") is arr
+    assert "flags" in device.memory
+    assert "other" not in device.memory
+    with pytest.raises(MemoryError_):
+        device.memory.get("other")
+
+
+def test_wrap_adopts_host_array(device):
+    host = np.arange(10.0)
+    arr = device.memory.wrap("input", host)
+    host[0] = 99.0  # by-reference semantics
+    assert arr.data[0] == 99.0
+
+
+def test_store_wakes_spinners(device):
+    arr = device.memory.alloc("flag", 1, dtype=np.int64)
+    events = []
+
+    def spinner():
+        yield WaitUntil(arr.signal, lambda: arr.data[0] == 1, "flag set")
+        events.append(("woke", device.engine.now))
+
+    def writer():
+        yield Delay(100)
+        arr.store(0, 1)
+
+    device.engine.spawn(spinner())
+    device.engine.spawn(writer())
+    device.run()
+    assert events == [("woke", 100)]
+
+
+def test_fill_fires_watchers_once(device):
+    arr = device.memory.alloc("a", 8, dtype=np.int64)
+    woken = []
+
+    def spinner():
+        yield WaitUntil(arr.signal, lambda: bool((arr.data == 5).all()), "all 5")
+        woken.append(device.engine.now)
+
+    def writer():
+        yield Delay(10)
+        arr.fill(5)
+
+    device.engine.spawn(spinner())
+    device.engine.spawn(writer())
+    device.run()
+    assert woken == [10]
+    assert arr.signal.fire_count >= 1
+
+
+def test_iteration_lists_allocations(device):
+    device.memory.alloc("a", 1)
+    device.memory.alloc("b", 1)
+    assert sorted(a.name for a in device.memory) == ["a", "b"]

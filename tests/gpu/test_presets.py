@@ -1,0 +1,45 @@
+"""Tests for device presets beyond the GTX 280."""
+
+from repro.gpu.config import gtx280
+from repro.gpu.presets import fermi_class
+from repro.harness import run
+from repro.algorithms import MeanMicrobench
+
+
+def test_fermi_preset_shape():
+    cfg = fermi_class()
+    assert cfg.num_sms == 15
+    assert cfg.total_sps == 480
+    assert cfg.shared_mem_per_sm == 48 * 1024
+    assert cfg.max_threads_per_block == 1024
+    assert cfg.timings.atomic_ns < gtx280().timings.atomic_ns
+
+
+def test_fermi_runs_the_suite():
+    micro = MeanMicrobench(rounds=10, num_blocks_hint=15)
+    for strategy in ("cpu-implicit", "gpu-simple", "gpu-lockfree"):
+        result = run(micro, strategy, 15, config=fermi_class())
+        assert result.verified is True, strategy
+
+
+def test_fermi_grid_limit_is_its_sm_count():
+    from repro.errors import OccupancyError
+
+    import pytest
+
+    micro = MeanMicrobench(rounds=5, num_blocks_hint=16)
+    with pytest.raises(OccupancyError):
+        run(micro, "gpu-lockfree", 16, config=fermi_class())
+
+
+def test_simple_barrier_is_cheap_on_fermi():
+    """The generations-study core: cheap atomics make the atomic-counter
+    barrier competitive with lock-free."""
+    from repro.harness.phases import compute_only, sync_time_ns
+
+    cfg = fermi_class()
+    micro = MeanMicrobench(rounds=20, num_blocks_hint=15)
+    null = compute_only(micro, 15, config=cfg)
+    simple = sync_time_ns(run(micro, "gpu-simple", 15, config=cfg), null)
+    lockfree = sync_time_ns(run(micro, "gpu-lockfree", 15, config=cfg), null)
+    assert simple < 1.5 * lockfree  # within 50% — not the 4.7x of GT200

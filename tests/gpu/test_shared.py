@@ -1,0 +1,111 @@
+"""Tests for per-block shared memory."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryError_
+from repro.gpu.context import BlockCtx
+from repro.gpu.device import Device
+from repro.gpu.host import Host
+from repro.gpu.kernel import KernelSpec
+from repro.gpu.shared import SharedMemory
+
+
+class TestSharedMemoryUnit:
+    def test_alloc_and_get(self):
+        sm = SharedMemory("b0", 1024)
+        arr = sm.alloc("tile", 16, np.float64)
+        assert arr.shape == (16,)
+        assert sm.get("tile") is arr
+        assert "tile" in sm
+        assert sm.used_bytes == 128
+
+    def test_budget_enforced(self):
+        sm = SharedMemory("b0", 100)
+        with pytest.raises(MemoryError_, match="budget"):
+            sm.alloc("big", 100, np.float64)  # 800 B > 100 B
+
+    def test_duplicate_rejected(self):
+        sm = SharedMemory("b0", 1024)
+        sm.alloc("x", 4)
+        with pytest.raises(MemoryError_):
+            sm.alloc("x", 4)
+
+    def test_unknown_get_rejected(self):
+        with pytest.raises(MemoryError_):
+            SharedMemory("b0", 64).get("nope")
+
+
+class TestSharedThroughContext:
+    def test_access_costs(self):
+        device = Device()
+        ctx = BlockCtx(device, "k", 0, 1, 64)
+        tile = ctx.shared_alloc("tile", 8)
+        values = []
+
+        def block():
+            yield from ctx.swrite(tile, 0, 2.5)
+            v = yield from ctx.sread(tile, 0)
+            values.append(v)
+
+        device.engine.spawn(block())
+        total = device.run()
+        assert total == 2 * device.config.timings.shared_access_ns
+        assert values == [2.5]
+        # Shared access is much cheaper than global (paper §2).
+        assert (
+            device.config.timings.shared_access_ns
+            < device.config.timings.global_read_ns / 3
+        )
+
+    def test_budget_comes_from_kernel_spec(self):
+        """A kernel that requested 256 B of shared memory cannot allocate
+        more — the launch-time contract, enforced."""
+        device = Device()
+        host = Host(device)
+        failures = []
+
+        def program(ctx):
+            ctx.shared_alloc("small", 16, np.float64)  # 128 B: fits
+            try:
+                ctx.shared_alloc("big", 32, np.float64)  # 256 more: no
+            except MemoryError_ as exc:
+                failures.append(str(exc))
+            yield from ctx.compute(10)
+
+        spec = KernelSpec(
+            "k", program, grid_blocks=1, block_threads=32,
+            shared_mem_per_block=256,
+        )
+
+        def host_program():
+            yield from host.launch(spec)
+            yield from host.synchronize()
+
+        device.engine.spawn(host_program(), "host")
+        device.run()
+        assert len(failures) == 1
+
+    def test_blocks_have_private_scratchpads(self):
+        device = Device()
+        host = Host(device)
+        sums = {}
+
+        def program(ctx):
+            tile = ctx.shared_alloc("tile", 4)
+            yield from ctx.swrite(tile, 0, float(ctx.block_id))
+            v = yield from ctx.sread(tile, 0)
+            sums[ctx.block_id] = v
+
+        spec = KernelSpec(
+            "k", program, grid_blocks=4, block_threads=32,
+            shared_mem_per_block=64,
+        )
+
+        def host_program():
+            yield from host.launch(spec)
+            yield from host.synchronize()
+
+        device.engine.spawn(host_program(), "host")
+        device.run()
+        assert sums == {0: 0.0, 1: 1.0, 2: 2.0, 3: 3.0}

@@ -1,0 +1,147 @@
+"""Tests for warp-level intra-block execution."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import SyncProtocolError
+from repro.gpu.config import gtx280
+from repro.gpu.context import BlockCtx
+from repro.gpu.device import Device
+from repro.gpu.warps import IntraBlockBarrier, run_warps
+from repro.simcore.effects import Delay
+
+
+def make_block(device, threads=128):
+    return BlockCtx(device, "k", 0, 1, threads)
+
+
+def run_one(device, gen):
+    device.engine.spawn(gen)
+    return device.run()
+
+
+class TestRunWarps:
+    def test_spawns_one_agent_per_warp(self):
+        device = Device()
+        ctx = make_block(device, threads=128)
+        seen = []
+
+        def warp_fn(wctx):
+            seen.append((wctx.warp_id, wctx.lanes))
+            yield Delay(10)
+
+        def block():
+            yield from run_warps(ctx, warp_fn, 100)
+
+        run_one(device, block())
+        assert seen == [(0, (0, 32)), (1, (32, 64)), (2, (64, 96)), (3, (96, 100))]
+
+    def test_warps_run_concurrently(self):
+        device = Device()
+        ctx = make_block(device)
+
+        def warp_fn(wctx):
+            yield Delay(500)
+
+        def block():
+            yield from run_warps(ctx, warp_fn, 128)
+
+        assert run_one(device, block()) == 500  # 4 warps in parallel
+
+    def test_thread_count_validation(self):
+        device = Device()
+        ctx = make_block(device, threads=64)
+
+        def warp_fn(wctx):
+            yield Delay(1)
+
+        with pytest.raises(SyncProtocolError):
+            next(run_warps(ctx, warp_fn, 0))
+        with pytest.raises(SyncProtocolError):
+            next(run_warps(ctx, warp_fn, 65))
+
+
+class TestIntraBlockBarrier:
+    def test_all_warps_wait_for_last(self):
+        device = Device()
+        ctx = make_block(device)
+        exits = []
+
+        def warp_fn(wctx):
+            yield Delay(100 * (wctx.warp_id + 1))  # staggered arrival
+            yield from wctx.syncthreads()
+            exits.append((wctx.warp_id, device.engine.now))
+
+        def block():
+            yield from run_warps(ctx, warp_fn, 128)
+
+        run_one(device, block())
+        t = device.config.timings
+        # Last warp arrives at 400; everyone exits at 400 + syncthreads.
+        assert all(when == 400 + t.syncthreads_ns for _w, when in exits)
+
+    def test_barrier_reusable_across_epochs(self):
+        device = Device()
+        ctx = make_block(device)
+        order = []
+
+        def warp_fn(wctx):
+            for phase in range(3):
+                yield Delay(10 * (wctx.warp_id + 1))
+                yield from wctx.syncthreads()
+                order.append((phase, wctx.warp_id))
+
+        def block():
+            yield from run_warps(ctx, warp_fn, 64)
+
+        run_one(device, block())
+        # Phases strictly ordered: all of phase p before any of p+1.
+        phases = [p for p, _w in order]
+        assert phases == sorted(phases)
+
+    def test_parties_validation(self):
+        device = Device()
+        with pytest.raises(SyncProtocolError):
+            IntraBlockBarrier(make_block(device), 0)
+
+
+class TestDetailedLockfree:
+    def test_detailed_matches_coarse_timing_exactly(self):
+        """The load-bearing claim: folding intra-block parallelism into
+        the cost model loses nothing — the warp-granular execution of
+        the checking block produces identical virtual times."""
+        from repro.algorithms import MeanMicrobench
+        from repro.harness import run
+
+        for num_blocks in (2, 8, 16, 30):
+            micro = MeanMicrobench(rounds=10, num_blocks_hint=30)
+            coarse = run(micro, "gpu-lockfree", num_blocks)
+            detailed = run(micro, "gpu-lockfree-detailed", num_blocks)
+            assert coarse.total_ns == detailed.total_ns, num_blocks
+            assert detailed.verified is True
+
+    def test_detailed_multi_warp_checker(self):
+        """With a narrow warp the checker block really runs several
+        concurrent watcher agents — timing must still match coarse."""
+        from repro.algorithms import MeanMicrobench
+        from repro.harness import run
+
+        cfg = dataclasses.replace(gtx280(), warp_size=8)
+        micro = MeanMicrobench(rounds=5, num_blocks_hint=30)
+        coarse = run(micro, "gpu-lockfree", 30, config=cfg)
+        detailed = run(micro, "gpu-lockfree-detailed", 30, config=cfg)
+        assert coarse.total_ns == detailed.total_ns
+        assert detailed.verified is True
+
+    def test_detailed_and_serial_mutually_exclusive(self):
+        from repro.sync import GpuLockFreeSync
+
+        with pytest.raises(SyncProtocolError):
+            GpuLockFreeSync(serial_gather=True, detailed=True)
+
+    def test_detailed_registered(self):
+        from repro.sync import get_strategy
+
+        assert get_strategy("gpu-lockfree-detailed").name == "gpu-lockfree-detailed"

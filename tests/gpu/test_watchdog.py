@@ -1,0 +1,116 @@
+"""Tests for the display-watchdog timer."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, KernelTimeoutError
+from repro.gpu.config import DeviceConfig, gtx280
+from repro.gpu.device import Device
+from repro.gpu.host import Host
+from repro.gpu.kernel import KernelSpec
+
+
+def launch_and_run(device, spec):
+    host = Host(device)
+
+    def host_program():
+        yield from host.launch(spec)
+        yield from host.synchronize()
+
+    device.engine.spawn(host_program(), "host")
+    return device.run()
+
+
+def test_fast_kernel_unaffected():
+    cfg = dataclasses.replace(gtx280(), watchdog_ns=1_000_000)
+    device = Device(cfg)
+
+    def program(ctx):
+        yield from ctx.compute(500)
+
+    launch_and_run(device, KernelSpec("k", program, 4, 64))
+    assert device.kernels_completed == 1
+
+
+def test_overlong_kernel_killed():
+    cfg = dataclasses.replace(gtx280(), watchdog_ns=10_000)
+    device = Device(cfg)
+
+    def program(ctx):
+        yield from ctx.compute(50_000)  # longer than the watchdog
+
+    with pytest.raises(KernelTimeoutError) as exc:
+        launch_and_run(device, KernelSpec("slowpoke", program, 1, 64))
+    assert exc.value.kernel_name == "slowpoke"
+    assert exc.value.watchdog_ns == 10_000
+
+
+def test_deadlocked_barrier_manifests_as_launch_timeout():
+    """The §5 hazard on a display-attached GPU: not a hang, a killed
+    launch — exactly what a developer would have seen in 2009."""
+    cfg = dataclasses.replace(gtx280(), watchdog_ns=1_000_000)
+    device = Device(cfg)
+    arrivals = device.memory.alloc("arrivals", 1, dtype=np.int64)
+    n = cfg.num_sms + 1  # one block more than can be co-resident
+
+    def naive_barrier(ctx):
+        yield from ctx.atomic_add(arrivals, 0, 1)
+        yield from ctx.spin_until(
+            arrivals, lambda: arrivals.data[0] >= n, "naive barrier"
+        )
+
+    spec = KernelSpec(
+        "unsafe", naive_barrier, grid_blocks=n, block_threads=64,
+        shared_mem_per_block=cfg.shared_mem_per_sm,
+    )
+    with pytest.raises(KernelTimeoutError):
+        launch_and_run(device, spec)
+
+
+def test_headless_device_hangs_with_deadlock_error_instead():
+    """Without a watchdog the same situation is a detected deadlock."""
+    from repro.errors import DeadlockError
+
+    device = Device()  # watchdog_ns=None
+    arrivals = device.memory.alloc("arrivals", 1, dtype=np.int64)
+    n = device.config.num_sms + 1
+
+    def naive_barrier(ctx):
+        yield from ctx.atomic_add(arrivals, 0, 1)
+        yield from ctx.spin_until(
+            arrivals, lambda: arrivals.data[0] >= n, "naive barrier"
+        )
+
+    spec = KernelSpec(
+        "unsafe", naive_barrier, grid_blocks=n, block_threads=64,
+        shared_mem_per_block=device.config.shared_mem_per_sm,
+    )
+    with pytest.raises(DeadlockError):
+        launch_and_run(device, spec)
+
+
+def test_back_to_back_kernels_each_get_their_own_watchdog():
+    cfg = dataclasses.replace(gtx280(), watchdog_ns=20_000)
+    device = Device(cfg)
+    host = Host(device)
+
+    def program(ctx):
+        yield from ctx.compute(8_000)
+
+    def host_program():
+        # Two 8 µs kernels: together they exceed 20 µs of wall time but
+        # each individually stays under the watchdog.
+        for i in range(2):
+            yield from host.launch(KernelSpec(f"k{i}", program, 1, 64))
+        yield from host.synchronize()
+
+    device.engine.spawn(host_program(), "host")
+    device.run()
+    assert device.kernels_completed == 2
+
+
+def test_watchdog_config_validation():
+    with pytest.raises(ConfigError):
+        DeviceConfig(watchdog_ns=0)

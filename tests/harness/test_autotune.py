@@ -1,0 +1,65 @@
+"""Tests for empirical auto-tuning."""
+
+import pytest
+
+from repro.algorithms import FFT, MeanMicrobench, Reduction
+from repro.errors import ConfigError
+from repro.harness import run
+from repro.harness.autotune import autotune, probe_barrier_cost
+from repro.model.barrier_costs import lockfree_cost, simple_cost
+
+
+class TestProbe:
+    def test_probe_matches_known_costs(self):
+        assert probe_barrier_cost("gpu-lockfree", 16) == lockfree_cost(16)
+        assert probe_barrier_cost("gpu-simple", 16) == simple_cost(16)
+
+    def test_probe_cpu_implicit(self):
+        cost = probe_barrier_cost("cpu-implicit", 8, probe_rounds=10)
+        # total-minus-null attributes (R-1)/R of the boundary per round.
+        assert 5000 <= cost <= 6000
+
+    def test_probe_validation(self):
+        with pytest.raises(ConfigError):
+            probe_barrier_cost("gpu-lockfree", 8, probe_rounds=0)
+
+
+class TestAutotune:
+    def test_picks_lockfree_for_sync_bound_workload(self):
+        algo = Reduction(n=4096, num_blocks_hint=30)
+        result = autotune(algo, 30)
+        assert result.strategy == "gpu-lockfree"
+        assert result.ranking()[0][0] == "gpu-lockfree"
+
+    def test_picks_simple_for_tiny_grid(self):
+        micro = MeanMicrobench(rounds=50, num_blocks_hint=2)
+        result = autotune(micro, 2)
+        assert result.strategy == "gpu-simple"
+
+    def test_prediction_close_to_measurement(self):
+        """The tuner's prediction for the winner must track a real run."""
+        micro = MeanMicrobench(rounds=60, num_blocks_hint=16)
+        result = autotune(micro, 16)
+        measured = run(micro, result.strategy, 16).total_ns
+        assert measured == pytest.approx(result.predicted_ns, rel=0.05)
+
+    def test_tuner_choice_is_actually_fastest(self):
+        """End-to-end: run every candidate; the tuner's pick wins."""
+        micro = MeanMicrobench(rounds=40, num_blocks_hint=24)
+        result = autotune(micro, 24)
+        totals = {
+            name: run(micro, name, 24).total_ns
+            for name in result.candidates
+        }
+        assert min(totals, key=totals.get) == result.strategy
+
+    def test_all_candidates_scored(self):
+        micro = MeanMicrobench(rounds=10, num_blocks_hint=8)
+        result = autotune(micro, 8, candidates=("gpu-simple", "gpu-lockfree"))
+        assert set(result.candidates) == {"gpu-simple", "gpu-lockfree"}
+        for cost, total in result.candidates.values():
+            assert 0 < cost < total
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ConfigError):
+            autotune(FFT(n=64), 4, candidates=())

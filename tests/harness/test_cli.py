@@ -1,0 +1,101 @@
+"""Tests for the CLI entry point (fast experiments only)."""
+
+import json
+
+import pytest
+
+from repro.harness.cli import main
+
+
+def test_models_command(capsys):
+    assert main(["models"]) == 0
+    out = capsys.readouterr().out
+    assert "Eqs. 6/7/9" in out
+    assert "gpu-lockfree" in out
+
+
+def test_extensions_command(capsys):
+    assert main(["extensions", "--rounds", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "gpu-dissemination" in out
+    assert "gpu-sense-reversal" in out
+
+
+def test_fig11_command_with_rounds(capsys):
+    assert main(["fig11", "--rounds", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 11" in out
+    assert "cpu-explicit" in out
+
+
+def test_trace_command(tmp_path, capsys):
+    out_file = tmp_path / "t.json"
+    assert (
+        main(
+            ["trace", "--strategy", "gpu-simple", "--blocks", "4",
+             "--out", str(out_file)]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "verified=True" in out
+    data = json.loads(out_file.read_text())
+    assert data["traceEvents"]
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_fig11_plot_flag(capsys):
+    assert main(["fig11", "--rounds", "5", "--plot"]) == 0
+    out = capsys.readouterr().out
+    assert "sync time" in out  # the ASCII chart section
+    assert "|" in out  # chart rails
+
+
+def test_composition_command(capsys):
+    assert main(["composition"]) == 0
+    out = capsys.readouterr().out
+    assert "Figs. 7/10" in out
+    assert "gpu-simple" in out
+
+
+def test_diff_command(tmp_path, capsys):
+    out_dir = tmp_path / "sweeps"
+    main(["fig11", "--rounds", "5", "--save-sweeps", str(out_dir)])
+    capsys.readouterr()
+    base = str(out_dir / "fig11.json")
+    # Identical files: exit 0, no drift.
+    assert main(["diff", "--baseline", base, "--current", base]) == 0
+    assert "no drift" in capsys.readouterr().out
+    # Tampered copy: exit 1, drift listed.
+    import json
+
+    payload = json.loads((out_dir / "fig11.json").read_text())
+    payload["totals"]["cpu-implicit"][0] += 999
+    tampered = tmp_path / "tampered.json"
+    tampered.write_text(json.dumps(payload))
+    assert main(["diff", "--baseline", base, "--current", str(tampered)]) == 1
+    assert "drifted point" in capsys.readouterr().out
+
+
+def test_diff_requires_paths():
+    with pytest.raises(SystemExit):
+        main(["diff"])
+
+
+def test_save_sweeps_option(tmp_path, capsys):
+    out_dir = tmp_path / "sweeps"
+    assert main(["fig11", "--rounds", "5", "--save-sweeps", str(out_dir)]) == 0
+    capsys.readouterr()
+    assert (out_dir / "fig11.json").exists()
+    assert (out_dir / "fig11.csv").exists()
+    assert (out_dir / "fig11_sync.csv").exists()
+
+    from repro.harness.store import load_sweep
+
+    sweep = load_sweep(out_dir / "fig11.json")
+    assert sweep.algorithm == "micro"
+    assert len(sweep.blocks) == 30

@@ -1,0 +1,28 @@
+"""Tests for CSV export of sweeps."""
+
+from repro.harness import experiments
+
+
+def test_to_csv_totals():
+    sweep = experiments.fig11(rounds=5, blocks=[2, 4], strategies=["gpu-lockfree"])
+    csv = sweep.to_csv()
+    lines = csv.strip().splitlines()
+    assert lines[0] == "blocks,gpu-lockfree"
+    assert lines[1].startswith("2,")
+    assert lines[2].startswith("4,")
+    assert int(lines[1].split(",")[1]) == sweep.totals["gpu-lockfree"][0]
+
+
+def test_to_csv_sync_mode():
+    sweep = experiments.fig11(rounds=5, blocks=[4], strategies=["gpu-simple"])
+    csv = sweep.to_csv(sync=True)
+    value = int(csv.strip().splitlines()[1].split(",")[1])
+    assert value == sweep.sync_series("gpu-simple")[0]
+
+
+def test_to_csv_multiple_strategies_column_order():
+    sweep = experiments.fig11(
+        rounds=5, blocks=[4], strategies=["cpu-implicit", "gpu-lockfree"]
+    )
+    header = sweep.to_csv().splitlines()[0]
+    assert header == "blocks,cpu-implicit,gpu-lockfree"

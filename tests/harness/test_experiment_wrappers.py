@@ -1,0 +1,40 @@
+"""Tests for the thin fig13/fig14 wrappers and sweep utilities at small size."""
+
+import pytest
+
+from repro.algorithms import FFT
+from repro.harness import experiments
+
+
+@pytest.fixture
+def small_fft(monkeypatch):
+    monkeypatch.setitem(
+        experiments.ALGORITHM_FACTORIES, "fft", lambda: FFT(n=2**8)
+    )
+
+
+def test_fig13_and_fig14_share_the_measurement(small_fft):
+    """They are the same experiment; equal inputs → equal sweeps."""
+    a = experiments.fig13("fft", blocks=[4, 8])
+    b = experiments.fig14("fft", blocks=[4, 8])
+    assert a.blocks == b.blocks
+    assert a.totals == b.totals
+    assert a.nulls == b.nulls
+
+
+def test_algorithm_sweep_step_parameter(small_fft):
+    sweep = experiments.algorithm_sweep("fft", step=7)
+    assert sweep.blocks == [9, 16, 23, 30]
+
+
+def test_sweep_strategies_subset(small_fft):
+    sweep = experiments.algorithm_sweep(
+        "fft", blocks=[4], strategies=("gpu-lockfree",)
+    )
+    assert list(sweep.totals) == ["gpu-lockfree"]
+
+
+def test_gpu_strategies_constant_is_consistent():
+    assert set(experiments.ALL_STRATEGIES) == {"cpu-implicit"} | set(
+        experiments.GPU_STRATEGIES
+    )

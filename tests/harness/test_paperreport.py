@@ -1,0 +1,67 @@
+"""Tests for the Markdown reproduction report (small problem sizes)."""
+
+import pytest
+
+from repro.algorithms import FFT, BitonicSort, SmithWaterman
+from repro.harness import experiments
+from repro.harness.paperreport import generate_report, render_markdown
+
+
+@pytest.fixture
+def small_sizes(monkeypatch):
+    """Patch the experiment factories to small problems for test speed."""
+    monkeypatch.setitem(
+        experiments.ALGORITHM_FACTORIES, "fft", lambda: FFT(n=2**10)
+    )
+    monkeypatch.setitem(
+        experiments.ALGORITHM_FACTORIES, "swat", lambda: SmithWaterman(96, 96)
+    )
+    monkeypatch.setitem(
+        experiments.ALGORITHM_FACTORIES, "bitonic", lambda: BitonicSort(n=2**9)
+    )
+
+
+def test_generate_report_end_to_end(tmp_path, small_sizes):
+    path = generate_report(
+        tmp_path / "report.md", micro_rounds=30, fig11_blocks=[8, 23, 24, 30]
+    )
+    text = path.read_text()
+    assert "# Reproduction report" in text
+    assert "## Claim checks" in text
+    assert "table1/ordering" in text
+    assert "## Fig. 11" in text
+    assert "gpu-lockfree" in text
+    # The micro-ratio claims must PASS even at reduced sizes (they are
+    # per-round quantities).  Claim rows carry the "headline/" prefix;
+    # the raw-numbers section repeats the key without a verdict.
+    for line in text.splitlines():
+        if "headline/micro_lockfree_vs_explicit" in line:
+            assert "PASS" in line
+        if "headline/micro_lockfree_vs_implicit" in line:
+            assert "PASS" in line
+
+
+def test_render_markdown_counts_verdicts():
+    from repro.harness.claims import CheckResult
+    from repro.harness.phases import Breakdown
+
+    checks = [
+        CheckResult("a", 1, 1, "exact", True, "x"),
+        CheckResult("b", 1, 2, "exact", False, "y"),
+    ]
+    sweep = experiments.SweepResult(
+        algorithm="micro", blocks=[4], totals={"gpu-lockfree": [100]},
+        nulls=[40],
+    )
+    text = render_markdown(
+        table1_results={"fft": Breakdown("cpu-implicit", 100, 80, 20)},
+        fig11_sweep=sweep,
+        fig15_results={"fft": {"gpu-lockfree": Breakdown("gpu-lockfree", 100, 90, 10)}},
+        headline_results={"micro_lockfree_vs_implicit": 3.7},
+        checks=checks,
+        device_name="Test GPU",
+        micro_rounds=10,
+    )
+    assert "1/2 passed" in text
+    assert "**FAIL**" in text
+    assert "Test GPU" in text

@@ -1,0 +1,58 @@
+"""Tests for ASCII plotting."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness import experiments
+from repro.harness.plot import ascii_plot, plot_sweep
+
+
+def test_single_series_renders():
+    out = ascii_plot([1, 2, 3], {"a": [10, 20, 30]}, title="T", ylabel="ns")
+    assert "T" in out
+    assert "o a" in out  # legend with marker
+    assert "ns" in out
+    assert "30" in out and "10" in out  # y-axis labels
+
+
+def test_flat_series_does_not_divide_by_zero():
+    out = ascii_plot([1, 2], {"flat": [5, 5]})
+    assert "o flat" in out
+
+
+def test_multiple_series_get_distinct_markers():
+    out = ascii_plot([1, 2], {"a": [1, 2], "b": [2, 1], "c": [1, 1]})
+    assert "o a" in out and "x b" in out and "+ c" in out
+
+
+def test_increasing_series_slopes_up():
+    """The marker column for the max x must sit above that for min x."""
+    out = ascii_plot([0, 10], {"up": [0, 100]}, width=20, height=10)
+    rows = [line for line in out.splitlines() if "|" in line]
+    first_col = min(i for i, r in enumerate(rows) if "o" in r.split("|")[1][:3])
+    last_col = min(
+        i for i, r in enumerate(rows) if "o" in r.split("|")[1][-3:]
+    )
+    assert last_col < first_col  # later x appears nearer the top
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        ascii_plot([1, 2], {})
+    with pytest.raises(ConfigError):
+        ascii_plot([1], {"a": [1]})
+    with pytest.raises(ConfigError):
+        ascii_plot([1, 2], {"a": [1]})
+    with pytest.raises(ConfigError):
+        ascii_plot([1, 2], {"a": [1, 2]}, width=4)
+
+
+def test_plot_sweep_totals_and_sync():
+    sweep = experiments.fig11(
+        rounds=5, blocks=[2, 8], strategies=["gpu-simple", "gpu-lockfree"]
+    )
+    totals = plot_sweep(sweep)
+    sync = plot_sweep(sweep, sync=True, title="custom")
+    assert "total kernel time" in totals
+    assert "custom" in sync
+    assert "gpu-simple" in totals and "gpu-lockfree" in totals

@@ -1,0 +1,79 @@
+"""Tests for sweep regression comparison."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.harness import experiments
+from repro.harness.regression import compare_sweeps
+
+
+@pytest.fixture
+def sweep():
+    return experiments.fig11(
+        rounds=5, blocks=[2, 8], strategies=["gpu-simple", "gpu-lockfree"]
+    )
+
+
+def test_identical_runs_have_zero_drift(sweep):
+    rerun = experiments.fig11(
+        rounds=5, blocks=[2, 8], strategies=["gpu-simple", "gpu-lockfree"]
+    )
+    assert compare_sweeps(sweep, rerun) == []
+
+
+def test_detects_drifted_point(sweep):
+    tampered = dataclasses.replace(
+        sweep,
+        totals={
+            **sweep.totals,
+            "gpu-simple": [sweep.totals["gpu-simple"][0] + 100,
+                           sweep.totals["gpu-simple"][1]],
+        },
+    )
+    drifts = compare_sweeps(sweep, tampered)
+    assert len(drifts) == 1
+    d = drifts[0]
+    assert d.strategy == "gpu-simple"
+    assert d.blocks == 2
+    assert d.current_ns - d.baseline_ns == 100
+    assert "gpu-simple @ 2 blocks" in str(d)
+
+
+def test_tolerance_suppresses_small_drift(sweep):
+    bumped = dataclasses.replace(
+        sweep,
+        nulls=[int(sweep.nulls[0] * 1.005), sweep.nulls[1]],
+    )
+    assert compare_sweeps(sweep, bumped, rel_tol=0.01) == []
+    assert len(compare_sweeps(sweep, bumped, rel_tol=0.001)) == 1
+
+
+def test_null_series_compared(sweep):
+    bumped = dataclasses.replace(sweep, nulls=[0, sweep.nulls[1]])
+    drifts = compare_sweeps(sweep, bumped)
+    assert drifts[0].strategy == "<null>"
+
+
+def test_structural_mismatches_rejected(sweep):
+    other_algo = dataclasses.replace(sweep, algorithm="fft")
+    with pytest.raises(ExperimentError, match="different experiments"):
+        compare_sweeps(sweep, other_algo)
+    other_blocks = dataclasses.replace(sweep, blocks=[2, 9])
+    with pytest.raises(ExperimentError, match="block grids"):
+        compare_sweeps(sweep, other_blocks)
+    other_strats = dataclasses.replace(
+        sweep, totals={"gpu-simple": sweep.totals["gpu-simple"]}
+    )
+    with pytest.raises(ExperimentError, match="strategy sets"):
+        compare_sweeps(sweep, other_strats)
+    with pytest.raises(ExperimentError, match="rel_tol"):
+        compare_sweeps(sweep, sweep, rel_tol=-1)
+
+
+def test_roundtrip_through_store_is_drift_free(tmp_path, sweep):
+    from repro.harness.store import load_sweep, save_sweep
+
+    path = save_sweep(sweep, tmp_path / "s.json")
+    assert compare_sweeps(sweep, load_sweep(path)) == []

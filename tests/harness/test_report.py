@@ -1,0 +1,57 @@
+"""Tests for the plain-text report renderer."""
+
+from repro.harness import experiments, report
+from repro.harness.phases import Breakdown
+
+
+def test_format_table_alignment():
+    out = report.format_table(
+        ["name", "value"], [["a", "1"], ["long-name", "22"]], title="T"
+    )
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[2] and "value" in lines[2]
+    assert all(len(line) == len(lines[2]) for line in lines[2:])
+
+
+def test_render_table1():
+    b = Breakdown(strategy="cpu-implicit", total_ns=2_000_000, compute_ns=1_000_000, sync_ns=1_000_000)
+    out = report.render_table1({"fft": b})
+    assert "Table 1" in out
+    assert "50.0%" in out
+    assert "fft" in out
+
+
+def test_render_sweep_totals_and_sync():
+    sweep = experiments.fig11(rounds=5, blocks=[2, 4], strategies=["gpu-lockfree"])
+    totals = report.render_sweep_totals(sweep, "Fig. 11")
+    sync = report.render_sweep_sync(sweep, "Fig. 14")
+    assert "gpu-lockfree" in totals
+    assert "total kernel time" in totals
+    assert "synchronization time" in sync
+
+
+def test_render_fig15():
+    b = Breakdown(strategy="gpu-lockfree", total_ns=100, compute_ns=70, sync_ns=30)
+    out = report.render_fig15({"swat": {"gpu-lockfree": b}})
+    assert "70.0%" in out and "30.0%" in out
+
+
+def test_render_headline():
+    numbers = {
+        "micro_lockfree_vs_explicit": 7.77,
+        "micro_lockfree_vs_implicit": 3.73,
+        "fft_improvement_pct": 12.8,
+        "swat_improvement_pct": 36.7,
+        "bitonic_improvement_pct": 43.0,
+    }
+    out = report.render_headline(numbers)
+    assert "7.77x" in out and "7.8x" in out
+    assert "36.7%" in out and "24%" in out
+
+
+def test_render_model_validation():
+    data = {"gpu-simple": {4: {"measured": 1310.0, "predicted": 1310.0}}}
+    out = report.render_model_validation(data)
+    assert "+0.0%" in out
+    assert "gpu-simple" in out

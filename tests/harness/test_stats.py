@@ -1,0 +1,91 @@
+"""Tests for jitter and multi-run statistics."""
+
+import pytest
+
+from repro.algorithms import MeanMicrobench
+from repro.errors import ConfigError
+from repro.harness import run
+from repro.harness.stats import repeat_run, summarize
+
+
+@pytest.fixture
+def micro():
+    return MeanMicrobench(rounds=10, num_blocks_hint=8, threads_per_block=32)
+
+
+class TestJitter:
+    def test_zero_jitter_is_deterministic(self, micro):
+        a = run(micro, "gpu-lockfree", 8)
+        b = run(micro, "gpu-lockfree", 8, jitter_pct=0.0)
+        assert a.total_ns == b.total_ns
+
+    def test_same_seed_reproduces_exactly(self, micro):
+        a = run(micro, "gpu-lockfree", 8, jitter_pct=5.0, jitter_seed=42)
+        b = run(micro, "gpu-lockfree", 8, jitter_pct=5.0, jitter_seed=42)
+        assert a.total_ns == b.total_ns
+
+    def test_different_seeds_differ(self, micro):
+        a = run(micro, "gpu-lockfree", 8, jitter_pct=5.0, jitter_seed=1)
+        b = run(micro, "gpu-lockfree", 8, jitter_pct=5.0, jitter_seed=2)
+        assert a.total_ns != b.total_ns
+
+    def test_jitter_never_breaks_correctness(self, micro):
+        result = run(micro, "gpu-simple", 8, jitter_pct=20.0, jitter_seed=7)
+        assert result.verified is True
+        assert result.violations == 0
+
+    def test_jitter_applies_to_host_strategies_too(self, micro):
+        a = run(micro, "cpu-implicit", 8, jitter_pct=5.0, jitter_seed=1)
+        b = run(micro, "cpu-implicit", 8)
+        assert a.total_ns != b.total_ns
+
+    def test_negative_jitter_rejected(self, micro):
+        with pytest.raises(ConfigError):
+            run(micro, "gpu-lockfree", 8, jitter_pct=-1.0)
+
+
+class TestRepeatRun:
+    def test_three_run_average(self, micro):
+        stats = repeat_run(micro, "gpu-lockfree", 8, repeats=3, jitter_pct=2.0)
+        assert stats.repeats == 3
+        assert stats.min_ns <= stats.mean_ns <= stats.max_ns
+        assert len(stats.samples_ns) == 3
+
+    def test_mean_close_to_nominal(self, micro):
+        nominal = run(micro, "gpu-lockfree", 8).total_ns
+        stats = repeat_run(micro, "gpu-lockfree", 8, repeats=5, jitter_pct=2.0)
+        assert stats.mean_ns == pytest.approx(nominal, rel=0.05)
+
+    def test_zero_jitter_zero_spread(self, micro):
+        stats = repeat_run(micro, "gpu-lockfree", 8, repeats=3, jitter_pct=0.0)
+        assert stats.std_ns == 0.0
+        assert stats.ci95_ns == 0.0
+        assert stats.relative_std == 0.0
+
+    def test_statistics_fields(self, micro):
+        stats = repeat_run(micro, "gpu-tree-2", 8, repeats=4, jitter_pct=3.0)
+        assert stats.algorithm == "micro"
+        assert stats.strategy == "gpu-tree-2"
+        assert stats.mean_ms == pytest.approx(stats.mean_ns / 1e6)
+        assert stats.ci95_ns > 0
+
+    def test_repeats_validation(self, micro):
+        with pytest.raises(ConfigError):
+            repeat_run(micro, "gpu-lockfree", 8, repeats=0)
+
+
+class TestSummarize:
+    def test_requires_homogeneous_results(self, micro):
+        a = run(micro, "gpu-lockfree", 8)
+        b = run(micro, "gpu-simple", 8)
+        with pytest.raises(ConfigError):
+            summarize([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            summarize([])
+
+    def test_single_result(self, micro):
+        stats = summarize([run(micro, "gpu-lockfree", 8)])
+        assert stats.std_ns == 0.0
+        assert stats.repeats == 1

@@ -1,0 +1,61 @@
+"""Tests for experiment persistence."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.harness import experiments
+from repro.harness.store import SCHEMA_VERSION, load_sweep, save_sweep
+
+
+@pytest.fixture
+def sweep():
+    return experiments.fig11(
+        rounds=5, blocks=[2, 4], strategies=["gpu-lockfree"]
+    )
+
+
+def test_roundtrip(tmp_path, sweep):
+    path = save_sweep(sweep, tmp_path / "sweep.json")
+    loaded = load_sweep(path)
+    assert loaded.algorithm == sweep.algorithm
+    assert loaded.blocks == sweep.blocks
+    assert loaded.totals == sweep.totals
+    assert loaded.nulls == sweep.nulls
+    assert loaded.sync_series("gpu-lockfree") == sweep.sync_series("gpu-lockfree")
+
+
+def test_creates_parent_dirs(tmp_path, sweep):
+    path = save_sweep(sweep, tmp_path / "a" / "b" / "sweep.json")
+    assert path.exists()
+
+
+def test_missing_file_rejected(tmp_path):
+    with pytest.raises(ExperimentError, match="cannot read"):
+        load_sweep(tmp_path / "nope.json")
+
+
+def test_wrong_kind_rejected(tmp_path):
+    p = tmp_path / "x.json"
+    p.write_text(json.dumps({"schema": SCHEMA_VERSION, "kind": "other"}))
+    with pytest.raises(ExperimentError, match="does not contain a sweep"):
+        load_sweep(p)
+
+
+def test_wrong_schema_rejected(tmp_path, sweep):
+    path = save_sweep(sweep, tmp_path / "s.json")
+    payload = json.loads(path.read_text())
+    payload["schema"] = 99
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ExperimentError, match="schema"):
+        load_sweep(path)
+
+
+def test_corrupt_lengths_rejected(tmp_path, sweep):
+    path = save_sweep(sweep, tmp_path / "s.json")
+    payload = json.loads(path.read_text())
+    payload["totals"]["gpu-lockfree"].append(1)
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ExperimentError, match="length"):
+        load_sweep(path)

@@ -1,0 +1,64 @@
+"""Tests for the barrier time-composition analytics (Figs. 7/10)."""
+
+import pytest
+
+from repro.algorithms import MeanMicrobench
+from repro.errors import ExperimentError
+from repro.harness import run
+from repro.harness.tracestats import (
+    barrier_composition,
+    composition_study,
+    render_composition,
+)
+from repro.model.calibration import default_timings
+
+
+@pytest.fixture
+def micro():
+    return MeanMicrobench(rounds=10, num_blocks_hint=16, threads_per_block=32)
+
+
+def test_requires_kept_device(micro):
+    result = run(micro, "gpu-simple", 8)
+    with pytest.raises(ExperimentError, match="keep_device"):
+        barrier_composition(result)
+
+
+def test_lockfree_has_zero_atomic_time(micro):
+    result = run(micro, "gpu-lockfree", 16, keep_device=True)
+    comp = barrier_composition(result)
+    assert comp["atomic"] == 0.0
+    assert comp["spin"] > 0
+    assert comp["syncthreads"] > 0
+    assert comp["sync-overhead"] == default_timings().lockfree_overhead_ns
+
+
+def test_simple_composition_matches_fig7_structure(micro):
+    """Fig. 7: simple sync = serialized atomic adds + mutex checking.
+
+    Per-block average atomic time (queue + service) is ~(N+1)/2 · t_a,
+    and the primitives must account for the whole sync span.
+    """
+    n = 16
+    result = run(micro, "gpu-simple", n, keep_device=True)
+    comp = barrier_composition(result)
+    t = default_timings()
+    assert comp["atomic"] == pytest.approx((n + 1) / 2 * t.atomic_ns, rel=0.05)
+    assert comp["syncthreads"] == t.syncthreads_ns
+    # The whole barrier is accounted for by its primitives (per block,
+    # waiting on the slowest chain shows up inside spin time).
+    accounted = sum(
+        comp[p] for p in ("atomic", "spin", "syncthreads", "sync-overhead")
+    )
+    assert accounted == pytest.approx(comp["total-sync"], rel=0.01)
+
+
+def test_composition_study_and_rendering(micro):
+    study = composition_study(
+        strategies=("gpu-simple", "gpu-lockfree"), num_blocks=8, rounds=5
+    )
+    assert set(study) == {"gpu-simple", "gpu-lockfree"}
+    assert study["gpu-simple"]["atomic"] > study["gpu-lockfree"]["atomic"]
+    text = render_composition(study)
+    assert "Figs. 7/10" in text
+    assert "gpu-lockfree" in text

@@ -1,0 +1,46 @@
+"""Tests for Chrome-tracing export."""
+
+import json
+
+from repro.algorithms import MeanMicrobench
+from repro.harness import run
+from repro.harness.traceview import to_chrome_trace, write_chrome_trace
+from repro.simcore import Trace
+
+
+def test_basic_conversion():
+    tr = Trace()
+    tr.add("k/b0", "compute", 0, 500, round=0)
+    tr.add("k/b0", "sync", 500, 900)
+    out = to_chrome_trace(tr)
+    events = [e for e in out["traceEvents"] if e["ph"] == "X"]
+    metas = [e for e in out["traceEvents"] if e["ph"] == "M"]
+    assert len(events) == 2
+    assert len(metas) == 1
+    assert metas[0]["args"]["name"] == "k/b0"
+    compute = next(e for e in events if e["name"] == "compute")
+    assert compute["ts"] == 0.0
+    assert compute["dur"] == 0.5  # 500 ns = 0.5 µs
+    assert compute["args"] == {"round": "0"}
+
+
+def test_distinct_owners_get_distinct_tids():
+    tr = Trace()
+    tr.add("k/b0", "compute", 0, 1)
+    tr.add("k/b1", "compute", 0, 1)
+    out = to_chrome_trace(tr)
+    tids = {e["tid"] for e in out["traceEvents"] if e["ph"] == "X"}
+    assert len(tids) == 2
+
+
+def test_write_roundtrip(tmp_path):
+    micro = MeanMicrobench(rounds=3, num_blocks_hint=4, threads_per_block=16)
+    result = run(micro, "gpu-lockfree", 4, keep_device=True)
+    path = write_chrome_trace(result.device.trace, tmp_path / "trace.json")
+    loaded = json.loads(path.read_text())
+    events = [e for e in loaded["traceEvents"] if e["ph"] == "X"]
+    # 4 blocks × 3 rounds of compute + sync (+ sync-overhead), plus
+    # kernel setup/teardown spans.
+    assert len(events) >= 4 * 3 * 2
+    assert any(e["name"] == "kernel-setup" for e in events)
+    assert all(e["dur"] >= 0 for e in events)

@@ -1,0 +1,147 @@
+"""Shape assertions for the paper's experimental claims (DESIGN.md §4).
+
+These use moderately sized problems so the full suite stays fast; the
+benchmark harness regenerates the figures at calibrated sizes.
+"""
+
+import pytest
+
+from repro.algorithms import MeanMicrobench
+from repro.harness import experiments, run
+from repro.harness.phases import compute_only, sync_time_ns
+
+
+@pytest.fixture(scope="module")
+def micro_sweep():
+    """One shared Fig.-11-style sweep at small scale."""
+    return experiments.fig11(rounds=60, blocks=[4, 8, 12, 16, 20, 23, 24, 28, 30])
+
+
+class TestFig11Shapes:
+    def test_explicit_dominates_implicit(self, micro_sweep):
+        for e, i in zip(
+            micro_sweep.totals["cpu-explicit"], micro_sweep.totals["cpu-implicit"]
+        ):
+            assert e > i
+
+    def test_implicit_and_lockfree_are_flat(self, micro_sweep):
+        """§5.4 obs. 2/5: both scale independently of the block count."""
+        for strat in ("cpu-implicit", "gpu-lockfree"):
+            series = micro_sweep.sync_series(strat)
+            assert max(series) - min(series) <= 0.02 * max(series), strat
+
+    def test_simple_linear_in_blocks(self, micro_sweep):
+        series = micro_sweep.sync_series("gpu-simple")
+        diffs = [b - a for a, b in zip(series, series[1:])]
+        assert all(d > 0 for d in diffs)
+
+    def test_simple_crosses_implicit_between_23_and_24(self, micro_sweep):
+        """§5.4 obs. 3: simple is cheaper below 24 blocks, dearer at 24+."""
+        idx23 = micro_sweep.blocks.index(23)
+        idx24 = micro_sweep.blocks.index(24)
+        simple = micro_sweep.sync_series("gpu-simple")
+        implicit = micro_sweep.sync_series("cpu-implicit")
+        assert simple[idx23] < implicit[idx23]
+        assert simple[idx24] > implicit[idx24]
+
+    def test_tree2_beats_simple_only_past_threshold(self, micro_sweep):
+        """§5.4 obs. 4: crossover near 11 blocks."""
+        simple = micro_sweep.sync_series("gpu-simple")
+        tree = micro_sweep.sync_series("gpu-tree-2")
+        idx8 = micro_sweep.blocks.index(8)
+        idx12 = micro_sweep.blocks.index(12)
+        assert tree[idx8] > simple[idx8]
+        assert tree[idx12] < simple[idx12]
+
+    def test_lockfree_is_best_at_scale(self, micro_sweep):
+        idx30 = micro_sweep.blocks.index(30)
+        lockfree = micro_sweep.totals["gpu-lockfree"][idx30]
+        for strat, series in micro_sweep.totals.items():
+            if strat != "gpu-lockfree":
+                assert lockfree < series[idx30], strat
+
+    def test_headline_micro_ratios(self, micro_sweep):
+        """Abstract: 7.8× vs CPU explicit, 3.7× vs CPU implicit."""
+        idx30 = micro_sweep.blocks.index(30)
+        lockfree = micro_sweep.sync_series("gpu-lockfree")[idx30]
+        explicit = micro_sweep.sync_series("cpu-explicit")[idx30]
+        implicit = micro_sweep.sync_series("cpu-implicit")[idx30]
+        assert explicit / lockfree == pytest.approx(7.8, rel=0.08)
+        assert implicit / lockfree == pytest.approx(3.7, rel=0.08)
+
+
+class TestFig13And14Shapes:
+    @pytest.fixture(scope="class")
+    def fft_sweep(self):
+        from repro.algorithms import FFT
+
+        # Small FFT keeps runtime down; shapes are scale-free.
+        experiments_algos = experiments.ALGORITHM_FACTORIES
+        saved = experiments_algos["fft"]
+        experiments_algos["fft"] = lambda: FFT(n=2**12)
+        try:
+            yield experiments.algorithm_sweep("fft", blocks=[9, 15, 21, 27, 30])
+        finally:
+            experiments_algos["fft"] = saved
+
+    def test_kernel_time_falls_with_more_blocks(self, fft_sweep):
+        """§7.2: more blocks → more resources → faster kernels."""
+        for strat in ("cpu-implicit", "gpu-lockfree"):
+            series = fft_sweep.totals[strat]
+            assert series[0] > series[-1], strat
+
+    def test_lockfree_always_best(self, fft_sweep):
+        for i in range(len(fft_sweep.blocks)):
+            best = min(s[i] for s in fft_sweep.totals.values())
+            assert fft_sweep.totals["gpu-lockfree"][i] == best
+
+    def test_tree_and_lockfree_beat_cpu_implicit_at_30(self, fft_sweep):
+        """GPU simple is *supposed* to lose at 30 blocks (its crossover
+        with CPU implicit is at 24, §5.4 obs. 3); the tree and lock-free
+        barriers must win."""
+        idx = fft_sweep.blocks.index(30)
+        implicit = fft_sweep.totals["cpu-implicit"][idx]
+        for strat in ("gpu-tree-2", "gpu-tree-3", "gpu-lockfree"):
+            assert fft_sweep.totals[strat][idx] < implicit
+        assert fft_sweep.totals["gpu-simple"][idx] > implicit
+
+    def test_gpu_simple_beats_implicit_below_crossover(self, fft_sweep):
+        idx = fft_sweep.blocks.index(21)
+        assert (
+            fft_sweep.totals["gpu-simple"][idx]
+            < fft_sweep.totals["cpu-implicit"][idx]
+        )
+
+    def test_sync_time_orderings_fig14(self, fft_sweep):
+        """Fig. 14 orderings at 30 blocks: lock-free lowest; implicit the
+        highest of the scalable strategies; 2-level tree beats 3-level
+        and (past the 24-block crossover) GPU simple is dearest of all.
+
+        (The paper's blanket "CPU implicit needs the most time" cannot
+        hold at N > 24 given its own crossover observation; we assert the
+        mechanistically consistent version — noted in EXPERIMENTS.md.)
+        """
+        idx = fft_sweep.blocks.index(30)
+        sync = {s: fft_sweep.sync_series(s)[idx] for s in fft_sweep.totals}
+        assert sync["gpu-lockfree"] == min(sync.values())
+        assert sync["gpu-simple"] == max(sync.values())
+        assert sync["cpu-implicit"] > sync["gpu-tree-3"] > sync["gpu-tree-2"]
+
+
+class TestAmdahlConsistency:
+    def test_measured_speedup_respects_eq2(self):
+        """The measured kernel speedup from swapping implicit → lock-free
+        must match Eq. 2 evaluated at the measured ρ and S_S."""
+        from repro.model.speedup import kernel_speedup
+
+        micro = MeanMicrobench(rounds=80, num_blocks_hint=24, threads_per_block=32)
+        n = 24
+        null = compute_only(micro, n)
+        implicit = run(micro, "cpu-implicit", n)
+        lockfree = run(micro, "gpu-lockfree", n)
+
+        rho = (implicit.total_ns - sync_time_ns(implicit, null)) / implicit.total_ns
+        sync_speedup = sync_time_ns(implicit, null) / sync_time_ns(lockfree, null)
+        predicted = kernel_speedup(rho, sync_speedup)
+        measured = implicit.total_ns / lockfree.total_ns
+        assert measured == pytest.approx(predicted, rel=0.02)

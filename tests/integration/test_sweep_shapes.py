@@ -1,0 +1,96 @@
+"""Sweep-shape assertions for SWat and bitonic (small sizes).
+
+`test_paper_claims.py` covers FFT; these cover the other two paper
+workloads plus cross-cutting invariants every sweep must satisfy.
+"""
+
+import pytest
+
+from repro.algorithms import BitonicSort, SmithWaterman
+from repro.harness import experiments
+
+
+@pytest.fixture(scope="module")
+def small_sweeps():
+    """One sweep per algorithm at reduced sizes (module-scoped: ~seconds)."""
+    factories = experiments.ALGORITHM_FACTORIES
+    saved = dict(factories)
+    factories["swat"] = lambda: SmithWaterman(128, 128)
+    factories["bitonic"] = lambda: BitonicSort(n=2**10)
+    try:
+        yield {
+            "swat": experiments.algorithm_sweep("swat", blocks=[9, 18, 30]),
+            "bitonic": experiments.algorithm_sweep("bitonic", blocks=[9, 18, 30]),
+        }
+    finally:
+        factories.update(saved)
+
+
+@pytest.mark.parametrize("algo", ["swat", "bitonic"])
+class TestShapes:
+    def test_kernel_time_falls_with_blocks(self, small_sweeps, algo):
+        sweep = small_sweeps[algo]
+        for strat in ("cpu-implicit", "gpu-lockfree"):
+            series = sweep.totals[strat]
+            assert series[0] > series[-1], strat
+
+    def test_lockfree_best_everywhere(self, small_sweeps, algo):
+        sweep = small_sweeps[algo]
+        for i in range(len(sweep.blocks)):
+            best = min(s[i] for s in sweep.totals.values())
+            assert sweep.totals["gpu-lockfree"][i] == best
+
+    def test_sync_time_nonnegative_everywhere(self, small_sweeps, algo):
+        sweep = small_sweeps[algo]
+        for strat in sweep.totals:
+            assert all(v >= 0 for v in sweep.sync_series(strat)), strat
+
+    def test_implicit_sync_flat(self, small_sweeps, algo):
+        """CPU implicit sync cost is rounds × 6 µs regardless of blocks."""
+        sweep = small_sweeps[algo]
+        series = sweep.sync_series("cpu-implicit")
+        assert max(series) - min(series) <= 0.02 * max(series)
+
+    def test_tree2_never_worse_than_tree3(self, small_sweeps, algo):
+        sweep = small_sweeps[algo]
+        for i in range(len(sweep.blocks)):
+            assert sweep.totals["gpu-tree-2"][i] <= sweep.totals["gpu-tree-3"][i]
+
+
+class TestJitteredCrossover:
+    def test_simple_implicit_crossover_survives_noise(self):
+        """Integration-level version of bench_jitter's claim."""
+        from repro.algorithms import MeanMicrobench
+        from repro.harness.stats import repeat_run
+
+        micro = MeanMicrobench(rounds=50, num_blocks_hint=30)
+        below = {
+            s: repeat_run(micro, s, 12, repeats=3, jitter_pct=4.0).mean_ns
+            for s in ("cpu-implicit", "gpu-simple")
+        }
+        above = {
+            s: repeat_run(micro, s, 30, repeats=3, jitter_pct=4.0).mean_ns
+            for s in ("cpu-implicit", "gpu-simple")
+        }
+        assert below["gpu-simple"] < below["cpu-implicit"]
+        assert above["gpu-simple"] > above["cpu-implicit"]
+
+
+class TestExtensionBarriersAcrossWorkloads:
+    @pytest.mark.parametrize(
+        "strategy", ["gpu-sense-reversal", "gpu-dissemination"]
+    )
+    @pytest.mark.parametrize(
+        "algo_factory",
+        [
+            lambda: SmithWaterman(32, 48),
+            lambda: BitonicSort(n=256),
+        ],
+        ids=["swat", "bitonic"],
+    )
+    def test_correct_on_paper_workloads(self, strategy, algo_factory):
+        from repro.harness import run
+
+        result = run(algo_factory(), strategy, 6, threads_per_block=64)
+        assert result.verified is True
+        assert result.violations == 0

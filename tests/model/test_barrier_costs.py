@@ -1,0 +1,140 @@
+"""Tests for Eqs. 6–9: barrier cost models and tree grouping."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.model.barrier_costs import (
+    lockfree_cost,
+    simple_cost,
+    tree_cost,
+    tree_group_sizes,
+    tree_level_plan,
+    tree_num_groups,
+)
+from repro.model.calibration import default_timings
+
+
+class TestSimpleCost:
+    def test_eq6_linear_in_blocks(self):
+        t = default_timings()
+        for n in range(1, 31):
+            assert simple_cost(n) == n * t.atomic_ns + t.spin_read_ns + t.syncthreads_ns
+
+    def test_slope_is_atomic_cost(self):
+        t = default_timings()
+        assert simple_cost(11) - simple_cost(10) == t.atomic_ns
+
+    def test_crosses_cpu_implicit_between_23_and_24(self):
+        t = default_timings()
+        assert simple_cost(23) < t.cpu_implicit_barrier_ns < simple_cost(24)
+
+    def test_rejects_non_positive_blocks(self):
+        with pytest.raises(ConfigError):
+            simple_cost(0)
+
+
+class TestGrouping:
+    def test_two_level_group_count_is_ceil_sqrt(self):
+        # Eq. 8: m = ceil(sqrt(N)).
+        for n in range(1, 31):
+            assert tree_num_groups(n, 2) == min(n, math.ceil(math.sqrt(n)))
+
+    def test_perfect_square_partition(self):
+        # Paper: if m^2 == N, every group holds m blocks.
+        assert tree_group_sizes(25, 5) == [5, 5, 5, 5, 5]
+        assert tree_group_sizes(16, 4) == [4, 4, 4, 4]
+
+    def test_paper_partition_rule(self):
+        # First m-1 groups hold floor(N/(m-1)); the last takes the rest.
+        assert tree_group_sizes(11, 4) == [3, 3, 3, 2]
+        assert tree_group_sizes(30, 6) == [6, 6, 6, 6, 6]  # empty last dropped
+
+    def test_more_groups_than_blocks(self):
+        assert tree_group_sizes(3, 5) == [1, 1, 1]
+
+    @given(n=st.integers(1, 512), m=st.integers(1, 64))
+    def test_partition_is_total_and_positive(self, n, m):
+        sizes = tree_group_sizes(n, m)
+        assert sum(sizes) == n
+        assert all(s > 0 for s in sizes)
+
+    @given(n=st.integers(1, 512), levels=st.integers(2, 5))
+    def test_plan_conserves_blocks(self, n, levels):
+        plan = tree_level_plan(n, levels)
+        assert len(plan) == levels
+        assert sum(plan[0]) == n
+        # Each level's participants are the previous level's groups.
+        for lower, upper in zip(plan, plan[1:]):
+            assert sum(upper) == len(lower)
+        # The top level is a single group.
+        assert len(plan[-1]) == 1
+
+    def test_plan_example_from_paper_sizes(self):
+        assert tree_level_plan(11, 2) == [[3, 3, 3, 2], [4]]
+
+    def test_plan_rejects_single_level(self):
+        with pytest.raises(ConfigError):
+            tree_level_plan(8, 1)
+
+
+class TestTreeCost:
+    def test_eq7_two_level_formula(self):
+        # t = (n̂·t_a + t_c1) + (m·t_a + t_c2) + closing syncthreads.
+        t = default_timings()
+        plan = tree_level_plan(30, 2)
+        n_hat, m = max(plan[0]), len(plan[0])
+        expected = (
+            (n_hat * t.atomic_ns + t.spin_read_ns + t.tree_level_overhead_ns)
+            + (m * t.atomic_ns + t.spin_read_ns + t.tree_level_overhead_ns)
+            + t.syncthreads_ns
+        )
+        assert tree_cost(30, 2) == expected
+
+    def test_tree_beats_simple_from_11_blocks(self):
+        # Paper §7.2: threshold 11 for 2-level tree vs simple.
+        assert tree_cost(10, 2) > simple_cost(10)
+        assert tree_cost(11, 2) < simple_cost(11)
+
+    def test_two_level_beats_three_level_up_to_30(self):
+        # Paper Fig. 13/14: 2-level is always better in the 9–30 range.
+        for n in range(9, 31):
+            assert tree_cost(n, 2) <= tree_cost(n, 3)
+
+    @given(n=st.integers(1, 256))
+    def test_tree_cost_monotone_nondecreasing(self, n):
+        assert tree_cost(n + 1, 2) >= tree_cost(n, 2)
+
+    def test_deeper_trees_allowed(self):
+        assert tree_cost(64, 4) > 0
+
+    def test_rejects_single_level(self):
+        with pytest.raises(ConfigError):
+            tree_cost(8, 1)
+
+
+class TestLockfreeCost:
+    def test_eq9_independent_of_blocks(self):
+        costs = {lockfree_cost(n) for n in range(1, 31)}
+        assert len(costs) == 1
+
+    def test_calibrated_value(self):
+        assert lockfree_cost(30) == 1_600
+
+    def test_lockfree_beats_everything_at_moderate_grids(self):
+        # Paper §5.4 observation 5: lock-free is best "for more than 3
+        # blocks".  Our calibration puts the simple/lock-free crossover at
+        # N = 6 (1 550 vs 1 600 ns at N = 5); the qualitative claim — a
+        # small constant threshold beyond which lock-free always wins —
+        # holds (recorded in EXPERIMENTS.md).
+        for n in range(6, 31):
+            assert lockfree_cost(n) < simple_cost(n)
+            assert lockfree_cost(n) < tree_cost(n, 2)
+            assert lockfree_cost(n) < tree_cost(n, 3)
+
+    def test_simple_wins_at_tiny_grids(self):
+        assert simple_cost(1) < lockfree_cost(1)
+        assert simple_cost(3) < lockfree_cost(3)

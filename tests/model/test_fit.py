@@ -1,0 +1,75 @@
+"""Tests for inverse calibration (fitting constants from measurements)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.model.calibration import default_timings
+from repro.model.fit import characterize, fit_constant, fit_simple
+
+
+def measured_sweep(strategy: str, blocks, rounds=5):
+    """Per-round barrier cost measured from the simulator."""
+    from repro.algorithms import MeanMicrobench
+    from repro.harness import run
+    from repro.harness.phases import compute_only, sync_time_ns
+
+    micro = MeanMicrobench(rounds=rounds, num_blocks_hint=max(blocks))
+    out = {}
+    for n in blocks:
+        null = compute_only(micro, n)
+        result = run(micro, strategy, n)
+        out[n] = sync_time_ns(result, null) / rounds
+    return out
+
+
+class TestFitSimple:
+    def test_recovers_calibration_from_measurement(self):
+        """The end-to-end closure: measure GPU-simple costs on the
+        simulator, fit Eq. 6, get the calibration constants back."""
+        t = default_timings()
+        sweep = measured_sweep("gpu-simple", [2, 8, 16, 24, 30])
+        fit = fit_simple(list(sweep), list(sweep.values()))
+        assert fit.slope == pytest.approx(t.atomic_ns, abs=0.5)
+        assert fit.intercept == pytest.approx(
+            t.spin_read_ns + t.syncthreads_ns, abs=2.0
+        )
+        assert fit.residual_rms < 1.0
+
+    def test_exact_synthetic_line(self):
+        fit = fit_simple([1, 2, 3], [10, 20, 30])
+        assert fit.slope == pytest.approx(10)
+        assert fit.intercept == pytest.approx(0, abs=1e-9)
+        assert fit.predict(10) == pytest.approx(100)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            fit_simple([1], [10])
+        with pytest.raises(ConfigError):
+            fit_simple([1, 2], [10])
+
+
+class TestFitConstant:
+    def test_recovers_lockfree_constant(self):
+        sweep = measured_sweep("gpu-lockfree", [2, 8, 30])
+        fit = fit_constant(list(sweep.values()))
+        assert fit.intercept == pytest.approx(1600.0)
+        assert fit.residual_rms == 0.0
+        assert fit.slope == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            fit_constant([])
+
+
+class TestCharacterize:
+    def test_device_characterization_shapes(self):
+        sweeps = {
+            "gpu-simple": measured_sweep("gpu-simple", [2, 16, 30]),
+            "gpu-lockfree": measured_sweep("gpu-lockfree", [2, 16, 30]),
+        }
+        fits = characterize(sweeps)
+        assert fits["gpu-simple"].slope > 100  # an atomic costs real time
+        assert fits["gpu-lockfree"].slope == 0.0
+        # Lock-free beats simple from small N on, per the fits.
+        n = 10
+        assert fits["gpu-lockfree"].predict(n) < fits["gpu-simple"].predict(n)

@@ -1,0 +1,86 @@
+"""Tests for Eqs. 1, 3, 4, 5: kernel execution-time models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.model.barrier_costs import lockfree_cost
+from repro.model.calibration import default_timings
+from repro.model.kernel_time import (
+    cpu_explicit_time,
+    cpu_implicit_time,
+    gpu_sync_time,
+    total_time,
+)
+
+
+def test_eq1_generic_sum():
+    assert total_time([1, 2], [10, 20], [100, 200]) == 333
+
+
+def test_eq1_rejects_mismatched_lengths():
+    with pytest.raises(ConfigError):
+        total_time([1], [2, 3], [4])
+
+
+def test_eq3_explicit_pays_launch_every_round():
+    t = default_timings()
+    one = cpu_explicit_time(1, 500)
+    two = cpu_explicit_time(2, 500)
+    assert two - one == 500 + t.host_launch_ns + t.cpu_implicit_barrier_ns
+
+
+def test_eq4_implicit_exposes_only_first_launch():
+    t = default_timings()
+    one = cpu_implicit_time(1, 500)
+    two = cpu_implicit_time(2, 500)
+    # Marginal round cost excludes the launch: it pipelines.
+    assert two - one == 500 + t.cpu_implicit_barrier_ns
+    assert one == t.host_launch_ns + 500 + t.cpu_implicit_barrier_ns
+
+
+def test_eq5_gpu_sync_single_launch():
+    t = default_timings()
+    barrier = lockfree_cost(30, t)
+    m = 100
+    expected = (
+        t.host_launch_ns + t.cpu_implicit_barrier_ns + m * (500 + barrier)
+    )
+    assert gpu_sync_time(m, 500, barrier) == expected
+
+
+def test_per_round_sequences_accepted():
+    per_round = [100, 200, 300]
+    assert cpu_implicit_time(3, per_round) == cpu_implicit_time(3, 200)
+
+
+def test_per_round_sequence_length_checked():
+    with pytest.raises(ConfigError):
+        cpu_implicit_time(3, [1, 2])
+
+
+def test_rounds_must_be_positive():
+    with pytest.raises(ConfigError):
+        cpu_implicit_time(0, 100)
+
+
+@given(rounds=st.integers(1, 1000), compute=st.integers(0, 100_000))
+def test_ordering_explicit_ge_implicit_ge_lockfree(rounds, compute):
+    """For every workload size: explicit ≥ implicit ≥ GPU lock-free."""
+    t = default_timings()
+    explicit = cpu_explicit_time(rounds, compute, t)
+    implicit = cpu_implicit_time(rounds, compute, t)
+    lockfree = gpu_sync_time(rounds, compute, lockfree_cost(30, t), t)
+    assert explicit >= implicit
+    # One extra setup/teardown is amortized over rounds; for rounds >= 2
+    # the device barrier always wins at these calibrations.
+    if rounds >= 2:
+        assert implicit >= lockfree
+
+
+@given(rounds=st.integers(1, 100), compute=st.integers(0, 10_000))
+def test_gpu_sync_monotone_in_barrier_cost(rounds, compute):
+    cheap = gpu_sync_time(rounds, compute, 100)
+    pricey = gpu_sync_time(rounds, compute, 5000)
+    assert pricey > cheap

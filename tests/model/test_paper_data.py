@@ -1,0 +1,66 @@
+"""Tests that the paper-data module is internally consistent and that the
+simulated device matches the paper's testbed description."""
+
+from repro.gpu.config import gtx280
+from repro.model import paper_data
+from repro.model.barrier_costs import simple_cost, tree_cost
+from repro.model.calibration import default_timings
+
+
+def test_table1_values_ordered():
+    t1 = paper_data.TABLE1_SYNC_PCT
+    assert t1["fft"].value < t1["swat"].value < t1["bitonic"].value
+
+
+def test_headline_ratio_consistency():
+    """7.8 / 3.7 ≈ the explicit/implicit ratio the calibration encodes."""
+    h = paper_data.HEADLINE
+    ratio = (
+        h["micro_lockfree_vs_explicit"].value
+        / h["micro_lockfree_vs_implicit"].value
+    )
+    t = default_timings()
+    assert abs(ratio - t.cpu_explicit_barrier_ns / t.cpu_implicit_barrier_ns) < 0.06
+
+
+def test_device_config_matches_paper_section2():
+    cfg = gtx280()
+    g = paper_data.GTX280
+    assert cfg.num_sms == g["num_sms"].value
+    assert cfg.total_sps == g["sps"].value
+    assert cfg.clock_mhz == g["clock_mhz"].value
+    assert cfg.shared_mem_per_sm == g["shared_mem_kb"].value * 1024
+    assert cfg.global_mem_bytes == g["global_mem_gb"].value * 1024**3
+    assert cfg.global_bandwidth_gbps == g["bandwidth_gbps"].value
+
+
+def test_default_threads_match_paper():
+    from repro.algorithms import FFT, BitonicSort, SmithWaterman
+
+    assert FFT.default_threads == paper_data.THREADS_PER_BLOCK["fft"]
+    assert SmithWaterman.default_threads == paper_data.THREADS_PER_BLOCK["swat"]
+    assert BitonicSort.default_threads == paper_data.THREADS_PER_BLOCK["bitonic"]
+
+
+def test_model_crossovers_match_paper_claims():
+    """The Eq. 6/7 models reproduce the §5.4 crossover claims."""
+    t = default_timings()
+    c = paper_data.CROSSOVERS
+    n = int(c[("cpu-implicit", "gpu-simple")].value)  # 24
+    assert simple_cost(n - 1, t) < t.cpu_implicit_barrier_ns < simple_cost(n, t)
+    n = int(c[("gpu-simple", "gpu-tree-2")].value)  # 11
+    assert tree_cost(n, 2, t) < simple_cost(n, t)
+    assert tree_cost(n - 1, 2, t) > simple_cost(n - 1, t)
+
+
+def test_claims_registry_complete():
+    groups = paper_data.claims()
+    assert set(groups) == {
+        "table1_sync_pct",
+        "headline",
+        "crossovers",
+        "threads_per_block",
+        "gtx280",
+    }
+    for claim in paper_data.TABLE1_SYNC_PCT.values():
+        assert claim.where

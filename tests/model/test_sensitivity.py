@@ -1,0 +1,48 @@
+"""Tests for crossover sensitivity analysis."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.model.calibration import default_timings
+from repro.model.sensitivity import (
+    crossover_blocks,
+    lockfree_vs_simple,
+    simple_vs_implicit,
+    sweep_parameter,
+    tree2_vs_simple,
+)
+
+
+def test_calibrated_crossovers_match_the_paper():
+    t = default_timings()
+    assert crossover_blocks(simple_vs_implicit, t) == 24  # §5.4 obs. 3
+    assert crossover_blocks(tree2_vs_simple, t) == 11  # §5.4 obs. 4
+    assert crossover_blocks(lockfree_vs_simple, t) == 6  # our calibration
+
+
+def test_cheaper_atomics_push_crossovers_out():
+    """Fermi-style cheap atomics delay every anti-atomic crossover —
+    the quantitative version of the generations study."""
+    rows = sweep_parameter("atomic_ns", [240, 120, 60])
+    implicit = [r["simple_vs_implicit"] for r in rows]
+    lockfree = [r["lockfree_vs_simple"] for r in rows]
+    assert implicit[0] < implicit[1] < implicit[2]
+    assert lockfree[0] < lockfree[1] < lockfree[2]
+
+
+def test_crossover_none_when_strategy_never_wins():
+    # With absurdly cheap atomics, lock-free never beats simple in range.
+    rows = sweep_parameter("atomic_ns", [1], max_blocks=64)
+    assert rows[0]["lockfree_vs_simple"] is None
+
+
+def test_cheaper_kernel_boundary_moves_implicit_crossover_down():
+    rows = sweep_parameter("kernel_setup_ns", [3000, 1000])
+    assert rows[1]["simple_vs_implicit"] < rows[0]["simple_vs_implicit"]
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        sweep_parameter("warp_speed_ns", [1])
+    with pytest.raises(ConfigError):
+        crossover_blocks(simple_vs_implicit, max_blocks=0)

@@ -1,0 +1,69 @@
+"""Tests for Eq. 2: the synchronization-speedup bound."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.model.speedup import kernel_speedup, max_speedup, rho
+
+
+def test_rho_basic():
+    assert rho(50, 100) == 0.5
+
+
+def test_rho_validation():
+    with pytest.raises(ConfigError):
+        rho(10, 0)
+    with pytest.raises(ConfigError):
+        rho(-1, 10)
+    with pytest.raises(ConfigError):
+        rho(11, 10)
+
+
+def test_eq2_known_value():
+    # ρ=0.5, S_S=3.7 → 1/(0.5 + 0.5/3.7) ≈ 1.574.
+    assert kernel_speedup(0.5, 3.7) == pytest.approx(1.5745, abs=1e-3)
+
+
+def test_no_sync_speedup_means_no_kernel_speedup():
+    assert kernel_speedup(0.3, 1.0) == pytest.approx(1.0)
+
+
+def test_amdahl_ceiling():
+    assert max_speedup(0.5) == 2.0
+    assert kernel_speedup(0.5, math.inf) == 2.0
+    assert max_speedup(0.0) == math.inf
+
+
+def test_paper_intuition_smaller_rho_gains_more():
+    """§4: "the smaller the ρ is, the more speedup can be gained"."""
+    fft = kernel_speedup(0.8, 3.7)  # FFT: ρ > 0.8
+    swat = kernel_speedup(0.5, 3.7)  # SWat/bitonic: ρ ≈ 0.5
+    assert swat > fft
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        kernel_speedup(1.5, 2.0)
+    with pytest.raises(ConfigError):
+        kernel_speedup(0.5, 0.0)
+    with pytest.raises(ConfigError):
+        max_speedup(-0.1)
+
+
+@given(
+    rho_value=st.floats(0.01, 1.0),
+    sync_speedup=st.floats(1.0, 1000.0),
+)
+def test_speedup_bounded_by_amdahl(rho_value, sync_speedup):
+    s = kernel_speedup(rho_value, sync_speedup)
+    assert 1.0 <= s + 1e-12
+    assert s <= max_speedup(rho_value) + 1e-9
+
+
+@given(rho_value=st.floats(0.01, 0.99))
+def test_speedup_monotone_in_sync_speedup(rho_value):
+    assert kernel_speedup(rho_value, 4.0) >= kernel_speedup(rho_value, 2.0)

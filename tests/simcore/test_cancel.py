@@ -1,0 +1,197 @@
+"""Tests for process cancellation in the engine."""
+
+import pytest
+
+from repro.simcore import (
+    Acquire,
+    Cancelled,
+    Delay,
+    Engine,
+    Join,
+    ProcessState,
+    Release,
+    Resource,
+    Signal,
+    WaitUntil,
+)
+
+
+def test_cancel_scheduled_process_never_runs_again():
+    eng = Engine()
+    ticks = []
+
+    def ticker():
+        while True:
+            yield Delay(10)
+            ticks.append(eng.now)
+
+    p = eng.spawn(ticker())
+
+    def killer():
+        yield Delay(25)
+        eng.cancel(p, "enough")
+
+    eng.spawn(killer())
+    eng.run()
+    assert ticks == [10, 20]
+    assert p.state == ProcessState.CANCELLED
+    assert not p.alive
+
+
+def test_cancel_returns_false_for_finished_process():
+    eng = Engine()
+
+    def quick():
+        yield Delay(1)
+
+    p = eng.spawn(quick())
+    eng.run()
+    assert eng.cancel(p) is False
+
+
+def test_cancelled_waiter_detached_from_signal():
+    eng = Engine()
+    sig = Signal("s")
+
+    def waiter():
+        yield WaitUntil(sig, lambda: False, "forever")
+
+    p = eng.spawn(waiter())
+
+    def killer():
+        yield Delay(5)
+        eng.cancel(p, "stuck")
+
+    eng.spawn(killer())
+    eng.run()  # would raise DeadlockError if the waiter stayed parked
+    assert sig.waiter_count == 0
+
+
+def test_cancelled_holder_releases_resource_to_next_waiter():
+    """The crucial cleanup: killing a slot holder frees the slot."""
+    eng = Engine()
+    res = Resource("slot")
+    got = []
+
+    def holder():
+        yield Acquire(res)
+        yield Delay(10_000)  # holds ~forever
+        yield Release(res)
+
+    def waiter():
+        yield Acquire(res)
+        got.append(eng.now)
+        yield Release(res)
+
+    h = eng.spawn(holder())
+    eng.spawn(waiter())
+
+    def killer():
+        yield Delay(50)
+        eng.cancel(h, "kill holder")
+
+    eng.spawn(killer())
+    eng.run()
+    assert got == [50]  # waiter granted the instant the holder died
+
+
+def test_cancelled_queued_process_removed_from_resource_queue():
+    eng = Engine()
+    res = Resource("slot")
+
+    def holder():
+        yield Acquire(res)
+        yield Delay(100)
+        yield Release(res)
+
+    def queued():
+        yield Acquire(res)
+        yield Release(res)
+
+    eng.spawn(holder())
+    q = eng.spawn(queued())
+
+    def killer():
+        yield Delay(10)
+        eng.cancel(q, "no need")
+
+    eng.spawn(killer())
+    eng.run()
+    assert res.queue_length == 0
+    assert res.available == 1
+
+
+def test_joiners_of_cancelled_process_get_sentinel():
+    eng = Engine()
+    results = []
+
+    def sleeper():
+        yield Delay(10_000)
+
+    s = eng.spawn(sleeper())
+
+    def joiner():
+        result = yield Join(s)
+        results.append(result)
+
+    eng.spawn(joiner())
+
+    def killer():
+        yield Delay(7)
+        eng.cancel(s, "watchdog")
+
+    eng.spawn(killer())
+    eng.run()
+    assert len(results) == 1
+    assert isinstance(results[0], Cancelled)
+    assert results[0].reason == "watchdog"
+
+
+def test_join_on_already_cancelled_process_is_immediate():
+    eng = Engine()
+
+    def sleeper():
+        yield Delay(10_000)
+
+    s = eng.spawn(sleeper())
+    results = []
+
+    def late_joiner():
+        yield Delay(100)
+        result = yield Join(s)
+        results.append((eng.now, result))
+
+    eng.spawn(late_joiner())
+
+    def killer():
+        yield Delay(5)
+        eng.cancel(s, "early kill")
+
+    eng.spawn(killer())
+    eng.run()
+    assert results[0][0] == 100
+    assert isinstance(results[0][1], Cancelled)
+
+
+def test_cancelling_a_join_blocked_process_detaches_it():
+    eng = Engine()
+
+    def sleeper():
+        yield Delay(200)
+
+    s = eng.spawn(sleeper())
+
+    def joiner():
+        yield Join(s)
+
+    j = eng.spawn(joiner())
+
+    def killer():
+        yield Delay(10)
+        eng.cancel(j, "impatient")
+
+    eng.spawn(killer())
+    eng.run()
+    assert j.state == ProcessState.CANCELLED
+    assert s.state == ProcessState.DONE
+    assert j not in s.joiners

@@ -1,0 +1,141 @@
+"""Property-based tests of the discrete-event engine itself."""
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simcore import (
+    Acquire,
+    Delay,
+    Engine,
+    Join,
+    Release,
+    Resource,
+    Spawn,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    delays=st.lists(st.integers(0, 1000), min_size=1, max_size=20),
+)
+def test_parallel_delays_finish_at_max(delays):
+    """N concurrent sleepers finish exactly when the longest ends."""
+    eng = Engine()
+
+    def sleeper(d):
+        yield Delay(d)
+
+    for d in delays:
+        eng.spawn(sleeper(d))
+    assert eng.run() == max(delays)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    delays=st.lists(st.integers(0, 200), min_size=1, max_size=15),
+)
+def test_serialized_delays_finish_at_sum(delays):
+    """N contenders on a unit resource finish at the sum of hold times."""
+    eng = Engine()
+    res = Resource("unit")
+
+    def contender(d):
+        yield Acquire(res)
+        yield Delay(d)
+        yield Release(res)
+
+    for d in delays:
+        eng.spawn(contender(d))
+    assert eng.run() == sum(delays)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    capacity=st.integers(1, 8),
+    holds=st.lists(st.integers(1, 100), min_size=1, max_size=24),
+)
+def test_capacity_k_matches_greedy_schedule(capacity, holds):
+    """A capacity-k FIFO resource behaves like k greedy machines fed in
+    arrival order (each grant goes to the earliest-free unit)."""
+    eng = Engine()
+    res = Resource("pool", capacity)
+
+    def contender(d):
+        yield Acquire(res)
+        yield Delay(d)
+        yield Release(res)
+
+    for d in holds:
+        eng.spawn(contender(d))
+    measured = eng.run()
+
+    machines = [0] * capacity
+    for d in holds:
+        earliest = heapq.nsmallest(1, machines)[0]
+        machines[machines.index(earliest)] = earliest + d
+    assert measured == max(machines)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    tree=st.recursive(
+        st.integers(1, 50),
+        lambda children: st.lists(children, min_size=1, max_size=3),
+        max_leaves=12,
+    )
+)
+def test_spawn_join_trees_compute_critical_path(tree):
+    """A random fork/join tree finishes at its critical-path length."""
+    eng = Engine()
+
+    def expected(node):
+        if isinstance(node, int):
+            return node
+        return max(expected(child) for child in node)
+
+    def proc(node):
+        if isinstance(node, int):
+            yield Delay(node)
+            return
+        children = []
+        for child in node:
+            p = yield Spawn(proc(child), "child")
+            children.append(p)
+        for p in children:
+            yield Join(p)
+
+    eng.spawn(proc(tree))
+    assert eng.run() == expected(tree)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed_delays=st.lists(st.integers(0, 500), min_size=2, max_size=10),
+)
+def test_runs_are_bit_identical(seed_delays):
+    """The same program produces the same event count and final time."""
+
+    def build():
+        eng = Engine()
+        res = Resource("r", 2)
+
+        def worker(d):
+            yield Acquire(res)
+            yield Delay(d)
+            yield Release(res)
+
+        def main():
+            procs = []
+            for i, d in enumerate(seed_delays):
+                p = yield Spawn(worker(d), f"w{i}")
+                procs.append(p)
+            for p in procs:
+                yield Join(p)
+
+        eng.spawn(main())
+        final = eng.run()
+        return final, eng.events_dispatched
+
+    assert build() == build()

@@ -1,0 +1,66 @@
+"""Unit tests for span tracing."""
+
+import pytest
+
+from repro.simcore import Span, Trace
+
+
+def test_span_duration():
+    assert Span("b0", "compute", 10, 25).duration == 15
+
+
+def test_span_rejects_negative_duration():
+    with pytest.raises(ValueError):
+        Span("b0", "compute", 10, 5)
+
+
+def test_trace_add_and_filter():
+    tr = Trace()
+    tr.add("b0", "compute", 0, 10)
+    tr.add("b0", "sync", 10, 14)
+    tr.add("b1", "compute", 0, 12)
+    assert len(tr) == 3
+    assert tr.total("compute") == 22
+    assert tr.total("compute", owner="b0") == 10
+    assert tr.total("sync") == 4
+    assert tr.total() == 26
+
+
+def test_trace_phases_in_first_appearance_order():
+    tr = Trace()
+    tr.add("a", "launch", 0, 1)
+    tr.add("a", "compute", 1, 2)
+    tr.add("b", "launch", 0, 1)
+    assert tr.phases() == ["launch", "compute"]
+
+
+def test_trace_by_phase_totals():
+    tr = Trace()
+    tr.add("a", "x", 0, 5)
+    tr.add("b", "x", 0, 5)
+    tr.add("a", "y", 5, 6)
+    assert tr.by_phase() == {"x": 10, "y": 1}
+
+
+def test_trace_meta_is_preserved():
+    tr = Trace()
+    span = tr.add("b0", "sync", 0, 3, round=7)
+    assert span.meta == {"round": 7}
+    assert tr.spans("sync")[0].meta == {"round": 7}
+
+
+def test_trace_merge_sorts_by_start():
+    a, b = Trace(), Trace()
+    a.add("a", "x", 10, 20)
+    b.add("b", "x", 0, 5)
+    merged = a.merge([b])
+    assert [s.owner for s in merged] == ["b", "a"]
+    assert len(a) == 1 and len(b) == 1  # originals untouched
+
+
+def test_trace_clear():
+    tr = Trace()
+    tr.add("a", "x", 0, 1)
+    tr.clear()
+    assert len(tr) == 0
+    assert tr.total() == 0

@@ -1,0 +1,68 @@
+"""Property-based barrier invariants through the full simulator.
+
+Hypothesis drives random (strategy, grid size, round count, arrival
+skew) configurations; every device barrier must uphold the fundamental
+invariant — no block exits round r before every block entered it — and
+finish in bounded time.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sync import get_strategy
+
+from tests.sync.conftest import assert_barrier_invariant, run_barrier_kernel
+
+DEVICE_BARRIERS = [
+    "gpu-simple",
+    "gpu-simple-reset",
+    "gpu-tree-2",
+    "gpu-tree-3",
+    "gpu-lockfree",
+    "gpu-lockfree-serial",
+    "gpu-sense-reversal",
+    "gpu-dissemination",
+]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    strategy_name=st.sampled_from(DEVICE_BARRIERS),
+    num_blocks=st.integers(1, 30),
+    rounds=st.integers(1, 6),
+    compute_ns=st.integers(0, 1500),
+)
+def test_invariant_under_random_configurations(
+    strategy_name, num_blocks, rounds, compute_ns
+):
+    strategy = get_strategy(strategy_name)
+    total, events, _dev = run_barrier_kernel(
+        strategy, num_blocks, rounds, compute_ns=compute_ns
+    )
+    assert_barrier_invariant(events, num_blocks, rounds)
+    assert total > 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    num_blocks=st.integers(2, 30),
+    rounds=st.integers(1, 5),
+)
+def test_lockfree_cost_constant_under_random_grids(num_blocks, rounds):
+    """Eq. 9 as a property: per-round lock-free cost never varies with N."""
+    strategy = get_strategy("gpu-lockfree")
+    total, _events, dev = run_barrier_kernel(strategy, num_blocks, rounds)
+    t = dev.config.timings
+    overhead = t.host_launch_ns + t.kernel_setup_ns + t.kernel_teardown_ns
+    assert (total - overhead) / rounds == 1600
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    strategy_name=st.sampled_from(["gpu-simple", "gpu-tree-2", "gpu-lockfree"]),
+    num_blocks=st.integers(1, 30),
+)
+def test_barrier_runs_are_deterministic(strategy_name, num_blocks):
+    a, _e, _d = run_barrier_kernel(get_strategy(strategy_name), num_blocks, 3)
+    b, _e, _d = run_barrier_kernel(get_strategy(strategy_name), num_blocks, 3)
+    assert a == b

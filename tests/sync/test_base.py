@@ -1,0 +1,76 @@
+"""Tests for the strategy interface and registry."""
+
+import pytest
+
+from repro.errors import ConfigError, OccupancyError
+from repro.gpu.config import gtx280
+from repro.sync import (
+    CpuImplicitSync,
+    GpuLockFreeSync,
+    GpuSimpleSync,
+    get_strategy,
+    strategy_names,
+)
+
+
+def test_registry_contains_all_paper_strategies():
+    names = strategy_names()
+    for expected in (
+        "cpu-explicit",
+        "cpu-implicit",
+        "gpu-simple",
+        "gpu-tree-2",
+        "gpu-tree-3",
+        "gpu-lockfree",
+        "null",
+    ):
+        assert expected in names
+
+
+def test_get_strategy_returns_fresh_instances():
+    a, b = get_strategy("gpu-simple"), get_strategy("gpu-simple")
+    assert a is not b
+    assert isinstance(a, GpuSimpleSync)
+
+
+def test_unknown_strategy_rejected():
+    with pytest.raises(ConfigError, match="unknown strategy"):
+        get_strategy("gpu-magic")
+
+
+def test_device_strategies_claim_full_shared_memory():
+    cfg = gtx280()
+    assert GpuLockFreeSync().shared_mem_request(cfg) == cfg.shared_mem_per_sm
+    assert CpuImplicitSync().shared_mem_request(cfg) == 0
+
+
+def test_device_strategy_grid_limit_is_sm_count():
+    cfg = gtx280()
+    strat = GpuSimpleSync()
+    assert strat.max_blocks(cfg) == cfg.num_sms
+    strat.validate_grid(cfg, cfg.num_sms)  # ok
+    with pytest.raises(OccupancyError, match="deadlock"):
+        strat.validate_grid(cfg, cfg.num_sms + 1)
+
+
+def test_host_strategy_allows_huge_grids():
+    cfg = gtx280()
+    CpuImplicitSync().validate_grid(cfg, 10_000)
+
+
+def test_grid_must_be_positive():
+    with pytest.raises(ConfigError):
+        GpuSimpleSync().validate_grid(gtx280(), 0)
+
+
+def test_host_strategy_has_no_device_hooks():
+    strat = CpuImplicitSync()
+    with pytest.raises(NotImplementedError):
+        strat.prepare(None, 4)
+    with pytest.raises(NotImplementedError):
+        strat.barrier(None, 0)
+
+
+def test_describe_mentions_mode():
+    assert "device" in GpuSimpleSync().describe()
+    assert "host" in CpuImplicitSync().describe()

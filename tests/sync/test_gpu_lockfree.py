@@ -1,0 +1,107 @@
+"""Tests for GPU lock-free synchronization (paper §5.3)."""
+
+import pytest
+
+from repro.errors import SyncProtocolError
+from repro.model.barrier_costs import lockfree_cost
+from repro.sync import GpuLockFreeSync
+
+from tests.sync.conftest import assert_barrier_invariant, run_barrier_kernel
+
+
+@pytest.mark.parametrize("num_blocks", [1, 2, 3, 8, 16, 30])
+def test_barrier_invariant(num_blocks):
+    strat = GpuLockFreeSync()
+    _total, events, _dev = run_barrier_kernel(strat, num_blocks, rounds=4)
+    assert_barrier_invariant(events, num_blocks, 4)
+
+
+def test_barrier_invariant_staggered():
+    strat = GpuLockFreeSync()
+    _total, events, _dev = run_barrier_kernel(
+        strat, num_blocks=10, rounds=5, compute_ns=600
+    )
+    assert_barrier_invariant(events, 10, 5)
+
+
+def test_uses_no_atomics_at_all():
+    """The defining property: zero atomic operations (paper §5.3)."""
+    strat = GpuLockFreeSync()
+    _t, _e, dev = run_barrier_kernel(strat, num_blocks=16, rounds=10)
+    assert dev.atomics.ops == 0
+
+
+def test_cost_matches_eq9_and_is_constant():
+    per_round_costs = set()
+    for n in (2, 8, 16, 30):
+        strat = GpuLockFreeSync()
+        rounds = 4
+        total, _e, dev = run_barrier_kernel(strat, n, rounds)
+        t = dev.config.timings
+        overhead = t.host_launch_ns + t.kernel_setup_ns + t.kernel_teardown_ns
+        per_round = (total - overhead) / rounds
+        assert per_round == lockfree_cost(n, t)
+        per_round_costs.add(per_round)
+    assert len(per_round_costs) == 1  # independent of N
+
+
+def test_goal_accumulates_in_both_arrays():
+    strat = GpuLockFreeSync()
+    _t, _e, dev = run_barrier_kernel(strat, num_blocks=6, rounds=3)
+    arr_in = dev.memory.get(f"Arrayin#{strat._uid}")
+    arr_out = dev.memory.get(f"Arrayout#{strat._uid}")
+    assert list(arr_in.data) == [3] * 6
+    assert list(arr_out.data) == [3] * 6
+
+
+def test_checker_is_block_1_per_paper():
+    strat = GpuLockFreeSync()
+    strat._num_blocks = 8
+    assert strat.checker_block == 1
+    strat._num_blocks = 1
+    assert strat.checker_block == 0
+
+
+def test_requires_enough_threads_for_parallel_check(device):
+    """Fig. 9: thread i of the checking block watches Arrayin[i]."""
+    strat = GpuLockFreeSync()
+    strat.prepare(device, 8)
+
+    class FakeCtx:
+        num_blocks = 8
+        block_threads = 4  # fewer threads than blocks
+
+    with pytest.raises(SyncProtocolError, match="threads"):
+        next(strat.barrier(FakeCtx(), 0))
+
+
+def test_barrier_before_prepare_rejected():
+    with pytest.raises(SyncProtocolError, match="prepare"):
+        next(GpuLockFreeSync().barrier(None, 0))
+
+
+class TestSerialGatherAblation:
+    def test_serial_variant_is_correct(self):
+        strat = GpuLockFreeSync(serial_gather=True)
+        _total, events, dev = run_barrier_kernel(strat, num_blocks=8, rounds=3)
+        assert_barrier_invariant(events, 8, 3)
+        assert dev.atomics.ops == 0
+
+    def test_serial_variant_cost_grows_with_blocks(self):
+        """§5.3: the N-thread parallel check 'saves considerable
+        synchronization overhead' vs a serial scan."""
+
+        def per_round(strategy, n):
+            total, _e, dev = run_barrier_kernel(strategy, n, rounds=2)
+            t = dev.config.timings
+            overhead = t.host_launch_ns + t.kernel_setup_ns + t.kernel_teardown_ns
+            return (total - overhead) / 2
+
+        serial_8 = per_round(GpuLockFreeSync(serial_gather=True), 8)
+        serial_24 = per_round(GpuLockFreeSync(serial_gather=True), 24)
+        parallel_24 = per_round(GpuLockFreeSync(), 24)
+        assert serial_24 > serial_8  # grows with N
+        assert serial_24 > parallel_24  # and loses to the paper's design
+
+    def test_serial_variant_name(self):
+        assert GpuLockFreeSync(serial_gather=True).name == "gpu-lockfree-serial"

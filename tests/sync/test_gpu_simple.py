@@ -1,0 +1,93 @@
+"""Tests for GPU simple synchronization (paper §5.1)."""
+
+import pytest
+
+from repro.errors import SyncProtocolError
+from repro.model.barrier_costs import simple_cost
+from repro.sync import GpuSimpleSync
+
+from tests.sync.conftest import assert_barrier_invariant, run_barrier_kernel
+
+
+def test_barrier_invariant_simultaneous_arrival():
+    strat = GpuSimpleSync()
+    _total, events, _dev = run_barrier_kernel(strat, num_blocks=8, rounds=5)
+    assert_barrier_invariant(events, 8, 5)
+
+
+def test_barrier_invariant_staggered_arrival():
+    strat = GpuSimpleSync()
+    _total, events, _dev = run_barrier_kernel(
+        strat, num_blocks=12, rounds=4, compute_ns=700
+    )
+    assert_barrier_invariant(events, 12, 4)
+
+
+def test_cost_matches_eq6_exactly():
+    """Measured per-round barrier time equals N·t_a + t_c."""
+    for n in (1, 4, 16, 30):
+        strat = GpuSimpleSync()
+        rounds = 3
+        total, _events, dev = run_barrier_kernel(strat, num_blocks=n, rounds=rounds)
+        t = dev.config.timings
+        overhead = t.host_launch_ns + t.kernel_setup_ns + t.kernel_teardown_ns
+        per_round = (total - overhead) / rounds
+        assert per_round == simple_cost(n, t)
+
+
+def test_goal_accumulates_across_rounds():
+    strat = GpuSimpleSync()
+    _total, _events, dev = run_barrier_kernel(strat, num_blocks=5, rounds=4)
+    mutex = dev.memory.get(f"g_mutex#{strat._uid}")
+    assert mutex.data[0] == 5 * 4  # never reset
+
+
+def test_atomic_count_is_blocks_times_rounds():
+    strat = GpuSimpleSync()
+    _total, _events, dev = run_barrier_kernel(strat, num_blocks=6, rounds=7)
+    assert dev.atomics.ops == 6 * 7
+
+
+def test_single_block_grid():
+    strat = GpuSimpleSync()
+    total, events, _dev = run_barrier_kernel(strat, num_blocks=1, rounds=3)
+    assert_barrier_invariant(events, 1, 3)
+    assert total > 0
+
+
+def test_barrier_before_prepare_rejected():
+    strat = GpuSimpleSync()
+    with pytest.raises(SyncProtocolError, match="prepare"):
+        next(strat.barrier(None, 0))
+
+
+def test_block_count_mismatch_rejected(device):
+    strat = GpuSimpleSync()
+    strat.prepare(device, 4)
+
+    class FakeCtx:
+        num_blocks = 9
+
+    with pytest.raises(SyncProtocolError, match="prepared for 4"):
+        next(strat.barrier(FakeCtx(), 0))
+
+
+class TestResetVariantAblation:
+    def test_reset_variant_is_correct(self):
+        strat = GpuSimpleSync(reset_mutex=True)
+        _total, events, dev = run_barrier_kernel(
+            strat, num_blocks=8, rounds=5, compute_ns=300
+        )
+        assert_barrier_invariant(events, 8, 5)
+        mutex = dev.memory.get(f"g_mutex#{strat._uid}")
+        assert mutex.data[0] == 0  # reset after every round
+
+    def test_reset_variant_is_slower(self):
+        """§5.1: accumulating goalVal 'saves the number of instructions'."""
+        n, rounds = 16, 5
+        fast, _e, _d = run_barrier_kernel(GpuSimpleSync(), n, rounds)
+        slow, _e, _d = run_barrier_kernel(GpuSimpleSync(reset_mutex=True), n, rounds)
+        assert slow > fast
+
+    def test_reset_variant_name(self):
+        assert GpuSimpleSync(reset_mutex=True).name == "gpu-simple-reset"

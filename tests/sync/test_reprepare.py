@@ -1,0 +1,72 @@
+"""Strategies must be re-preparable on the same device (sweep reuse)."""
+
+import pytest
+
+from repro.algorithms import MeanMicrobench
+from repro.gpu.device import Device
+from repro.gpu.host import Host
+from repro.gpu.kernel import KernelSpec
+from repro.sync import get_strategy
+
+REPREPARABLE = [
+    "gpu-simple",
+    "gpu-tree-2",
+    "gpu-tree-3",
+    "gpu-lockfree",
+    "gpu-sense-reversal",
+    "gpu-dissemination",
+]
+
+
+@pytest.mark.parametrize("name", REPREPARABLE)
+def test_prepare_twice_on_one_device(name):
+    strategy = get_strategy(name)
+    device = Device()
+    strategy.prepare(device, 4)
+    strategy.prepare(device, 8)  # must not raise (reused, reset state)
+
+
+@pytest.mark.parametrize("name", ["gpu-simple", "gpu-lockfree"])
+def test_back_to_back_kernels_with_reprepared_barrier(name):
+    """Two barrier kernels on one device, re-preparing in between —
+    the second run's correctness proves the state reset."""
+    device = Device()
+    host = Host(device)
+    micro = MeanMicrobench(rounds=3, num_blocks_hint=6, threads_per_block=32)
+    strategy = get_strategy(name)
+
+    for launch_idx in range(2):
+        micro.reset()
+        strategy.prepare(device, 6)
+
+        def program(ctx):
+            for r in range(3):
+                yield from ctx.compute(
+                    micro.round_cost(r, ctx.block_id, 6),
+                    micro.round_work(r, ctx.block_id, 6),
+                )
+                yield from strategy.barrier(ctx, r)
+
+        spec = KernelSpec(
+            f"k{launch_idx}", program, grid_blocks=6, block_threads=32,
+            shared_mem_per_block=strategy.shared_mem_request(device.config),
+        )
+
+        def host_program():
+            yield from host.launch(spec)
+            yield from host.synchronize()
+
+        device.engine.spawn(host_program(), "host")
+        device.run()
+        micro.verify()
+
+
+def test_reuse_with_different_shape_reallocates():
+    device = Device()
+    strategy = get_strategy("gpu-lockfree")
+    strategy.prepare(device, 4)
+    first = device.memory.get(f"Arrayin#{strategy._uid}")
+    assert first.shape == (4,)
+    strategy.prepare(device, 9)
+    second = device.memory.get(f"Arrayin#{strategy._uid}")
+    assert second.shape == (9,)

@@ -1,0 +1,31 @@
+"""The committed API reference must match the code."""
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def test_api_docs_are_current():
+    sys.path.insert(0, str(REPO / "tools"))
+    try:
+        import gen_api_docs
+    finally:
+        sys.path.pop(0)
+    expected = gen_api_docs.generate()
+    committed = (REPO / "docs" / "api.md").read_text()
+    assert committed == expected, (
+        "docs/api.md is stale — run `python tools/gen_api_docs.py`"
+    )
+
+
+def test_api_docs_cover_key_modules():
+    text = (REPO / "docs" / "api.md").read_text()
+    for module in (
+        "repro.simcore.engine",
+        "repro.gpu.device",
+        "repro.sync.gpu_lockfree",
+        "repro.model.barrier_costs",
+        "repro.harness.runner",
+    ):
+        assert f"## `{module}`" in text, module

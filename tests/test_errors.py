@@ -1,0 +1,41 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in errors.__all__:
+        cls = getattr(errors, name)
+        if name == "ReproError":
+            continue
+        assert issubclass(cls, errors.ReproError), name
+
+
+def test_deadlock_error_carries_blocked_list():
+    exc = errors.DeadlockError([("b0", "spinning"), ("b1", "SM slot")])
+    assert exc.blocked == [("b0", "spinning"), ("b1", "SM slot")]
+    assert "b0: spinning" in str(exc)
+    assert "2 blocked" in str(exc)
+
+
+def test_occupancy_is_a_launch_error():
+    assert issubclass(errors.OccupancyError, errors.LaunchError)
+
+
+def test_deadlock_is_a_simulation_error():
+    assert issubclass(errors.DeadlockError, errors.SimulationError)
+
+
+def test_single_catch_at_api_boundary():
+    """A caller can catch every library error with one except clause."""
+    from repro.algorithms import FFT
+    from repro.harness import run
+
+    with pytest.raises(errors.ReproError):
+        run(FFT(n=64), "no-such-strategy", 4)
+    with pytest.raises(errors.ReproError):
+        run(FFT(n=64), "gpu-simple", 31)
+    with pytest.raises(errors.ReproError):
+        FFT(n=37)

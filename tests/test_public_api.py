@@ -1,0 +1,70 @@
+"""Tests for the top-level public API surface."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_readme_quickstart_snippet_works():
+    """The code shown in README.md must actually run."""
+    from repro import FFT, run
+
+    result = run(FFT(n=2**8), "gpu-lockfree", num_blocks=4)
+    assert result.total_ms > 0
+    assert result.verified
+    assert result.kernel_launches == 1
+
+
+def test_strategy_names_cover_paper_and_extensions():
+    names = repro.strategy_names()
+    paper = {
+        "cpu-explicit",
+        "cpu-implicit",
+        "gpu-simple",
+        "gpu-tree-2",
+        "gpu-tree-3",
+        "gpu-lockfree",
+    }
+    extensions = {
+        "gpu-sense-reversal",
+        "gpu-dissemination",
+        "gpu-simple-reset",
+        "gpu-lockfree-serial",
+        "gpu-lockfree-detailed",
+        "null",
+    }
+    assert paper <= set(names)
+    assert extensions <= set(names)
+
+
+def test_subpackages_importable():
+    import repro.algorithms
+    import repro.gpu
+    import repro.harness
+    import repro.model
+    import repro.simcore
+    import repro.sync
+
+    assert repro.simcore.Engine
+    assert repro.gpu.Device
+    assert repro.sync.SyncStrategy
+    assert repro.model.default_timings
+    assert repro.algorithms.RoundAlgorithm
+    assert repro.harness.run
+
+
+def test_docstrings_on_public_items():
+    """Every public top-level item documents itself."""
+    import inspect
+
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            assert obj.__doc__, f"{name} lacks a docstring"
