@@ -1,0 +1,88 @@
+"""Sanitizer overhead: fuzzed + instrumented replay vs plain simulation.
+
+The sanitizer's value proposition includes "cheap enough to run in CI":
+probes hang off an empty-by-default list and the fuzzer only perturbs
+heap tie-breaks, so a sanitized schedule should cost a small constant
+factor over a plain run of the same configuration — not an order of
+magnitude.  This bench measures that factor on the lock-free barrier
+and writes it to ``benchmarks/out/sanitize_overhead.txt``.
+"""
+
+from time import perf_counter
+
+from benchmarks.conftest import save_report
+from repro.harness.report import format_table
+from repro.harness.runner import run
+from repro.sanitize import SkewedMicrobench, sanitize_run
+
+STRATEGY = "gpu-lockfree"
+
+
+def _algo(blocks: int, rounds: int) -> SkewedMicrobench:
+    return SkewedMicrobench(
+        rounds=rounds, num_blocks_hint=blocks, threads_per_block=64
+    )
+
+
+def test_sanitizer_overhead(
+    benchmark, sanitize_bench_shape, fuzz_seed, fuzz_schedule_count
+):
+    blocks, rounds = sanitize_bench_shape
+    schedules = fuzz_schedule_count
+
+    def measure():
+        t0 = perf_counter()
+        for _ in range(schedules):
+            result = run(
+                _algo(blocks, rounds),
+                STRATEGY,
+                blocks,
+                threads_per_block=64,
+            )
+            assert result.verified is True
+        plain_s = perf_counter() - t0
+
+        t0 = perf_counter()
+        report = sanitize_run(
+            _algo(blocks, rounds),
+            STRATEGY,
+            blocks,
+            seed=fuzz_seed,
+            schedules=schedules,
+        )
+        sanitized_s = perf_counter() - t0
+        return plain_s, sanitized_s, report
+
+    plain_s, sanitized_s, report = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    assert report.clean, report.render()
+    assert report.schedules_run == schedules
+
+    ratio = sanitized_s / plain_s
+    table = format_table(
+        ["configuration", "wall time (s)", "per schedule (ms)"],
+        [
+            [
+                f"plain ×{schedules}",
+                f"{plain_s:.3f}",
+                f"{1e3 * plain_s / schedules:.1f}",
+            ],
+            [
+                f"sanitized ×{schedules}",
+                f"{sanitized_s:.3f}",
+                f"{1e3 * sanitized_s / schedules:.1f}",
+            ],
+            ["overhead factor", f"{ratio:.2f}×", ""],
+        ],
+        title=(
+            f"Sanitizer overhead — {STRATEGY}, {blocks} blocks × "
+            f"{rounds} rounds, {report.barrier_events} barrier / "
+            f"{report.access_events} access events"
+        ),
+    )
+    save_report("sanitize_overhead", table)
+
+    # Generous wall-clock bound: instrumentation must stay a small
+    # constant factor, CI noise included.
+    assert ratio < 20, f"sanitizer overhead {ratio:.1f}× exceeds budget"

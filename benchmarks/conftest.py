@@ -48,3 +48,18 @@ def shared_algorithm_sweep(algorithm: str) -> "experiments.SweepResult":
 @pytest.fixture(scope="session")
 def algorithm_sweep():
     return shared_algorithm_sweep
+
+
+# -- sanitizer knobs ---------------------------------------------------------
+#
+# bench_sanitize.py measures instrumented-and-fuzzed replay against plain
+# simulation.  The schedule seed and count come from the sanitizer's own
+# pytest options (--fuzz-seed / --fuzz-schedules, loaded by the root
+# conftest), so one flag reconfigures tests and benches alike; the grid
+# shape below is the bench's own knob.
+
+
+@pytest.fixture(scope="session")
+def sanitize_bench_shape():
+    """(num_blocks, rounds) the overhead bench simulates per run."""
+    return (8, 50)

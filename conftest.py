@@ -1,0 +1,19 @@
+"""Repo-root pytest configuration.
+
+Loads the sanitizer's pytest plugin (``--sanitize``, ``--fuzz-seed``,
+``--fuzz-schedules`` and the ``fuzz_schedules``/``sanitized_run``
+fixtures — see docs/sanitizer.md).  ``pytest_plugins`` must live in the
+rootdir conftest, hence this file.
+"""
+
+import sys
+from pathlib import Path
+
+# The suite is normally run with PYTHONPATH=src; make the plugin import
+# (which happens before any test) work without it too.
+_SRC = str(Path(__file__).resolve().parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+# pytester drives the plugin's own tests (tests/sanitize/test_plugin.py).
+pytest_plugins = ("repro.sanitize.pytest_plugin", "pytester")

@@ -19,6 +19,7 @@ Subpackages:
 * :mod:`repro.model`      — the paper's analytic performance models
 * :mod:`repro.algorithms` — FFT, Smith-Waterman, bitonic sort, micro
 * :mod:`repro.harness`    — experiment drivers for every table/figure
+* :mod:`repro.sanitize`   — barrier sanitizer + schedule fuzzer
 """
 
 from repro.algorithms import (
@@ -52,6 +53,13 @@ from repro.gpu import (
     gtx280,
 )
 from repro.harness import RunResult, run
+from repro.sanitize import (
+    Finding,
+    SanitizeReport,
+    SanitizerProbe,
+    ScheduleFuzzer,
+    sanitize_run,
+)
 from repro.sync import (
     CpuExplicitSync,
     CpuImplicitSync,
@@ -78,6 +86,7 @@ __all__ = [
     "DeviceConfig",
     "Event",
     "FFT",
+    "Finding",
     "GpuDisseminationSync",
     "GpuLockFreeSync",
     "GpuSenseReversalSync",
@@ -95,6 +104,9 @@ __all__ = [
     "ReproError",
     "RoundAlgorithm",
     "RunResult",
+    "SanitizeReport",
+    "SanitizerProbe",
+    "ScheduleFuzzer",
     "SimulationError",
     "SmithWaterman",
     "StageCostModel",
@@ -106,5 +118,6 @@ __all__ = [
     "get_strategy",
     "gtx280",
     "run",
+    "sanitize_run",
     "strategy_names",
 ]

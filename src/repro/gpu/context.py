@@ -128,12 +128,16 @@ class BlockCtx:
     def gread(self, array: GlobalArray, index: Any) -> Generator:
         """Read one element/slice of global memory (charges read latency)."""
         yield Delay(self.timings.global_read_ns)
+        if self.device.probes:
+            self.device.notify_access(self, array, index, "read")
         return array.load(index)
 
     def gwrite(self, array: GlobalArray, index: Any, value: Any) -> Generator:
         """Write global memory; visible (and waking spinners) after the
         write latency elapses."""
         yield Delay(self.timings.global_write_ns)
+        if self.device.probes:
+            self.device.notify_access(self, array, index, "write")
         array.store(index, value)
 
     def atomic_add(self, array: GlobalArray, index: Any, value: Any) -> Generator:
@@ -148,6 +152,8 @@ class BlockCtx:
         start = self.now
         queued = yield Acquire(unit, f"atomic on {array.name}[{flat}]")
         yield Delay(self.timings.atomic_ns)
+        if self.device.probes:
+            self.device.notify_access(self, array, index, "atomic")
         old = array.load(index)
         array.store(index, old + value)
         self.device.atomics.ops += 1
@@ -171,6 +177,8 @@ class BlockCtx:
         start = self.now
         polls = yield WaitUntil(array.signal, predicate, reason)
         yield Delay(self.timings.spin_read_ns)
+        if self.device.probes:
+            self.device.notify_access(self, array, None, "spin")
         self.record("spin", start, on=array.name, polls=polls)
         return polls
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional
+from typing import Any, Generator, List, Optional
 
 from repro.errors import KernelTimeoutError
 from repro.gpu.atomics import AtomicRegistry
@@ -33,19 +33,38 @@ class Device:
         *,
         engine: Optional[Engine] = None,
         device_wide_atomics: bool = False,
+        fuzzer=None,
     ):
         self.config = config or gtx280()
         #: the simulation engine — private by default; pass a shared one
         #: to put several devices in one simulated system (multi-GPU).
-        self.engine = engine or Engine()
+        #: ``fuzzer`` (a :class:`repro.sanitize.ScheduleFuzzer`) perturbs
+        #: same-time event ordering and SM placement tie-breaking.
+        self.engine = engine or Engine(
+            tiebreak=fuzzer.queue_priority if fuzzer is not None else None
+        )
         self.memory = GlobalMemory(self.engine, self.config.global_mem_bytes)
         self.atomics = AtomicRegistry(device_wide=device_wide_atomics)
-        self.scheduler = BlockScheduler(self.config)
+        self.scheduler = BlockScheduler(self.config, fuzz=fuzzer)
         self.trace = Trace()
+        #: observers of device-side execution (barrier rounds, global
+        #: memory traffic); see :class:`repro.sanitize.SanitizerProbe`.
+        #: Kept empty in normal runs so instrumentation costs nothing.
+        self.probes: List[Any] = []
         #: kernels completed on this device (diagnostics).
         self.kernels_completed = 0
         #: kernel name → SmPlacement of its most recent execution.
         self.placements: dict = {}
+
+    def notify_access(self, ctx, array, index, kind: str) -> None:
+        """Forward one global-memory access to every registered probe.
+
+        ``kind`` is ``"read"``, ``"write"``, ``"atomic"`` or ``"spin"``.
+        Called by :class:`~repro.gpu.context.BlockCtx` only when probes
+        are registered.
+        """
+        for probe in self.probes:
+            probe.on_access(ctx, array, index, kind)
 
     # -- kernel execution (spawned by the Host) ------------------------------
 

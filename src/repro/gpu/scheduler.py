@@ -12,7 +12,7 @@ real hardware (paper §5).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import OccupancyError, SimulationError
 from repro.gpu.config import DeviceConfig
@@ -31,9 +31,21 @@ class SmPlacement:
     the least-loaded SM (lowest index on ties), never exceeding the
     per-SM occupancy, and the assignment is recorded for introspection
     (``placements``) and trace tagging.
+
+    ``tiebreak`` overrides the lowest-index-on-ties rule: it is called
+    with the list of equally-least-loaded SM ids and returns the chosen
+    one.  Hardware makes no ordering promise here, so a seeded permuter
+    (:class:`repro.sanitize.ScheduleFuzzer`) uses this hook to explore
+    adversarial placements deterministically.
     """
 
-    def __init__(self, kernel_name: str, num_sms: int, per_sm: int):
+    def __init__(
+        self,
+        kernel_name: str,
+        num_sms: int,
+        per_sm: int,
+        tiebreak: Optional[Callable[[List[int]], int]] = None,
+    ):
         if per_sm < 1:
             raise SimulationError(
                 f"placement for {kernel_name!r} needs per_sm >= 1"
@@ -41,6 +53,7 @@ class SmPlacement:
         self.kernel_name = kernel_name
         self.num_sms = num_sms
         self.per_sm = per_sm
+        self._tiebreak = tiebreak
         self._load: List[int] = [0] * num_sms
         #: block id → SM id for every block that has been placed.
         self.placements: Dict[int, int] = {}
@@ -51,7 +64,16 @@ class SmPlacement:
             raise SimulationError(
                 f"block {block_id} of {self.kernel_name!r} placed twice"
             )
-        sm = min(range(self.num_sms), key=lambda i: (self._load[i], i))
+        least = min(self._load)
+        candidates = [i for i in range(self.num_sms) if self._load[i] == least]
+        if self._tiebreak is not None:
+            sm = self._tiebreak(candidates)
+            if sm not in candidates:
+                raise SimulationError(
+                    f"placement tiebreak chose SM{sm}, not among {candidates}"
+                )
+        else:
+            sm = candidates[0]
         if self._load[sm] >= self.per_sm:
             raise SimulationError(
                 f"placement overflow on SM{sm} for {self.kernel_name!r} "
@@ -78,10 +100,16 @@ class SmPlacement:
 
 
 class BlockScheduler:
-    """Computes occupancy and builds the per-kernel slot resource."""
+    """Computes occupancy and builds the per-kernel slot resource.
 
-    def __init__(self, config: DeviceConfig):
+    ``fuzz`` (a :class:`repro.sanitize.ScheduleFuzzer` or anything with
+    an ``sm_tiebreak(candidates) -> int`` method) perturbs placement
+    tie-breaking; ``None`` keeps the deterministic lowest-index rule.
+    """
+
+    def __init__(self, config: DeviceConfig, fuzz=None):
         self.config = config
+        self.fuzz = fuzz
 
     def occupancy(self, spec: KernelSpec) -> int:
         """Blocks of this kernel that fit on one SM (may be 0)."""
@@ -121,4 +149,7 @@ class BlockScheduler:
     def placement_for(self, spec: KernelSpec) -> SmPlacement:
         """A fresh per-SM placement tracker for this kernel."""
         self.validate(spec)
-        return SmPlacement(spec.name, self.config.num_sms, self.occupancy(spec))
+        tiebreak = self.fuzz.sm_tiebreak if self.fuzz is not None else None
+        return SmPlacement(
+            spec.name, self.config.num_sms, self.occupancy(spec), tiebreak
+        )

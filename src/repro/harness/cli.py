@@ -17,6 +17,9 @@ Extras beyond the paper:
   paper's three, plus the prefix-scan workload
 * ``trace``      — run one configuration and write a Chrome-tracing
   JSON of every block's compute/sync spans (``--out``)
+* ``sanitize``   — replay a strategy (or ``--strategy all``) under
+  fuzzed schedules and report barrier/race findings (docs/sanitizer.md);
+  exits 1 when any finding survives
 """
 
 from __future__ import annotations
@@ -111,6 +114,42 @@ def _trace_one(args: argparse.Namespace) -> str:
     )
 
 
+#: strategies ``sanitize --strategy all`` sweeps (the paper's device
+#: barriers plus the extension barriers).
+SANITIZE_ALL = (
+    "gpu-simple",
+    "gpu-sense-reversal",
+    "gpu-tree-2",
+    "gpu-tree-3",
+    "gpu-dissemination",
+    "gpu-lockfree",
+)
+
+
+def _sanitize(args: argparse.Namespace) -> "tuple[str, bool]":
+    """Run the sanitizer; returns (rendered report, any findings)."""
+    from repro.errors import ConfigError
+    from repro.sanitize import DEFAULT_SEED, sanitize_run
+
+    strategies = SANITIZE_ALL if args.strategy == "all" else [args.strategy]
+    seed = DEFAULT_SEED if args.seed is None else args.seed
+    chunks: List[str] = []
+    dirty = False
+    for strat in strategies:
+        try:
+            rep = sanitize_run(
+                strategy=strat,
+                num_blocks=args.blocks,
+                seed=seed,
+                schedules=args.schedules,
+            )
+        except (ConfigError, ValueError) as exc:
+            raise SystemExit(f"sanitize: {exc}")
+        chunks.append(rep.render())
+        dirty = dirty or not rep.clean
+    return "\n\n".join(chunks), dirty
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-harness",
@@ -135,6 +174,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "trace",
             "report",
             "diff",
+            "sanitize",
             "all",
         ],
     )
@@ -160,13 +200,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--strategy",
         default="gpu-lockfree",
-        help="strategy for the trace experiment",
+        help="strategy for the trace/sanitize experiments "
+        "(sanitize also accepts 'all')",
     )
     parser.add_argument(
         "--blocks",
         type=int,
         default=8,
-        help="grid size for the trace experiment",
+        help="grid size for the trace/sanitize experiments",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="sanitize: base schedule seed (default: the sanitizer's); "
+        "failure reports print the derived seed to replay",
+    )
+    parser.add_argument(
+        "--schedules",
+        type=int,
+        default=25,
+        help="sanitize: fuzzed schedules per strategy (default 25)",
     )
     parser.add_argument(
         "--out",
@@ -277,6 +331,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             return 1
         sections.append("no drift: sweeps are identical within tolerance")
+    if want == "sanitize":
+        text, dirty = _sanitize(args)
+        sections.append(text)
+        if dirty:
+            print("\n\n".join(sections))
+            print(
+                f"\n[{want} completed in {time.time() - started:.1f}s]",
+                file=sys.stderr,
+            )
+            return 1
 
     print("\n\n".join(sections))
     print(f"\n[{want} completed in {time.time() - started:.1f}s]", file=sys.stderr)

@@ -89,6 +89,8 @@ def run(
     keep_device: bool = False,
     jitter_pct: float = 0.0,
     jitter_seed: int = 0,
+    fuzzer=None,
+    probe=None,
 ) -> RunResult:
     """Execute ``algorithm`` under ``strategy`` on a fresh device.
 
@@ -107,6 +109,12 @@ def run(
     a given seed is exactly reproducible — use
     :func:`repro.harness.stats.repeat_run` to average over seeds the way
     the paper averages three runs).
+
+    ``fuzzer`` (a :class:`repro.sanitize.ScheduleFuzzer`) permutes
+    same-time event ordering and SM-placement tie-breaking — the
+    sanitizer's adversarial-interleaving layer.  ``probe`` (a
+    :class:`repro.sanitize.SanitizerProbe`) observes barrier rounds and
+    global-memory traffic.  Both default to off and cost nothing then.
     """
     if isinstance(strategy, str):
         strategy = get_strategy(strategy)
@@ -122,7 +130,9 @@ def run(
     strategy.validate_grid(cfg, num_blocks)
 
     algorithm.reset()
-    device = Device(cfg)
+    device = Device(cfg, fuzzer=fuzzer)
+    if probe is not None:
+        device.probes.append(probe)
     host = Host(device)
     rounds = algorithm.num_rounds()
     monitor = RaceMonitor(rounds, num_blocks) if monitor_races else None
@@ -152,7 +162,7 @@ def run(
             for r in range(rounds):
                 cost = jitter(algorithm.round_cost(r, ctx.block_id, num_blocks))
                 yield from ctx.compute(cost, work_for(r, ctx.block_id), round=r)
-                yield from strategy.barrier(ctx, r)
+                yield from strategy.instrumented_barrier(ctx, r)
 
         spec = KernelSpec(
             name=f"{algorithm.name}:{strategy.name}",

@@ -1,0 +1,51 @@
+"""repro.sanitize — barrier sanitizer and schedule fuzzer.
+
+Correctness tooling for the simulated GPU: replay a kernel under
+seeded adversarial schedules with instrumented execution and flag
+barrier divergence, premature releases, inter-block data races,
+barrier deadlocks and §5 occupancy deadlocks — each finding carrying
+the schedule seed that reproduces it.
+
+Entry points: :func:`sanitize_run` (library), ``repro sanitize`` (CLI),
+and the pytest plugin (:mod:`repro.sanitize.pytest_plugin`).  The
+``broken-*`` strategies in :mod:`repro.sanitize.mutants` are seeded
+bugs that keep the detectors honest.
+"""
+
+from repro.sanitize.analysis import (
+    barrier_findings,
+    check_occupancy,
+    race_findings,
+    round_ordering_violations,
+)
+from repro.sanitize.fuzzer import ScheduleFuzzer, derive_seeds, fuzz_schedules
+from repro.sanitize.mutants import (
+    BrokenLockFreeNoScatter,
+    BrokenSimpleSkipRound,
+    BrokenSimpleUndercount,
+)
+from repro.sanitize.probe import AccessEvent, BarrierEvent, SanitizerProbe
+from repro.sanitize.report import BUG_CLASSES, Finding, SanitizeReport
+from repro.sanitize.sanitizer import DEFAULT_SEED, SkewedMicrobench, sanitize_run
+
+__all__ = [
+    "AccessEvent",
+    "BUG_CLASSES",
+    "BarrierEvent",
+    "BrokenLockFreeNoScatter",
+    "BrokenSimpleSkipRound",
+    "BrokenSimpleUndercount",
+    "DEFAULT_SEED",
+    "Finding",
+    "SanitizeReport",
+    "SanitizerProbe",
+    "ScheduleFuzzer",
+    "SkewedMicrobench",
+    "barrier_findings",
+    "check_occupancy",
+    "derive_seeds",
+    "fuzz_schedules",
+    "race_findings",
+    "round_ordering_violations",
+    "sanitize_run",
+]

@@ -1,0 +1,267 @@
+"""Sanitizer detectors: occupancy, barrier-event and happens-before checks.
+
+Three families of checks, mapped to the paper's hazards:
+
+* **static occupancy** (:func:`check_occupancy`) — the §5 co-residency
+  rule, checked *before* the engine starves: a device barrier whose grid
+  exceeds one block per SM can never complete because blocks are
+  non-preemptive;
+* **barrier events** (:func:`barrier_findings`) — from the probe's live
+  enter/exit stream: divergence (a block skipped a round others entered),
+  premature release (an exit before every block entered — the barrier
+  guarantee itself), and stuck rounds (entered, never exited);
+* **happens-before** (:func:`race_findings`,
+  :func:`round_ordering_violations`) — the barrier-round happens-before
+  order: accesses by different blocks in the same epoch conflict unless a
+  grid barrier separates them.  Derived from the probe's access events
+  and corroborated structurally from :class:`repro.simcore.trace.Trace`
+  compute spans.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.sanitize.probe import SanitizerProbe
+from repro.sanitize.report import Finding
+
+__all__ = [
+    "barrier_findings",
+    "check_occupancy",
+    "race_findings",
+    "round_ordering_violations",
+]
+
+
+def check_occupancy(
+    strategy, config, num_blocks: int, threads_per_block: int = 256
+) -> List[Finding]:
+    """Flag grids a device-side barrier can never synchronize.
+
+    Mirrors :meth:`repro.sync.base.SyncStrategy.validate_grid` but
+    *reports* instead of raising, and cross-checks the strategy's own
+    limit against the scheduler's occupancy math for the launch shape
+    the strategy would request.
+    """
+    if strategy.mode != "device" or num_blocks < 1:
+        return []
+    per_sm = config.blocks_per_sm(
+        threads_per_block, strategy.shared_mem_request(config)
+    )
+    capacity = min(strategy.max_blocks(config), per_sm * config.num_sms)
+    if num_blocks <= capacity:
+        return []
+    return [
+        Finding(
+            kind="occupancy-deadlock",
+            message=(
+                f"{num_blocks} blocks exceed the {capacity}-block "
+                f"co-resident capacity of {strategy.name} on {config.name}; "
+                "resident blocks would spin at the barrier forever while "
+                "the rest starve for an SM slot"
+            ),
+            details={
+                "num_blocks": num_blocks,
+                "capacity": capacity,
+                "num_sms": config.num_sms,
+                "blocks_per_sm": per_sm,
+            },
+        )
+    ]
+
+
+def barrier_findings(
+    probe: SanitizerProbe,
+    num_blocks: int,
+    seed: Optional[int] = None,
+    deadlocked: bool = False,
+) -> List[Finding]:
+    """Divergence, premature-release and stuck-round checks."""
+    findings: List[Finding] = []
+
+    # Divergence: a block entered some later round without entering an
+    # earlier one that other blocks entered.  (Merely "not yet entered"
+    # is not divergence — a deadlock elsewhere can freeze stragglers.)
+    entered = probe.entered_rounds()
+    all_rounds = probe.rounds_seen()
+    for block, rounds in entered.items():
+        if not rounds:
+            continue
+        latest = rounds[-1]
+        skipped = [r for r in all_rounds if r < latest and r not in rounds]
+        if skipped:
+            findings.append(
+                Finding(
+                    kind="barrier-divergence",
+                    message=(
+                        f"block {block} entered barrier round {latest} but "
+                        f"skipped round(s) {skipped} that other blocks "
+                        "synchronized on"
+                    ),
+                    seed=seed,
+                    details={"block": block, "skipped": skipped},
+                )
+            )
+
+    # Premature release: the barrier guarantee is that no block exits
+    # round r before every participating block entered round r.
+    for r in all_rounds:
+        enters, exits = probe.round_window(r)
+        if not exits or not enters:
+            # Nobody released (deadlock mid-flight): stuck check below.
+            continue
+        first_exit_block = min(exits, key=lambda b: (exits[b], b))
+        last_enter_block = max(enters, key=lambda b: (enters[b], b))
+        if exits[first_exit_block] < enters[last_enter_block]:
+            findings.append(
+                Finding(
+                    kind="premature-release",
+                    message=(
+                        f"round {r}: block {first_exit_block} exited the "
+                        f"barrier before block {last_enter_block} entered it"
+                    ),
+                    seed=seed,
+                    details={
+                        "round": r,
+                        "exit_block": first_exit_block,
+                        "exit_ns": exits[first_exit_block],
+                        "enter_block": last_enter_block,
+                        "enter_ns": enters[last_enter_block],
+                    },
+                )
+            )
+
+    # Stuck rounds: only meaningful when the run could not finish —
+    # during a healthy run the probe is always consistent at the end.
+    if deadlocked:
+        stuck = probe.stuck_blocks()
+        if stuck:
+            rounds = sorted({r for _b, r in stuck})
+            blocks = [b for b, _r in stuck]
+            findings.append(
+                Finding(
+                    kind="barrier-deadlock",
+                    message=(
+                        f"{len(blocks)} block(s) entered barrier round(s) "
+                        f"{rounds} and never exited before the run "
+                        "deadlocked (blocks: "
+                        f"{blocks[:8]}{'…' if len(blocks) > 8 else ''})"
+                    ),
+                    seed=seed,
+                    details={"stuck": stuck},
+                )
+            )
+        elif not probe.barrier_events:
+            findings.append(
+                Finding(
+                    kind="barrier-deadlock",
+                    message=(
+                        "the run deadlocked before any block reached a "
+                        "barrier (blocks starved outside the protocol)"
+                    ),
+                    seed=seed,
+                )
+            )
+    return findings
+
+
+def race_findings(
+    probe: SanitizerProbe, seed: Optional[int] = None
+) -> List[Finding]:
+    """Conflicting same-epoch accesses with no intervening barrier.
+
+    Happens-before is the barrier-round order: accesses in different
+    epochs of one block's timeline are ordered by the grid barrier
+    between them; same-epoch accesses by different blocks are unordered.
+    Accesses issued *inside* a barrier protocol are the synchronization
+    itself and are exempt, as are ``spin_until`` observations (they are
+    ordering edges, not data).  Benign combinations: read/read and
+    atomic/atomic (the atomic unit serializes).
+    """
+    findings: List[Finding] = []
+    # (kernel, array, epoch, cell) → block → set of kinds.
+    by_cell: Dict[Tuple[str, str, int, int], Dict[int, set]] = {}
+    for ev in probe.accesses:
+        if ev.in_barrier or ev.kind == "spin":
+            continue
+        for cell in ev.cells:
+            key = (ev.kernel, ev.array, ev.epoch, cell)
+            by_cell.setdefault(key, {}).setdefault(ev.block, set()).add(ev.kind)
+
+    for (kernel, array, epoch, cell), per_block in sorted(by_cell.items()):
+        if len(per_block) < 2:
+            continue
+        writers = sorted(b for b, kinds in per_block.items() if "write" in kinds)
+        atomics = sorted(b for b, kinds in per_block.items() if "atomic" in kinds)
+        readers = sorted(b for b, kinds in per_block.items() if "read" in kinds)
+        racy = (
+            len(writers) >= 2
+            or (writers and len(per_block) >= 2)
+            or (atomics and (readers or writers))
+        )
+        # atomic/atomic only, or read/read only: synchronized / harmless.
+        if not racy:
+            continue
+        kinds = "/".join(
+            k
+            for k, present in (
+                ("write", writers),
+                ("atomic", atomics),
+                ("read", readers),
+            )
+            if present
+        )
+        involved = sorted(per_block)
+        findings.append(
+            Finding(
+                kind="data-race",
+                message=(
+                    f"{array}[{cell}]: {kinds} conflict between blocks "
+                    f"{involved} in barrier epoch {epoch} of kernel "
+                    f"{kernel!r} with no barrier in between"
+                ),
+                seed=seed,
+                details={
+                    "array": array,
+                    "cell": cell,
+                    "epoch": epoch,
+                    "blocks": involved,
+                    "writers": writers,
+                    "atomics": atomics,
+                    "readers": readers,
+                },
+            )
+        )
+    return findings
+
+
+def round_ordering_violations(trace) -> List[Dict[str, Any]]:
+    """Span-level check of the fundamental round invariant.
+
+    From the device trace's ``compute`` spans (each tagged with its
+    round): *no block enters round i+1 before every block left round i*.
+    Returns one record per violated round boundary; empty means the
+    invariant held structurally.
+    """
+    starts: Dict[int, int] = {}
+    ends: Dict[int, int] = {}
+    for span in trace.spans(phase="compute"):
+        meta = span.meta or {}
+        if "round" not in meta:
+            continue
+        r = meta["round"]
+        starts[r] = min(starts.get(r, span.start), span.start)
+        ends[r] = max(ends.get(r, span.end), span.end)
+    violations: List[Dict[str, Any]] = []
+    for r in sorted(starts):
+        if r + 1 not in starts:
+            continue
+        if starts[r + 1] < ends[r]:
+            violations.append(
+                {
+                    "round": r,
+                    "latest_end_ns": ends[r],
+                    "next_round_start_ns": starts[r + 1],
+                }
+            )
+    return violations

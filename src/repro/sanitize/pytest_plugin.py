@@ -1,0 +1,133 @@
+"""Pytest integration for the sanitizer and schedule fuzzer.
+
+Loaded via ``pytest_plugins = ("repro.sanitize.pytest_plugin",)`` in the
+repo-root ``conftest.py``.  Adds:
+
+* ``--sanitize`` — deep-fuzz mode: tests that size their work from the
+  ``fuzz_schedule_count`` fixture run many more schedules;
+* ``--fuzz-seed N`` — override the base schedule seed (every failure
+  report prints the derived seed that exposed it, so pasting that seed
+  here replays the exact interleaving);
+* ``--fuzz-schedules N`` — override the schedule count directly;
+* fixtures ``sanitize_enabled``, ``fuzz_seed``, ``fuzz_schedule_count``,
+  ``fuzz_schedules`` (a ``(seed, n)`` factory of seeded
+  :class:`~repro.sanitize.fuzzer.ScheduleFuzzer` streams) and
+  ``sanitized_run`` (:func:`~repro.sanitize.sanitizer.sanitize_run`
+  pre-wired to the session's seed and count);
+* a ``sanitize`` marker for selecting the fuzz-heavy tests with
+  ``-m sanitize``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import pytest
+
+from repro.sanitize.fuzzer import ScheduleFuzzer
+from repro.sanitize.fuzzer import fuzz_schedules as _fuzz_schedules
+from repro.sanitize.sanitizer import DEFAULT_SEED, sanitize_run
+
+__all__ = ["pytest_addoption", "pytest_configure", "pytest_report_header"]
+
+#: schedules per fuzz loop in a plain run vs. under ``--sanitize``.
+QUICK_SCHEDULES = 10
+DEEP_SCHEDULES = 100
+
+
+def pytest_addoption(parser) -> None:
+    group = parser.getgroup("sanitize", "barrier sanitizer / schedule fuzzer")
+    group.addoption(
+        "--sanitize",
+        action="store_true",
+        default=False,
+        help="deep-fuzz mode: run the full schedule budget per sanitize test",
+    )
+    group.addoption(
+        "--fuzz-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="base schedule seed (default %d); failure reports print the "
+        "derived seed to pass here for an exact replay" % DEFAULT_SEED,
+    )
+    group.addoption(
+        "--fuzz-schedules",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fuzzed schedules per sanitize loop (default: %d, or %d "
+        "with --sanitize)" % (QUICK_SCHEDULES, DEEP_SCHEDULES),
+    )
+
+
+def pytest_configure(config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "sanitize: fuzz-heavy sanitizer test (scale with --sanitize, "
+        "select with -m sanitize)",
+    )
+
+
+def pytest_report_header(config) -> str:
+    seed = config.getoption("--fuzz-seed")
+    n = config.getoption("--fuzz-schedules")
+    deep = config.getoption("--sanitize")
+    return "sanitize: %s, fuzz seed %s, %s schedules/loop" % (
+        "deep" if deep else "quick",
+        DEFAULT_SEED if seed is None else seed,
+        (DEEP_SCHEDULES if deep else QUICK_SCHEDULES) if n is None else n,
+    )
+
+
+@pytest.fixture
+def sanitize_enabled(request) -> bool:
+    """True when the run was started with ``--sanitize``."""
+    return bool(request.config.getoption("--sanitize"))
+
+
+@pytest.fixture
+def fuzz_seed(request) -> int:
+    """The session's base schedule seed (``--fuzz-seed`` or the default)."""
+    seed = request.config.getoption("--fuzz-seed")
+    return DEFAULT_SEED if seed is None else int(seed)
+
+
+@pytest.fixture
+def fuzz_schedule_count(request, sanitize_enabled) -> int:
+    """Schedules per fuzz loop for this session."""
+    n = request.config.getoption("--fuzz-schedules")
+    if n is not None:
+        return int(n)
+    return DEEP_SCHEDULES if sanitize_enabled else QUICK_SCHEDULES
+
+
+@pytest.fixture
+def fuzz_schedules(fuzz_seed, fuzz_schedule_count):
+    """Factory of seeded fuzzer streams: ``fuzz_schedules(seed, n)``.
+
+    Both arguments default to the session's options, so a test writes
+    ``for fuzzer in fuzz_schedules(): ...`` and scales automatically.
+    """
+
+    def make(
+        seed: Optional[int] = None, n: Optional[int] = None
+    ) -> Iterator[ScheduleFuzzer]:
+        return _fuzz_schedules(
+            fuzz_seed if seed is None else seed,
+            fuzz_schedule_count if n is None else n,
+        )
+
+    return make
+
+
+@pytest.fixture
+def sanitized_run(fuzz_seed, fuzz_schedule_count):
+    """:func:`sanitize_run` pre-wired to the session's seed and count."""
+
+    def call(algorithm=None, strategy="gpu-lockfree", num_blocks=8, **kwargs):
+        kwargs.setdefault("seed", fuzz_seed)
+        kwargs.setdefault("schedules", fuzz_schedule_count)
+        return sanitize_run(algorithm, strategy, num_blocks, **kwargs)
+
+    return call

@@ -1,0 +1,166 @@
+"""Sanitizer findings and the deterministic sanitize report.
+
+A finding is one detected bug instance; a report aggregates the
+findings of every fuzzed schedule of one configuration.  Rendering is
+deterministic — same seed, same configuration ⇒ byte-identical text —
+so reports can be diffed, committed, and replayed from the seed they
+print.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Finding", "SanitizeReport", "BUG_CLASSES"]
+
+#: the sanitizer's bug taxonomy → one-line description.
+BUG_CLASSES: Dict[str, str] = {
+    "occupancy-deadlock": (
+        "grid exceeds co-resident capacity; a device barrier would starve "
+        "(paper §5: non-preemptive blocks, one block per SM)"
+    ),
+    "barrier-deadlock": (
+        "blocks entered a barrier round and can never leave it "
+        "(e.g. a dropped release/scatter store)"
+    ),
+    "barrier-divergence": (
+        "blocks disagree on which barrier rounds they entered "
+        "(a block skipped a round others synchronized on)"
+    ),
+    "premature-release": (
+        "a block exited a barrier round before every block entered it "
+        "(e.g. an under-counted goal value)"
+    ),
+    "round-overlap": (
+        "a block executed round r+1 work while round r was incomplete — "
+        "conflicting accesses with no intervening grid barrier"
+    ),
+    "data-race": (
+        "different blocks touched the same global-memory cell in the same "
+        "barrier epoch, at least one writing, outside any barrier protocol"
+    ),
+    "verification-failed": (
+        "the algorithm's output does not match its reference "
+        "(usually a downstream symptom of one of the classes above)"
+    ),
+    "simulation-error": (
+        "the run aborted inside the simulator (watchdog kill, protocol "
+        "assertion, …) before the sanitizer could finish observing it"
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One detected correctness problem.
+
+    ``fingerprint`` identifies the *site* of the bug (kind + stable
+    details) so the same defect found under many schedules aggregates to
+    one reported finding with an occurrence count.
+    """
+
+    kind: str  #: one of :data:`BUG_CLASSES`
+    message: str  #: human-readable one-liner
+    seed: Optional[int] = None  #: schedule seed that exposed it
+    details: Optional[Dict[str, Any]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in BUG_CLASSES:
+            raise ValueError(
+                f"unknown finding kind {self.kind!r}; "
+                f"known: {', '.join(sorted(BUG_CLASSES))}"
+            )
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity of the defect site across schedules."""
+        return f"{self.kind}:{self.message}"
+
+
+@dataclass
+class SanitizeReport:
+    """Everything the sanitizer observed for one configuration."""
+
+    algorithm: str
+    strategy: str
+    num_blocks: int
+    seed: int  #: base seed; schedule i's seed derives from it
+    schedules_requested: int
+    schedules_run: int = 0
+    schedules_flagged: int = 0
+    findings: List[Finding] = field(default_factory=list)
+    #: fingerprint → occurrence count across schedules.
+    occurrences: Dict[str, int] = field(default_factory=dict)
+    #: total barrier / access events observed (instrumentation volume).
+    barrier_events: int = 0
+    access_events: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when no schedule produced any finding."""
+        return not self.findings
+
+    def add(self, finding: Finding) -> None:
+        """Record a finding, aggregating repeats by fingerprint."""
+        fp = finding.fingerprint
+        if fp in self.occurrences:
+            self.occurrences[fp] += 1
+            return
+        self.occurrences[fp] = 1
+        self.findings.append(finding)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (stable key order)."""
+        return {
+            "algorithm": self.algorithm,
+            "strategy": self.strategy,
+            "num_blocks": self.num_blocks,
+            "seed": self.seed,
+            "schedules_requested": self.schedules_requested,
+            "schedules_run": self.schedules_run,
+            "schedules_flagged": self.schedules_flagged,
+            "clean": self.clean,
+            "barrier_events": self.barrier_events,
+            "access_events": self.access_events,
+            "findings": [
+                {
+                    "kind": f.kind,
+                    "message": f.message,
+                    "seed": f.seed,
+                    "occurrences": self.occurrences[f.fingerprint],
+                    "details": f.details or {},
+                }
+                for f in self.findings
+            ],
+        }
+
+    def to_json(self) -> str:
+        """Deterministic JSON rendering."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=False)
+
+    def render(self) -> str:
+        """Deterministic plain-text report."""
+        verdict = "CLEAN" if self.clean else f"{len(self.findings)} finding(s)"
+        lines = [
+            f"sanitize: {self.algorithm} × {self.strategy} × "
+            f"{self.num_blocks} blocks — {verdict}",
+            f"  seed {self.seed}, schedules {self.schedules_run}/"
+            f"{self.schedules_requested} run, {self.schedules_flagged} flagged; "
+            f"{self.barrier_events} barrier events, "
+            f"{self.access_events} access events",
+        ]
+        for f in self.findings:
+            count = self.occurrences[f.fingerprint]
+            seed = f"seed {f.seed}" if f.seed is not None else "pre-run check"
+            lines.append(
+                f"  [{f.kind}] {f.message} "
+                f"(first at {seed}; seen in {count} schedule(s))"
+            )
+        if self.clean and self.schedules_run:
+            lines.append(
+                "  no divergence, races, premature releases or deadlocks "
+                "under any fuzzed schedule"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,202 @@
+"""``sanitize_run``: replay a configuration under fuzzed schedules.
+
+The top of the sanitizer stack.  One call:
+
+1. statically checks the §5 occupancy rule (and reports instead of
+   starving the engine);
+2. replays the configuration under ``schedules`` seeded adversarial
+   interleavings (:class:`~repro.sanitize.fuzzer.ScheduleFuzzer`), each
+   with instrumented execution
+   (:class:`~repro.sanitize.probe.SanitizerProbe`);
+3. runs every detector (:mod:`repro.sanitize.analysis`) on each
+   schedule's event streams and trace;
+4. aggregates everything into one deterministic
+   :class:`~repro.sanitize.report.SanitizeReport` — same seed, same
+   configuration ⇒ byte-identical report, and every finding carries the
+   schedule seed that replays it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.algorithms.base import RoundAlgorithm, VerificationError
+from repro.algorithms.microbench import MeanMicrobench
+from repro.errors import DeadlockError, KernelTimeoutError, ReproError
+from repro.gpu.config import DeviceConfig, gtx280
+from repro.sanitize.analysis import (
+    barrier_findings,
+    check_occupancy,
+    race_findings,
+    round_ordering_violations,
+)
+from repro.sanitize.fuzzer import ScheduleFuzzer, derive_seeds
+from repro.sanitize.probe import SanitizerProbe
+from repro.sanitize.report import Finding, SanitizeReport
+from repro.sync.base import SyncStrategy, get_strategy
+
+__all__ = ["DEFAULT_SEED", "SkewedMicrobench", "sanitize_run"]
+
+#: default base seed (the paper's publication year, for memorability).
+DEFAULT_SEED = 2010
+
+
+class SkewedMicrobench(MeanMicrobench):
+    """The micro-benchmark with deliberately uneven per-block rounds.
+
+    Block ``b``'s round costs ``(1 + b % 3)×`` the base, so blocks reach
+    each barrier at well-separated times.  Uniform-cost workloads keep
+    blocks in accidental lockstep, which masks premature-release bugs —
+    the schedule fuzzer permutes *order*, not *time*, so the sanitizer's
+    default workload builds the time skew in.
+    """
+
+    name = "micro-skewed"
+
+    def round_cost(self, round_idx: int, block_id: int, num_blocks: int) -> float:
+        return super().round_cost(round_idx, block_id, num_blocks) * (
+            1 + block_id % 3
+        )
+
+
+def sanitize_run(
+    algorithm: Optional[RoundAlgorithm] = None,
+    strategy: Union[str, SyncStrategy] = "gpu-lockfree",
+    num_blocks: int = 8,
+    *,
+    config: Optional[DeviceConfig] = None,
+    seed: int = DEFAULT_SEED,
+    schedules: int = 25,
+    threads_per_block: Optional[int] = None,
+    jitter_pct: float = 25.0,
+    verify: bool = True,
+    fail_fast: bool = False,
+) -> SanitizeReport:
+    """Sanitize one (algorithm × strategy × grid) configuration.
+
+    ``algorithm`` defaults to a :class:`SkewedMicrobench` sized to the
+    grid.  ``strategy`` may be a registered name (a fresh instance is
+    built per schedule) or an instance (re-``prepare``\\ d per schedule).
+    ``schedules`` fuzzed interleavings run, each with a seed derived
+    from ``seed`` and additional compute-time skew from the runner's
+    jitter model (``jitter_pct``, same derived seed).  ``fail_fast``
+    stops after the first flagged schedule.
+
+    Never raises for bugs it detects — deadlocks, divergence, races and
+    verification failures all come back as findings in the report.
+    """
+    from repro.harness.runner import run  # late: harness imports sanitize types
+
+    cfg = config or gtx280()
+    named = isinstance(strategy, str)
+    resolved = get_strategy(strategy) if named else strategy
+    if algorithm is None:
+        algorithm = SkewedMicrobench(
+            rounds=4,
+            num_blocks_hint=num_blocks,
+            threads_per_block=threads_per_block or 64,
+        )
+
+    report = SanitizeReport(
+        algorithm=algorithm.name,
+        strategy=resolved.name,
+        num_blocks=num_blocks,
+        seed=seed,
+        schedules_requested=schedules,
+    )
+
+    threads = threads_per_block or algorithm.default_threads
+    for finding in check_occupancy(resolved, cfg, num_blocks, threads):
+        report.add(finding)
+    if not report.clean:
+        # Running would only starve the engine; the point is to say so first.
+        return report
+
+    for schedule_seed in derive_seeds(seed, schedules):
+        strat = get_strategy(strategy) if named else strategy
+        fuzzer = ScheduleFuzzer(schedule_seed)
+        probe = SanitizerProbe()
+        before = sum(report.occurrences.values())
+        deadlocked = False
+        result = None
+        try:
+            result = run(
+                algorithm,
+                strat,
+                num_blocks,
+                threads_per_block=threads_per_block,
+                config=cfg,
+                verify=False,
+                monitor_races=True,
+                keep_device=True,
+                jitter_pct=jitter_pct,
+                jitter_seed=schedule_seed,
+                fuzzer=fuzzer,
+                probe=probe,
+            )
+        except (DeadlockError, KernelTimeoutError) as exc:
+            deadlocked = True
+            if isinstance(exc, KernelTimeoutError):
+                report.add(
+                    Finding(
+                        kind="simulation-error",
+                        message=f"watchdog fired: {exc}",
+                        seed=schedule_seed,
+                    )
+                )
+        except ReproError as exc:
+            report.add(
+                Finding(
+                    kind="simulation-error",
+                    message=f"{type(exc).__name__}: {exc}",
+                    seed=schedule_seed,
+                )
+            )
+
+        report.schedules_run += 1
+        report.barrier_events += len(probe.barrier_events)
+        report.access_events += len(probe.accesses)
+
+        for finding in barrier_findings(
+            probe, num_blocks, seed=schedule_seed, deadlocked=deadlocked
+        ):
+            report.add(finding)
+        for finding in race_findings(probe, seed=schedule_seed):
+            report.add(finding)
+
+        if result is not None:
+            for violation in round_ordering_violations(result.device.trace):
+                report.add(
+                    Finding(
+                        kind="round-overlap",
+                        message=(
+                            f"round {violation['round'] + 1} work began at "
+                            f"{violation['next_round_start_ns']} ns, before "
+                            f"round {violation['round']} finished at "
+                            f"{violation['latest_end_ns']} ns"
+                        ),
+                        seed=schedule_seed,
+                        details={
+                            **violation,
+                            "monitor_violations": result.violations,
+                        },
+                    )
+                )
+            if verify and strat.name != "null":
+                try:
+                    algorithm.verify()
+                except VerificationError as exc:
+                    report.add(
+                        Finding(
+                            kind="verification-failed",
+                            message=str(exc).splitlines()[0],
+                            seed=schedule_seed,
+                        )
+                    )
+
+        # Flagged = any finding this schedule, new site or a repeat of one.
+        if sum(report.occurrences.values()) > before:
+            report.schedules_flagged += 1
+            if fail_fast:
+                break
+    return report

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import heapq
-from typing import Any, Generator, List, Optional, Tuple
+from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from repro.errors import DeadlockError, ProcessError, SimulationError
 from repro.simcore.effects import (
@@ -36,12 +36,26 @@ class Engine:
         engine.spawn(my_generator(), name="host")
         engine.run()
         print(engine.now)
+
+    ``tiebreak`` perturbs the order of *same-time* events: when given, it
+    is called once per scheduled event and its float return value ranks
+    the event among events at the same virtual time (FIFO order breaks
+    any remaining ties).  A seeded generator here explores adversarial
+    interleavings deterministically — see
+    :class:`repro.sanitize.ScheduleFuzzer`.  Virtual timestamps are
+    unaffected, so a protocol that is only correct under FIFO dispatch
+    is exposed without distorting any measurement.
     """
 
-    def __init__(self, max_events: int = 200_000_000):
+    def __init__(
+        self,
+        max_events: int = 200_000_000,
+        tiebreak: Optional[Callable[[], float]] = None,
+    ):
         #: current virtual time in nanoseconds.
         self.now: int = 0
-        self._heap: List[Tuple[int, int, Process, Any]] = []
+        self._heap: List[Tuple[int, float, int, Process, Any]] = []
+        self._tiebreak = tiebreak
         self._seq = 0
         self._pid = 0
         self._processes: List[Process] = []
@@ -79,10 +93,10 @@ class Engine:
         self._running = True
         try:
             while self._heap:
-                when, _seq, process, value = heapq.heappop(self._heap)
+                when, _pri, _seq, process, value = heapq.heappop(self._heap)
                 if until is not None and when > until:
                     # Push back and stop at the horizon.
-                    heapq.heappush(self._heap, (when, _seq, process, value))
+                    heapq.heappush(self._heap, (when, _pri, _seq, process, value))
                     self.now = until
                     return self.now
                 if when < self.now:
@@ -181,7 +195,8 @@ class Engine:
 
     def _schedule(self, process: Process, when: int, value: Any) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, (when, self._seq, process, value))
+        priority = self._tiebreak() if self._tiebreak is not None else 0.0
+        heapq.heappush(self._heap, (when, priority, self._seq, process, value))
 
     def _step(self, process: Process, value: Any) -> None:
         """Resume ``process`` with ``value`` and dispatch its next effect."""

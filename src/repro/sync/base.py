@@ -49,6 +49,24 @@ class SyncStrategy(abc.ABC):
         """The device barrier; called by every block, once per round."""
         raise NotImplementedError(f"{self.name} is a host-side strategy")
 
+    def instrumented_barrier(self, ctx: "BlockCtx", round_idx: int) -> Generator:
+        """:meth:`barrier` bracketed by sanitizer notifications.
+
+        Every registered probe on the device sees this block *enter* the
+        round's barrier before the protocol runs and *exit* it after —
+        the per-strategy instrumentation point the barrier sanitizer
+        (:mod:`repro.sanitize`) derives divergence, premature-release
+        and stuck-round findings from.  With no probes registered this
+        is exactly :meth:`barrier`: enter/exit dispatch is skipped, so
+        measured runs pay nothing.
+        """
+        probes = ctx.device.probes
+        for probe in probes:
+            probe.on_barrier_enter(ctx, self, round_idx)
+        yield from self.barrier(ctx, round_idx)
+        for probe in probes:
+            probe.on_barrier_exit(ctx, self, round_idx)
+
     def shared_mem_request(self, config: "DeviceConfig") -> int:
         """Shared memory per block to request at launch.
 

@@ -1,0 +1,92 @@
+"""Occupancy-deadlock behavior of every GPU barrier at the capacity edge.
+
+Paper §5: blocks are non-preemptive and a device barrier claims the
+whole SM, so co-resident capacity is one block per SM and any larger
+grid can never synchronize.  For each device strategy, on a shrunken
+4-SM device, this pins down all three layers of defense:
+
+* **at capacity** the run completes and verifies;
+* **over capacity** the launch guard (``validate_grid``) refuses with
+  :class:`~repro.errors.OccupancyError` before anything runs;
+* **guard bypassed** the engine itself starves and raises
+  :class:`~repro.errors.DeadlockError` — the ground truth the guard
+  predicts;
+* the sanitizer's :func:`~repro.sanitize.check_occupancy` reports the
+  same hazard statically, before the engine is ever started.
+"""
+
+import pytest
+
+from repro.algorithms import MeanMicrobench
+from repro.errors import DeadlockError, OccupancyError
+from repro.gpu.config import DeviceConfig
+from repro.harness.runner import run
+from repro.sanitize import check_occupancy, sanitize_run
+from repro.sync import get_strategy
+
+GPU_STRATEGIES = ["gpu-simple", "gpu-tree-2", "gpu-tree-3", "gpu-lockfree"]
+
+#: a small device so over-capacity grids stay cheap: capacity = 4 blocks.
+SMALL = DeviceConfig(num_sms=4)
+CAPACITY = SMALL.num_sms
+
+
+def _micro(num_blocks: int) -> MeanMicrobench:
+    return MeanMicrobench(
+        rounds=2, num_blocks_hint=num_blocks, threads_per_block=64
+    )
+
+
+@pytest.mark.parametrize("name", GPU_STRATEGIES)
+def test_runs_at_exact_capacity(name):
+    result = run(
+        _micro(CAPACITY),
+        name,
+        CAPACITY,
+        threads_per_block=64,
+        config=SMALL,
+    )
+    assert result.verified is True
+    assert result.violations == 0
+
+
+@pytest.mark.parametrize("name", GPU_STRATEGIES)
+@pytest.mark.parametrize("blocks", [CAPACITY + 1, 2 * CAPACITY])
+def test_over_capacity_is_refused_at_launch(name, blocks):
+    with pytest.raises(OccupancyError):
+        run(_micro(blocks), name, blocks, threads_per_block=64, config=SMALL)
+
+
+@pytest.mark.parametrize("name", GPU_STRATEGIES)
+@pytest.mark.parametrize("blocks", [CAPACITY + 1, 2 * CAPACITY])
+def test_over_capacity_deadlocks_when_guard_bypassed(name, blocks):
+    strategy = get_strategy(name)
+    strategy.validate_grid = lambda *a, **k: None  # disarm the guard
+    with pytest.raises(DeadlockError):
+        run(
+            _micro(blocks),
+            strategy,
+            blocks,
+            threads_per_block=64,
+            config=SMALL,
+        )
+
+
+@pytest.mark.parametrize("name", GPU_STRATEGIES)
+@pytest.mark.parametrize("blocks", [CAPACITY + 1, 2 * CAPACITY])
+def test_sanitizer_reports_occupancy_before_running(name, blocks):
+    findings = check_occupancy(get_strategy(name), SMALL, blocks, 64)
+    assert [f.kind for f in findings] == ["occupancy-deadlock"]
+    assert findings[0].details["capacity"] == CAPACITY
+
+    report = sanitize_run(
+        _micro(blocks), name, blocks, config=SMALL, schedules=3
+    )
+    assert not report.clean
+    assert report.schedules_run == 0  # flagged statically, nothing executed
+    assert [f.kind for f in report.findings] == ["occupancy-deadlock"]
+
+
+@pytest.mark.parametrize("name", GPU_STRATEGIES)
+def test_sanitizer_clean_at_exact_capacity(name):
+    assert check_occupancy(get_strategy(name), SMALL, CAPACITY, 64) == []

@@ -6,6 +6,7 @@ fails the test. Arguments are chosen small where the script accepts
 them.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -14,6 +15,20 @@ import pytest
 
 REPO = Path(__file__).resolve().parent.parent.parent
 EXAMPLES = REPO / "examples"
+
+
+def _env_with_src() -> dict:
+    """Subprocess env with the repo's src on PYTHONPATH, absolutely.
+
+    The suite is usually invoked with a *relative* ``PYTHONPATH=src``,
+    which stops resolving once the subprocess runs from ``tmp_path``.
+    """
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + existing if existing else ""
+    )
+    return env
 
 #: script → argv tail (kept small for test speed).
 CASES = {
@@ -44,6 +59,7 @@ def test_example_runs(script, tmp_path):
         capture_output=True,
         text=True,
         cwd=tmp_path,  # scripts must not depend on the repo cwd
+        env=_env_with_src(),
         timeout=300,
     )
     assert result.returncode == 0, (

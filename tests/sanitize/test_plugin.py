@@ -1,0 +1,72 @@
+"""The pytest plugin: options, fixtures, and scaling behavior."""
+
+from repro.sanitize import derive_seeds
+from repro.sanitize.pytest_plugin import DEEP_SCHEDULES, QUICK_SCHEDULES
+
+
+def test_fuzz_schedules_fixture_scales_with_session(
+    fuzz_schedules, fuzz_seed, fuzz_schedule_count, sanitize_enabled
+):
+    fuzzers = list(fuzz_schedules())
+    assert len(fuzzers) == fuzz_schedule_count
+    assert [f.seed for f in fuzzers] == derive_seeds(
+        fuzz_seed, fuzz_schedule_count
+    )
+    expected_default = DEEP_SCHEDULES if sanitize_enabled else QUICK_SCHEDULES
+    assert fuzz_schedule_count > 0 and expected_default > 0
+
+
+def test_fuzz_schedules_fixture_accepts_overrides(fuzz_schedules):
+    fuzzers = list(fuzz_schedules(seed=7, n=3))
+    assert [f.seed for f in fuzzers] == derive_seeds(7, 3)
+
+
+def test_sanitized_run_fixture_uses_session_budget(
+    sanitized_run, fuzz_schedule_count
+):
+    report = sanitized_run(strategy="gpu-simple", num_blocks=4, schedules=2)
+    assert report.clean
+    assert report.schedules_run == 2
+    report = sanitized_run(strategy="gpu-simple", num_blocks=4)
+    assert report.schedules_run == fuzz_schedule_count
+
+
+INNER_TEST = """
+def test_options(fuzz_seed, fuzz_schedule_count, sanitize_enabled):
+    assert fuzz_seed == {seed}
+    assert fuzz_schedule_count == {count}
+    assert sanitize_enabled is {enabled}
+"""
+
+
+def test_cli_options_reach_fixtures(pytester):
+    pytester.makepyfile(
+        INNER_TEST.format(seed=7, count=3, enabled=False)
+    )
+    result = pytester.runpytest_inprocess(
+        "-p",
+        "repro.sanitize.pytest_plugin",
+        "--fuzz-seed=7",
+        "--fuzz-schedules=3",
+    )
+    result.assert_outcomes(passed=1)
+
+
+def test_sanitize_flag_deepens_schedule_budget(pytester):
+    from repro.sanitize.sanitizer import DEFAULT_SEED
+
+    pytester.makepyfile(
+        INNER_TEST.format(seed=DEFAULT_SEED, count=DEEP_SCHEDULES, enabled=True)
+    )
+    result = pytester.runpytest_inprocess(
+        "-p", "repro.sanitize.pytest_plugin", "--sanitize"
+    )
+    result.assert_outcomes(passed=1)
+
+
+def test_report_header_mentions_sanitize_mode(pytester):
+    pytester.makepyfile("def test_ok():\n    assert True\n")
+    result = pytester.runpytest_inprocess(
+        "-p", "repro.sanitize.pytest_plugin", "--sanitize"
+    )
+    result.stdout.fnmatch_lines(["*sanitize: deep*"])

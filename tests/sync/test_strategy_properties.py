@@ -1,0 +1,94 @@
+"""Property-based end-to-end checks of all six paper strategies.
+
+Hypothesis drives random (grid size, round count, jitter seed)
+configurations through the full harness — :func:`repro.harness.run`
+with the real micro-benchmark workload — and every strategy of the
+paper's Table/Fig. set must:
+
+* produce results matching the NumPy reference (``verified``);
+* keep the race monitor clean (no round executed early);
+* leave a trace in which no block's round ``i+1`` compute span starts
+  before every block's round ``i`` span ended
+  (:func:`repro.sanitize.round_ordering_violations`);
+* (device barriers) produce zero sanitizer barrier findings — no
+  divergence, no premature release — under instrumented execution.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import MeanMicrobench
+from repro.harness.runner import run
+from repro.sanitize import SanitizerProbe, barrier_findings, race_findings
+from repro.sanitize.analysis import round_ordering_violations
+
+#: the six strategies the paper evaluates (Fig. 11 / §4–5).
+PAPER_STRATEGIES = [
+    "cpu-explicit",
+    "cpu-implicit",
+    "gpu-simple",
+    "gpu-tree-2",
+    "gpu-tree-3",
+    "gpu-lockfree",
+]
+
+DEVICE_STRATEGIES = [s for s in PAPER_STRATEGIES if s.startswith("gpu-")]
+
+
+def _micro(rounds: int, num_blocks: int) -> MeanMicrobench:
+    return MeanMicrobench(
+        rounds=rounds, num_blocks_hint=num_blocks, threads_per_block=64
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    strategy=st.sampled_from(PAPER_STRATEGIES),
+    num_blocks=st.integers(1, 30),
+    rounds=st.integers(1, 5),
+    jitter_seed=st.integers(0, 2**32 - 1),
+)
+def test_results_match_reference_under_random_configs(
+    strategy, num_blocks, rounds, jitter_seed
+):
+    result = run(
+        _micro(rounds, num_blocks),
+        strategy,
+        num_blocks,
+        threads_per_block=64,
+        keep_device=True,
+        jitter_pct=20.0,
+        jitter_seed=jitter_seed,
+    )
+    assert result.verified is True
+    assert result.violations == 0
+    assert round_ordering_violations(result.device.trace) == []
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    strategy=st.sampled_from(DEVICE_STRATEGIES),
+    num_blocks=st.integers(2, 30),
+    rounds=st.integers(1, 5),
+    jitter_seed=st.integers(0, 2**32 - 1),
+)
+def test_device_barriers_produce_no_sanitizer_findings(
+    strategy, num_blocks, rounds, jitter_seed
+):
+    probe = SanitizerProbe()
+    result = run(
+        _micro(rounds, num_blocks),
+        strategy,
+        num_blocks,
+        threads_per_block=64,
+        jitter_pct=20.0,
+        jitter_seed=jitter_seed,
+        probe=probe,
+    )
+    assert result.verified is True
+    assert barrier_findings(probe, num_blocks) == []
+    assert race_findings(probe) == []
+    # Every block entered every round exactly once.
+    assert probe.entered_rounds() == {
+        b: list(range(rounds)) for b in range(num_blocks)
+    }
