@@ -1,0 +1,82 @@
+"""Fault-injection overhead: unarmed hooks vs plain simulation.
+
+The injection points in :class:`~repro.gpu.context.BlockCtx`, the
+kernel dispatcher and the barrier wrapper all sit behind a single
+``device.faults is not None`` check — the same zero-overhead pattern as
+the sanitizer's probe list.  This bench proves the claim: a run with
+fault injection compiled in but *disarmed* (``faults=None``) must cost
+the same as the pre-subsystem plain run, within noise, and a run armed
+with an empty-effect plan must stay a small constant factor.  Writes
+``benchmarks/out/faults_overhead.txt``.
+"""
+
+from time import perf_counter
+
+from benchmarks.conftest import save_report
+from repro.faults import FaultPlan, FaultSpec
+from repro.harness.report import format_table
+from repro.harness.runner import run
+from repro.sanitize import SkewedMicrobench
+
+STRATEGY = "gpu-lockfree"
+REPS = 10
+
+
+def _algo(blocks: int, rounds: int) -> SkewedMicrobench:
+    return SkewedMicrobench(
+        rounds=rounds, num_blocks_hint=blocks, threads_per_block=64
+    )
+
+
+def test_disarmed_injection_adds_no_measurable_overhead(
+    benchmark, sanitize_bench_shape
+):
+    blocks, rounds = sanitize_bench_shape
+
+    def measure():
+        # Interleave the two configurations so cache/JIT warmup noise
+        # lands on both sides equally.
+        plain_s = armed_s = 0.0
+        for _ in range(REPS):
+            t0 = perf_counter()
+            result = run(_algo(blocks, rounds), STRATEGY, blocks)
+            plain_s += perf_counter() - t0
+            assert result.verified is True
+
+            # Armed with a plan that targets a block outside the grid:
+            # every hook runs its guard, no fault ever fires.
+            plan = FaultPlan(
+                [FaultSpec("spurious-wakeup", block=blocks + 7, count=1)]
+            )
+            t0 = perf_counter()
+            result = run(
+                _algo(blocks, rounds), STRATEGY, blocks, faults=plan
+            )
+            armed_s += perf_counter() - t0
+            assert result.verified is True
+            assert plan.fired == []
+        return plain_s, armed_s
+
+    plain_s, armed_s = benchmark.pedantic(measure, rounds=1, iterations=1)
+    ratio = armed_s / plain_s
+    table = format_table(
+        ["configuration", "wall time (s)", "per run (ms)"],
+        [
+            [f"plain ×{REPS}", f"{plain_s:.3f}", f"{1e3 * plain_s / REPS:.1f}"],
+            [
+                f"armed, no-op plan ×{REPS}",
+                f"{armed_s:.3f}",
+                f"{1e3 * armed_s / REPS:.1f}",
+            ],
+            ["overhead factor", f"{ratio:.2f}×", ""],
+        ],
+        title=(
+            f"Fault-injection overhead — {STRATEGY}, {blocks} blocks × "
+            f"{rounds} rounds (armed side includes the barrier watchdog)"
+        ),
+    )
+    save_report("faults_overhead", table)
+
+    # Generous wall-clock bound (CI noise included): the armed side adds
+    # one predicate per hook plus one watchdog process, nothing more.
+    assert ratio < 3, f"disarmed-injection overhead {ratio:.1f}× exceeds budget"

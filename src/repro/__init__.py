@@ -20,6 +20,7 @@ Subpackages:
 * :mod:`repro.algorithms` — FFT, Smith-Waterman, bitonic sort, micro
 * :mod:`repro.harness`    — experiment drivers for every table/figure
 * :mod:`repro.sanitize`   — barrier sanitizer + schedule fuzzer
+* :mod:`repro.faults`     — fault injection + resilient-runtime pieces
 """
 
 from repro.algorithms import (
@@ -34,13 +35,24 @@ from repro.algorithms import (
     VerificationError,
 )
 from repro.errors import (
+    BarrierTimeoutError,
     ConfigError,
     DeadlockError,
+    FaultError,
     LaunchError,
     OccupancyError,
     ReproError,
+    RetryExhaustedError,
     SimulationError,
     SyncProtocolError,
+)
+from repro.faults import (
+    BarrierWatchdog,
+    ChaosReport,
+    FaultPlan,
+    FaultSpec,
+    chaos_campaign,
+    fault_plans,
 )
 from repro.gpu import (
     Device,
@@ -52,7 +64,13 @@ from repro.gpu import (
     Stream,
     gtx280,
 )
-from repro.harness import RunResult, run
+from repro.harness import (
+    DegradePolicy,
+    RetryPolicy,
+    RunResult,
+    run,
+    run_resilient,
+)
 from repro.sanitize import (
     Finding,
     SanitizeReport,
@@ -77,15 +95,22 @@ from repro.sync import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BarrierTimeoutError",
+    "BarrierWatchdog",
     "BitonicSort",
+    "ChaosReport",
     "ConfigError",
     "CpuExplicitSync",
     "CpuImplicitSync",
     "DeadlockError",
+    "DegradePolicy",
     "Device",
     "DeviceConfig",
     "Event",
     "FFT",
+    "FaultError",
+    "FaultPlan",
+    "FaultSpec",
     "Finding",
     "GpuDisseminationSync",
     "GpuLockFreeSync",
@@ -102,6 +127,8 @@ __all__ = [
     "PrefixSum",
     "Reduction",
     "ReproError",
+    "RetryExhaustedError",
+    "RetryPolicy",
     "RoundAlgorithm",
     "RunResult",
     "SanitizeReport",
@@ -115,9 +142,12 @@ __all__ = [
     "SyncStrategy",
     "VerificationError",
     "__version__",
+    "chaos_campaign",
+    "fault_plans",
     "get_strategy",
     "gtx280",
     "run",
+    "run_resilient",
     "sanitize_run",
     "strategy_names",
 ]

@@ -13,6 +13,9 @@ __all__ = [
     "DeadlockError",
     "ProcessError",
     "KernelTimeoutError",
+    "BarrierTimeoutError",
+    "FaultError",
+    "RetryExhaustedError",
     "ConfigError",
     "MemoryError_",
     "LaunchError",
@@ -76,6 +79,64 @@ class KernelTimeoutError(SimulationError):
             f"kernel {kernel_name!r} exceeded the {watchdog_ns} ns watchdog "
             f"(started at {started_ns} ns); on a display-attached GPU the "
             "driver kills such launches"
+        )
+
+
+class BarrierTimeoutError(SimulationError):
+    """The barrier watchdog detected a stalled barrier round and killed it.
+
+    Unlike :class:`DeadlockError` (raised only once the event heap has
+    drained, i.e. after the fact), this is raised by the *resilient*
+    runtime path: a :class:`repro.faults.BarrierWatchdog` armed on the
+    run noticed that no process could ever make progress again, killed
+    the kernel, and surfaced a typed, recoverable error.  The
+    ``stuck`` list names each parked process and what it was waiting on
+    — for injected faults, the reason string names the fault.
+    """
+
+    def __init__(
+        self,
+        strategy: str,
+        deadline_ns: int,
+        fired_at_ns: int,
+        stuck: list[tuple[str, str]],
+        faults: list[str] | None = None,
+    ):
+        self.strategy = strategy
+        self.deadline_ns = deadline_ns
+        self.fired_at_ns = fired_at_ns
+        self.stuck = list(stuck)
+        self.faults = list(faults or [])
+        detail = "; ".join(f"{name}: {reason}" for name, reason in self.stuck)
+        fault_note = (
+            f" (injected: {', '.join(self.faults)})" if self.faults else ""
+        )
+        super().__init__(
+            f"barrier watchdog: {strategy} round stalled past the "
+            f"{deadline_ns} ns deadline at t={fired_at_ns} ns with "
+            f"{len(self.stuck)} process(es) parked [{detail}]{fault_note}"
+        )
+
+
+class FaultError(ReproError):
+    """A fault plan was malformed or injected inconsistently."""
+
+
+class RetryExhaustedError(ReproError):
+    """Every recovery attempt failed and no degradation path remained.
+
+    Carries the per-attempt failure history so callers (and the chaos
+    report) can see exactly how the run died.
+    """
+
+    def __init__(self, strategy: str, attempts: int, history: list[str]):
+        self.strategy = strategy
+        self.attempts = attempts
+        self.history = list(history)
+        trail = " | ".join(self.history) or "no recorded failures"
+        super().__init__(
+            f"{strategy}: all {attempts} attempt(s) failed and graceful "
+            f"degradation was unavailable [{trail}]"
         )
 
 

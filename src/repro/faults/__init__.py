@@ -1,0 +1,48 @@
+"""Deterministic fault injection and the resilient-runtime primitives.
+
+The robustness counterpart of :mod:`repro.sanitize`: where the
+sanitizer asks *"does this barrier have bugs?"*, this package asks
+*"what happens when the world around a correct barrier misbehaves?"* —
+straggling and hung blocks, driver kills, spurious wakeups, dropped
+atomics, corrupted stores.
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`: seeded, replayable
+  fault sets with transient-vs-persistent consumption semantics.
+* :mod:`repro.faults.watchdog` — :class:`BarrierWatchdog`: exact stall
+  detection that turns would-be ``DeadlockError`` runs into typed,
+  recoverable :class:`~repro.errors.BarrierTimeoutError` failures.
+* :mod:`repro.faults.chaos` — :func:`chaos_campaign`: N seeded plans
+  against the full retry/degrade runtime, cross-checked against the
+  sanitizer's detectors; any unexplained outcome fails the campaign.
+
+The recovery policies themselves (retry with backoff, graceful
+degradation) live in :mod:`repro.harness.resilient`, next to the
+runner they wrap.
+"""
+
+from repro.faults.chaos import ChaosReport, ChaosRunRecord, chaos_campaign
+from repro.faults.plan import (
+    FAULT_KINDS,
+    PERSISTENT_KINDS,
+    TRANSIENT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    FiredFault,
+    fault_plans,
+)
+from repro.faults.watchdog import DEFAULT_BARRIER_DEADLINE_NS, BarrierWatchdog
+
+__all__ = [
+    "BarrierWatchdog",
+    "ChaosReport",
+    "ChaosRunRecord",
+    "DEFAULT_BARRIER_DEADLINE_NS",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "FiredFault",
+    "PERSISTENT_KINDS",
+    "TRANSIENT_KINDS",
+    "chaos_campaign",
+    "fault_plans",
+]

@@ -1,0 +1,286 @@
+"""Chaos campaigns: seeded fault storms against the resilient runtime.
+
+A campaign generates ``plans`` deterministic fault plans (seed-derived,
+like sanitizer schedules) and runs each against one barrier strategy
+under the full resilient runtime
+(:func:`repro.harness.resilient.run_resilient`).  Every run must end in
+one of four *explained* outcomes:
+
+* ``ok`` — finished verified on the first attempt (faults may have
+  fired but were absorbed: a straggler only costs time);
+* ``recovered`` — a retry outran a transient fault; finished verified;
+* ``degraded`` — retries exhausted, the run finished verified on the
+  strategy's fallback barrier;
+* ``failed`` — a *typed* error naming the injected fault.
+
+Anything else is **unexplained** and fails the campaign: a
+:class:`~repro.errors.DeadlockError` escaping the watchdog-guarded
+path, an untyped exception, a result that came back unverified, or a
+cross-check mismatch.
+
+The cross-check closes the loop with :mod:`repro.sanitize`: each plan
+whose first attempt fired a liveness fault (``hang`` or
+``driver-kill``) is replayed once with a fresh same-seed plan and a
+:class:`~repro.sanitize.probe.SanitizerProbe`; the replay must either
+raise the same typed error or yield a barrier finding.  An injected
+stall the detectors cannot see would mean the two subsystems disagree
+about what happened — exactly the silent-failure class this campaign
+exists to rule out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.algorithms.base import RoundAlgorithm, VerificationError
+from repro.errors import (
+    BarrierTimeoutError,
+    DeadlockError,
+    FaultError,
+    KernelTimeoutError,
+    ReproError,
+    RetryExhaustedError,
+)
+from repro.faults.plan import FaultPlan
+from repro.faults.watchdog import DEFAULT_BARRIER_DEADLINE_NS
+
+__all__ = ["ChaosReport", "ChaosRunRecord", "chaos_campaign"]
+
+#: typed failures a campaign accepts as explained.
+_TYPED = (
+    RetryExhaustedError,
+    BarrierTimeoutError,
+    KernelTimeoutError,
+    FaultError,
+    VerificationError,
+)
+
+
+@dataclass(frozen=True)
+class ChaosRunRecord:
+    """One plan's fate under the resilient runtime."""
+
+    seed: int
+    planned: List[str]  #: the plan's fault descriptions
+    outcome: str  #: ``ok`` / ``recovered`` / ``degraded`` / ``failed``
+    attempts: int
+    fired: List[str]  #: fault kinds that actually fired
+    error: Optional[str] = None  #: the typed error for ``failed`` runs
+    #: False when this run's fate cannot be pinned on its plan (the
+    #: campaign-failing condition).
+    explained: bool = True
+    #: cross-check verdict: None = not applicable, True/False = ran.
+    cross_checked: Optional[bool] = None
+
+
+@dataclass
+class ChaosReport:
+    """Aggregated campaign outcome (deterministic for a given seed)."""
+
+    strategy: str
+    algorithm: str
+    num_blocks: int
+    seed: int
+    plans: int
+    records: List[ChaosRunRecord] = field(default_factory=list)
+
+    def count(self, outcome: str) -> int:
+        """Number of runs with the given outcome."""
+        return sum(1 for r in self.records if r.outcome == outcome)
+
+    @property
+    def unexplained(self) -> List[ChaosRunRecord]:
+        """Runs whose fate cannot be pinned on their fault plan."""
+        return [r for r in self.records if not r.explained]
+
+    @property
+    def clean(self) -> bool:
+        """True when every run's outcome is explained by its plan."""
+        return not self.unexplained
+
+    def render(self) -> str:
+        """Plain-text campaign summary."""
+        lines = [
+            f"chaos campaign: {self.strategy} x {self.algorithm} "
+            f"({self.num_blocks} blocks, seed {self.seed})",
+            f"  plans run    {len(self.records)}/{self.plans}",
+            f"  ok           {self.count('ok')}",
+            f"  recovered    {self.count('recovered')}",
+            f"  degraded     {self.count('degraded')}",
+            f"  failed       {self.count('failed')} (typed)",
+            f"  unexplained  {len(self.unexplained)}",
+        ]
+        for rec in self.unexplained:
+            lines.append(
+                f"    !! seed {rec.seed}: {rec.outcome} "
+                f"[{', '.join(rec.planned)}] {rec.error or ''}"
+            )
+        tail = "CLEAN" if self.clean else "UNEXPLAINED FAILURES"
+        lines.append(f"  verdict      {tail}")
+        return "\n".join(lines)
+
+
+def _default_algorithm(num_blocks: int, rounds: int) -> RoundAlgorithm:
+    from repro.sanitize.sanitizer import SkewedMicrobench
+
+    return SkewedMicrobench(rounds=rounds, num_blocks_hint=num_blocks)
+
+
+def _cross_check(
+    plan_seed: int,
+    strategy: str,
+    num_blocks: int,
+    rounds: int,
+    algorithm_factory: Callable[[int, int], RoundAlgorithm],
+    config,
+    deadline_ns: int,
+) -> bool:
+    """Replay attempt 1 under the sanitizer probe; True = consistent.
+
+    A fresh plan from the same seed fires the same attempt-1 faults.
+    If a liveness fault (hang / driver-kill) fires, the replay must be
+    *detected* — a typed error from the guarded runner, or a barrier
+    finding from the probe.  A DeadlockError here is an automatic
+    inconsistency: it means the watchdog-guarded path leaked.
+    """
+    from repro.harness.runner import run
+    from repro.sanitize.analysis import barrier_findings
+    from repro.sanitize.probe import SanitizerProbe
+
+    plan = FaultPlan.generate(plan_seed, num_blocks, rounds)
+    probe = SanitizerProbe()
+    detected = False
+    try:
+        run(
+            algorithm_factory(num_blocks, rounds),
+            strategy,
+            num_blocks,
+            config=config,
+            verify=False,
+            probe=probe,
+            faults=plan,
+            barrier_deadline_ns=deadline_ns,
+        )
+    except (BarrierTimeoutError, KernelTimeoutError, FaultError):
+        detected = True
+    except DeadlockError:
+        return False  # the watchdog-guarded path must never leak this
+    findings = barrier_findings(
+        probe, num_blocks, seed=plan_seed, deadlocked=detected
+    )
+    detected = detected or bool(findings)
+    liveness_fired = {"hang", "driver-kill"} & set(plan.fired_kinds)
+    return detected if liveness_fired else True
+
+
+def chaos_campaign(
+    strategy: str = "gpu-lockfree",
+    plans: int = 50,
+    seed: int = 2010,
+    num_blocks: int = 8,
+    rounds: int = 4,
+    algorithm_factory: Optional[Callable[[int, int], RoundAlgorithm]] = None,
+    config=None,
+    retry=None,
+    degrade=None,
+    barrier_deadline_ns: int = DEFAULT_BARRIER_DEADLINE_NS,
+    cross_check: bool = True,
+    max_faults: int = 3,
+) -> ChaosReport:
+    """Run ``plans`` seeded fault plans against one strategy.
+
+    Plan ``i`` of a long campaign equals plan ``i`` of a short one
+    (stable seed derivation), so a failing seed from CI replays locally
+    with ``FaultPlan.generate(that_seed, num_blocks, rounds)``.
+    """
+    from repro.harness.resilient import run_resilient
+    from repro.sanitize.fuzzer import derive_seeds
+
+    factory = algorithm_factory or _default_algorithm
+    report = ChaosReport(
+        strategy=strategy,
+        algorithm=factory(num_blocks, rounds).name,
+        num_blocks=num_blocks,
+        seed=seed,
+        plans=plans,
+    )
+
+    for plan_seed in derive_seeds(seed, plans):
+        plan = FaultPlan.generate(
+            plan_seed, num_blocks, rounds, max_faults=max_faults
+        )
+        planned = plan.descriptions
+        algorithm = factory(num_blocks, rounds)
+        outcome = "failed"
+        attempts = 0
+        error: Optional[str] = None
+        explained = True
+        try:
+            result = run_resilient(
+                algorithm,
+                strategy,
+                num_blocks,
+                retry=retry,
+                degrade=degrade,
+                faults=plan,
+                barrier_deadline_ns=barrier_deadline_ns,
+                config=config,
+            )
+            attempts = result.attempts
+            if result.degraded:
+                outcome = "degraded"
+            elif result.attempts > 1:
+                outcome = "recovered"
+            else:
+                outcome = "ok"
+            # Zero silent wrong answers: a non-failed run must have
+            # actually been verified against the reference output.
+            if result.verified is not True:
+                explained = False
+                error = "run returned unverified"
+        except _TYPED as exc:
+            attempts = plan.attempt
+            error = f"{type(exc).__name__}: {exc}"
+        except ReproError as exc:
+            # Typed, but not a failure the resilient path is allowed to
+            # surface — in particular a DeadlockError escaping the
+            # watchdog.
+            explained = False
+            error = f"{type(exc).__name__}: {exc}"
+        except Exception as exc:  # noqa: BLE001 - untyped = campaign bug
+            explained = False
+            error = f"untyped {type(exc).__name__}: {exc}"
+
+        checked: Optional[bool] = None
+        if (
+            cross_check
+            and explained
+            and {"hang", "driver-kill"} & set(plan.fired_kinds)
+        ):
+            checked = _cross_check(
+                plan_seed,
+                strategy,
+                num_blocks,
+                rounds,
+                factory,
+                config,
+                barrier_deadline_ns,
+            )
+            if not checked:
+                explained = False
+                error = (error or "") + " [cross-check: fault undetected]"
+
+        report.records.append(
+            ChaosRunRecord(
+                seed=plan_seed,
+                planned=planned,
+                outcome=outcome,
+                attempts=attempts,
+                fired=plan.fired_kinds,
+                error=error,
+                explained=explained,
+                cross_checked=checked,
+            )
+        )
+    return report

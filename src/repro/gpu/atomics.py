@@ -31,6 +31,9 @@ class AtomicRegistry:
         self._global_unit = Resource("atomic-unit", capacity=1)
         #: total atomic operations issued (diagnostics / tests).
         self.ops = 0
+        #: atomic ops whose store was lost to an injected ``atomic-drop``
+        #: fault (:mod:`repro.faults`); always 0 on unarmed devices.
+        self.faulted_ops = 0
 
     def unit_for(self, array_name: str, index: int) -> Resource:
         """The serialization resource guarding one cell."""

@@ -116,6 +116,8 @@ class BlockCtx:
         """
         if cost_ns < 0:
             raise ConfigError(f"compute cost must be non-negative, got {cost_ns}")
+        if self.device.faults is not None:
+            cost_ns = self.device.faults.scale_compute(self.block_id, cost_ns)
         start = self.now
         if cost_ns > 0:
             yield Delay(cost_ns)
@@ -136,6 +138,8 @@ class BlockCtx:
         """Write global memory; visible (and waking spinners) after the
         write latency elapses."""
         yield Delay(self.timings.global_write_ns)
+        if self.device.faults is not None:
+            value = self.device.faults.corrupt_store(self.block_id, value)
         if self.device.probes:
             self.device.notify_access(self, array, index, "write")
         array.store(index, value)
@@ -155,7 +159,16 @@ class BlockCtx:
         if self.device.probes:
             self.device.notify_access(self, array, index, "atomic")
         old = array.load(index)
-        array.store(index, old + value)
+        dropped = self.device.faults is not None and self.device.faults.drop_atomic(
+            self.block_id
+        )
+        if dropped:
+            # Transient fault: the read-modify-write's store is lost.
+            # The old value is still returned — on hardware the faulting
+            # increment simply never lands in the cell.
+            self.device.atomics.faulted_ops += 1
+        else:
+            array.store(index, old + value)
         self.device.atomics.ops += 1
         yield Release(unit)
         self.record("atomic", start, cell=f"{array.name}[{flat}]", queued=queued)
@@ -176,6 +189,14 @@ class BlockCtx:
         """
         start = self.now
         polls = yield WaitUntil(array.signal, predicate, reason)
+        if self.device.faults is not None:
+            # Spurious wakeups: the spin loop observed the cell extra
+            # times without its predicate holding; each costs one
+            # observation latency, none affect correctness.
+            extra = self.device.faults.spurious_polls(self.block_id)
+            for _ in range(extra):
+                yield Delay(self.timings.spin_read_ns)
+            polls += extra
         yield Delay(self.timings.spin_read_ns)
         if self.device.probes:
             self.device.notify_access(self, array, None, "spin")

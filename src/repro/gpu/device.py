@@ -34,6 +34,7 @@ class Device:
         engine: Optional[Engine] = None,
         device_wide_atomics: bool = False,
         fuzzer=None,
+        faults=None,
     ):
         self.config = config or gtx280()
         #: the simulation engine — private by default; pass a shared one
@@ -51,6 +52,13 @@ class Device:
         #: memory traffic); see :class:`repro.sanitize.SanitizerProbe`.
         #: Kept empty in normal runs so instrumentation costs nothing.
         self.probes: List[Any] = []
+        #: armed fault plan (:class:`repro.faults.FaultPlan`) or ``None``.
+        #: Injection hooks across the GPU layer are all behind a single
+        #: ``faults is not None`` check — the same zero-overhead pattern
+        #: as the probe list.
+        self.faults = faults
+        if faults is not None:
+            faults.bind_clock(lambda: self.engine.now)
         #: kernels completed on this device (diagnostics).
         self.kernels_completed = 0
         #: kernel name → SmPlacement of its most recent execution.
@@ -107,6 +115,14 @@ class Device:
                 f"watchdog:{spec.name}",
             )
 
+        if self.faults is not None:
+            kill_at = self.faults.take_driver_kill()
+            if kill_at is not None:
+                yield Spawn(
+                    self._fault_killer(handle, kill_at),
+                    f"fault-kill:{spec.name}",
+                )
+
         setup_start = self.engine.now
         yield Delay(timings.kernel_setup_ns)
         self.trace.add(spec.name, "kernel-setup", setup_start, self.engine.now)
@@ -162,6 +178,27 @@ class Device:
             raise KernelTimeoutError(
                 handle.spec.name, watchdog_ns, handle.start_ns or 0
             )
+
+    def _fault_killer(self, handle: "KernelHandle", kill_at_ns: int) -> Generator:
+        """Injected driver-style kernel kill (``driver-kill`` fault).
+
+        Sleeps ``kill_at_ns`` past kernel start, then — if the kernel is
+        still running — aborts it exactly like the display watchdog's
+        "kill" action: the handle is marked killed, the kernel manager
+        and every block are cancelled (freeing SM slots), and the host
+        observes the failure via ``Host.get_last_error()``.
+        """
+        yield Delay(kill_at_ns)
+        if handle.end_ns is not None or handle.killed:
+            return  # kernel finished first; the kill dissipates
+        self.faults.note_driver_kill_fired()
+        reason = f"injected driver-kill of {handle.spec.name} (fault plan)"
+        handle.killed = True
+        handle.end_ns = self.engine.now
+        if handle.process is not None:
+            self.engine.cancel(handle.process, reason)
+        for block in handle.block_processes:
+            self.engine.cancel(block, reason)
 
     def _block_process(
         self, spec: KernelSpec, slots, placement, block_id: int

@@ -2,6 +2,8 @@
 
 * :mod:`repro.harness.runner` — execute one (algorithm × strategy ×
   grid) configuration on a fresh simulated device and verify the output.
+* :mod:`repro.harness.resilient` — retry-with-backoff and graceful
+  degradation around the runner (the fault-tolerant execution path).
 * :mod:`repro.harness.phases` — the paper's §7.3 phase-accounting
   methodology (sync time = total − compute-only run).
 * :mod:`repro.harness.experiments` — drivers for Table 1, Fig. 11,
@@ -13,12 +15,16 @@
 
 from repro.harness.autotune import TuneResult, autotune, probe_barrier_cost
 from repro.harness.phases import Breakdown, breakdown, compute_only, sync_time_ns
-from repro.harness.runner import RaceMonitor, RunResult, run
+from repro.harness.resilient import DegradePolicy, RetryPolicy, run_resilient
+from repro.harness.runner import RaceMonitor, RecoveryEvent, RunResult, run
 from repro.harness.stats import RunStatistics, repeat_run, summarize
 
 __all__ = [
     "Breakdown",
+    "DegradePolicy",
     "RaceMonitor",
+    "RecoveryEvent",
+    "RetryPolicy",
     "RunResult",
     "RunStatistics",
     "TuneResult",
@@ -28,6 +34,7 @@ __all__ = [
     "probe_barrier_cost",
     "repeat_run",
     "run",
+    "run_resilient",
     "summarize",
     "sync_time_ns",
 ]

@@ -20,6 +20,9 @@ Extras beyond the paper:
 * ``sanitize``   — replay a strategy (or ``--strategy all``) under
   fuzzed schedules and report barrier/race findings (docs/sanitizer.md);
   exits 1 when any finding survives
+* ``chaos``      — run ``--plans`` seeded fault plans against a strategy
+  (or ``--strategy all``) under the resilient runtime (docs/faults.md);
+  exits 1 when any run's fate is not explained by its fault plan
 """
 
 from __future__ import annotations
@@ -150,6 +153,42 @@ def _sanitize(args: argparse.Namespace) -> "tuple[str, bool]":
     return "\n\n".join(chunks), dirty
 
 
+#: strategies ``chaos --strategy all`` sweeps: every device barrier that
+#: can degrade to the host-side fallback, plus the fallback itself so
+#: the host path's fault handling is exercised directly.
+CHAOS_ALL = (
+    "gpu-simple",
+    "gpu-tree-2",
+    "gpu-lockfree",
+    "cpu-implicit",
+)
+
+
+def _chaos(args: argparse.Namespace) -> "tuple[str, bool]":
+    """Run chaos campaigns; returns (rendered reports, any unexplained)."""
+    from repro.errors import ConfigError
+    from repro.faults import chaos_campaign
+    from repro.sanitize import DEFAULT_SEED
+
+    strategies = CHAOS_ALL if args.strategy == "all" else [args.strategy]
+    seed = DEFAULT_SEED if args.seed is None else args.seed
+    chunks: List[str] = []
+    dirty = False
+    for strat in strategies:
+        try:
+            rep = chaos_campaign(
+                strat,
+                plans=args.plans,
+                seed=seed,
+                num_blocks=args.blocks,
+            )
+        except (ConfigError, ValueError) as exc:
+            raise SystemExit(f"chaos: {exc}")
+        chunks.append(rep.render())
+        dirty = dirty or not rep.clean
+    return "\n\n".join(chunks), dirty
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-harness",
@@ -175,6 +214,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "report",
             "diff",
             "sanitize",
+            "chaos",
             "all",
         ],
     )
@@ -200,20 +240,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--strategy",
         default="gpu-lockfree",
-        help="strategy for the trace/sanitize experiments "
-        "(sanitize also accepts 'all')",
+        help="strategy for the trace/sanitize/chaos experiments "
+        "(sanitize and chaos also accept 'all')",
     )
     parser.add_argument(
         "--blocks",
         type=int,
         default=8,
-        help="grid size for the trace/sanitize experiments",
+        help="grid size for the trace/sanitize/chaos experiments",
     )
     parser.add_argument(
         "--seed",
         type=int,
         default=None,
-        help="sanitize: base schedule seed (default: the sanitizer's); "
+        help="sanitize/chaos: base seed (default: the sanitizer's); "
         "failure reports print the derived seed to replay",
     )
     parser.add_argument(
@@ -221,6 +261,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=int,
         default=25,
         help="sanitize: fuzzed schedules per strategy (default 25)",
+    )
+    parser.add_argument(
+        "--plans",
+        type=int,
+        default=50,
+        help="chaos: seeded fault plans per strategy (default 50)",
     )
     parser.add_argument(
         "--out",
@@ -333,6 +379,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         sections.append("no drift: sweeps are identical within tolerance")
     if want == "sanitize":
         text, dirty = _sanitize(args)
+        sections.append(text)
+        if dirty:
+            print("\n\n".join(sections))
+            print(
+                f"\n[{want} completed in {time.time() - started:.1f}s]",
+                file=sys.stderr,
+            )
+            return 1
+    if want == "chaos":
+        text, dirty = _chaos(args)
         sections.append(text)
         if dirty:
             print("\n\n".join(sections))

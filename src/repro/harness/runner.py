@@ -8,7 +8,8 @@ from typing import Generator, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.algorithms.base import RoundAlgorithm
-from repro.errors import ConfigError
+from repro.errors import BarrierTimeoutError, ConfigError, FaultError
+from repro.faults.watchdog import DEFAULT_BARRIER_DEADLINE_NS, BarrierWatchdog
 from repro.gpu.config import DeviceConfig, gtx280
 from repro.gpu.context import BlockCtx
 from repro.gpu.device import Device
@@ -16,7 +17,7 @@ from repro.gpu.host import Host
 from repro.gpu.kernel import KernelSpec
 from repro.sync.base import SyncStrategy, get_strategy
 
-__all__ = ["RaceMonitor", "RunResult", "run"]
+__all__ = ["RaceMonitor", "RecoveryEvent", "RunResult", "run"]
 
 
 class RaceMonitor:
@@ -54,6 +55,21 @@ class RaceMonitor:
         return not self.violations
 
 
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One resilience action taken during a run.
+
+    ``kind`` is ``"retry"``, ``"degrade"`` or ``"watchdog-kill"``;
+    ``detail`` is the human-readable cause (the caught error's message
+    or the fallback strategy's name).
+    """
+
+    kind: str
+    attempt: int  #: 1-based attempt the event happened in
+    at_ns: int  #: virtual time charged up to this point
+    detail: str
+
+
 @dataclass
 class RunResult:
     """Everything measured from one configuration."""
@@ -71,11 +87,30 @@ class RunResult:
     trace_compute_ns: int  #: sum of per-block compute spans
     trace_sync_ns: int  #: sum of per-block sync + sync-overhead spans
     device: Optional[Device] = field(default=None, repr=False)
+    # -- resilient-runtime fields (defaults describe a plain clean run) --
+    #: launch attempts consumed (1 = first try succeeded).
+    attempts: int = 1
+    #: True when the run finished on a fallback barrier, not ``strategy``.
+    degraded: bool = False
+    #: the original strategy a degraded run started on.
+    degraded_from: Optional[str] = None
+    #: injected faults that actually fired across all attempts.
+    faults_fired: int = 0
+    #: virtual time burned by failed attempts + backoff (already included
+    #: in ``total_ns``).
+    retry_overhead_ns: int = 0
+    #: every resilience action taken, in order.
+    recovery: List[RecoveryEvent] = field(default_factory=list)
 
     @property
     def total_ms(self) -> float:
         """Total time in milliseconds."""
         return self.total_ns / 1e6
+
+    @property
+    def recovered(self) -> bool:
+        """True when the run needed any resilience action to finish."""
+        return self.attempts > 1 or self.degraded
 
 
 def run(
@@ -91,6 +126,8 @@ def run(
     jitter_seed: int = 0,
     fuzzer=None,
     probe=None,
+    faults=None,
+    barrier_deadline_ns: Optional[int] = None,
 ) -> RunResult:
     """Execute ``algorithm`` under ``strategy`` on a fresh device.
 
@@ -115,6 +152,19 @@ def run(
     sanitizer's adversarial-interleaving layer.  ``probe`` (a
     :class:`repro.sanitize.SanitizerProbe`) observes barrier rounds and
     global-memory traffic.  Both default to off and cost nothing then.
+
+    ``faults`` (a :class:`repro.faults.FaultPlan`) arms deterministic
+    fault injection on the device; armed runs (or any run passing
+    ``barrier_deadline_ns``) also get a
+    :class:`repro.faults.BarrierWatchdog`, so a stalled barrier raises
+    a recoverable :class:`~repro.errors.BarrierTimeoutError` naming the
+    stuck processes instead of a terminal
+    :class:`~repro.errors.DeadlockError`, and a kernel killed mid-run
+    (the ``driver-kill`` fault) raises
+    :class:`~repro.errors.FaultError`.  Both default to off and cost
+    nothing then — this function is single-attempt; recovery (retry,
+    graceful degradation) lives in
+    :func:`repro.harness.resilient.run_resilient`.
     """
     if isinstance(strategy, str):
         strategy = get_strategy(strategy)
@@ -130,12 +180,23 @@ def run(
     strategy.validate_grid(cfg, num_blocks)
 
     algorithm.reset()
-    device = Device(cfg, fuzzer=fuzzer)
+    device = Device(cfg, fuzzer=fuzzer, faults=faults)
     if probe is not None:
         device.probes.append(probe)
     host = Host(device)
     rounds = algorithm.num_rounds()
     monitor = RaceMonitor(rounds, num_blocks) if monitor_races else None
+
+    # Resilient path: any armed run gets the barrier watchdog, so a
+    # stall surfaces as a typed, recoverable error instead of a
+    # heap-drain DeadlockError.
+    watchdog: Optional[BarrierWatchdog] = None
+    if faults is not None or barrier_deadline_ns is not None:
+        watchdog = BarrierWatchdog(
+            device,
+            barrier_deadline_ns or DEFAULT_BARRIER_DEADLINE_NS,
+            strategy_name=strategy.name,
+        )
 
     if jitter_pct > 0:
         sigma = jitter_pct / 100.0
@@ -173,8 +234,12 @@ def run(
         )
 
         def host_program() -> Generator:
-            yield from host.launch(spec)
+            handle = yield from host.launch(spec)
+            if watchdog is not None:
+                watchdog.watch(handle)
             yield from host.synchronize()
+            if watchdog is not None:
+                watchdog.disarm()
 
     else:
 
@@ -195,13 +260,38 @@ def run(
                     block_threads=threads,
                     params={"round_idx": r},
                 )
-                yield from host.launch(spec)
+                handle = yield from host.launch(spec)
+                if watchdog is not None:
+                    watchdog.watch(handle)
                 if strategy.explicit:
                     yield from host.synchronize()
             yield from host.synchronize()
+            if watchdog is not None:
+                watchdog.disarm()
 
+    if watchdog is not None:
+        watchdog.arm()
     device.engine.spawn(host_program(), "host")
     total_ns = device.run()
+
+    if watchdog is not None and watchdog.fired:
+        raise BarrierTimeoutError(
+            strategy.name,
+            watchdog.deadline_ns,
+            watchdog.fired_at or total_ns,
+            watchdog.stuck,
+            faults=[f.description for f in faults.fired] if faults else None,
+        )
+    if faults is not None:
+        # Check the handles, not just the host's sticky error: in host
+        # mode the final synchronize joins only the *last* kernel, so a
+        # kill of an earlier launch never latches last_error.
+        killed = [h for h in host.launches if h.killed]
+        if killed:
+            detail = host.get_last_error() or (
+                f"kernel {killed[0].spec.name!r} was killed"
+            )
+            raise FaultError(f"kernel killed mid-run: {detail}")
 
     verified: Optional[bool] = None
     if verify and strategy.name != "null":
@@ -224,4 +314,5 @@ def run(
             device.trace.total("sync") + device.trace.total("sync-overhead")
         ),
         device=device if keep_device else None,
+        faults_fired=len(faults.fired) if faults is not None else 0,
     )

@@ -87,6 +87,18 @@ class Engine:
         :class:`repro.errors.DeadlockError` if processes remain blocked
         when the heap drains, and re-raises any exception raised inside a
         process (annotated with the process name).
+
+        **Horizon semantics.** With ``until`` given, the engine stops as
+        soon as the next pending event lies beyond the horizon and
+        returns ``until`` — *without* the deadlock check, because the
+        future event proves the simulation can still make progress.  A
+        deadlock is still raised at the horizon when the heap drains
+        before reaching ``until``.  The remaining ambiguity is a heap
+        whose only future events belong to processes unrelated to the
+        blocked ones (e.g. a timer): after ``run(until=...)`` returns,
+        inspect :attr:`blocked_processes` (who is parked, and on what)
+        and :meth:`pending_events` to tell "paused, work pending" from
+        "everything that matters is stuck".
         """
         if self._running:
             raise SimulationError("engine.run() is not reentrant")
@@ -94,6 +106,12 @@ class Engine:
         try:
             while self._heap:
                 when, _pri, _seq, process, value = heapq.heappop(self._heap)
+                if process.state == ProcessState.CANCELLED:
+                    # Lazily dropped heap entry of a killed process: skip
+                    # it *before* the horizon check or advancing the
+                    # clock, so dead wakeups neither pause the run nor
+                    # inflate the final virtual time.
+                    continue
                 if until is not None and when > until:
                     # Push back and stop at the horizon.
                     heapq.heappush(self._heap, (when, _pri, _seq, process, value))
@@ -102,9 +120,6 @@ class Engine:
                 if when < self.now:
                     raise SimulationError("time went backwards (engine bug)")
                 self.now = when
-                if process.state == ProcessState.CANCELLED:
-                    # Lazily dropped heap entry of a killed process.
-                    continue
                 self._events_dispatched += 1
                 if self._events_dispatched > self._max_events:
                     raise SimulationError(
@@ -187,6 +202,38 @@ class Engine:
         return [p for p in self._processes if p.alive]
 
     @property
+    def blocked_processes(self) -> List[Tuple[str, str]]:
+        """``(name, reason)`` for every live process parked on something.
+
+        The same shape :class:`repro.errors.DeadlockError` reports, but
+        available *while* the simulation is paused — use it after
+        ``run(until=...)`` returns at the horizon to distinguish "paused
+        with work pending" from "deadlocked at the horizon", or from a
+        monitoring process (see :class:`repro.faults.BarrierWatchdog`).
+        """
+        return [
+            (p.name, p.waiting_on or "unknown")
+            for p in self._processes
+            if p.state == ProcessState.BLOCKED
+        ]
+
+    def pending_events(self, ignore: Tuple[Process, ...] = ()) -> int:
+        """Scheduled wakeups of live processes, excluding ``ignore``.
+
+        A positive count means some process will run again without
+        outside help; zero with :attr:`blocked_processes` non-empty is a
+        certain deadlock (nothing left to fire the signals they wait
+        on).  ``ignore`` lets a watchdog discount its own timer when it
+        asks "can anyone *else* still make progress?".
+        """
+        ignored = {id(p) for p in ignore}
+        return sum(
+            1
+            for _when, _pri, _seq, process, _value in self._heap
+            if process.alive and id(process) not in ignored
+        )
+
+    @property
     def events_dispatched(self) -> int:
         """Total events executed so far (diagnostics)."""
         return self._events_dispatched
@@ -262,8 +309,12 @@ class Engine:
                 process.blocked_on = resource
                 resource._enqueue(process, self.now, effect.reason)
         elif isinstance(effect, Release):
-            if effect.resource in process.holding:
-                process.holding.remove(effect.resource)
+            if effect.resource not in process.holding:
+                raise ProcessError(
+                    f"process {process.name!r} released resource "
+                    f"{effect.resource.name!r} it does not hold"
+                )
+            process.holding.remove(effect.resource)
             granted = effect.resource._release()
             if granted is not None:
                 woken, enq_time = granted

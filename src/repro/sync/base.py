@@ -15,6 +15,27 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["SyncStrategy", "register_strategy", "get_strategy", "strategy_names"]
 
 
+def _hang_forever(ctx: "BlockCtx", strategy_name: str, round_idx: int) -> Generator:
+    """Park a block forever (the injected ``hang`` fault).
+
+    The block waits on a signal nothing ever fires — the simulated
+    analogue of a block that died or spun off into the weeds before
+    reaching the barrier.  Only a watchdog kill (or the engine's
+    deadlock detection) ends the wait; the reason string names the
+    fault so :class:`repro.errors.BarrierTimeoutError` reports it.
+    """
+    from repro.simcore.effects import WaitUntil
+    from repro.simcore.signal import Signal
+
+    tombstone = Signal(f"fault-hang:{ctx.owner}")
+    yield WaitUntil(
+        tombstone,
+        lambda: False,
+        f"injected hang: block {ctx.block_id} never reaches the "
+        f"{strategy_name} barrier of round {round_idx}",
+    )
+
+
 class SyncStrategy(abc.ABC):
     """One way of implementing the inter-block barrier.
 
@@ -38,6 +59,13 @@ class SyncStrategy(abc.ABC):
     mode: str = "device"
     #: host mode only: call cudaThreadSynchronize() between launches.
     explicit: bool = False
+    #: registered name of the strategy to degrade to when this barrier
+    #: repeatedly times out (or its grid is rejected).  ``None`` means
+    #: "use the mode default": device barriers fall back to the host-side
+    #: barrier (paper §4.1 — the kernel boundary always synchronizes, so
+    #: it can never deadlock); host barriers have nothing safer to
+    #: fall back to.
+    fallback: "str | None" = None
 
     # -- device-mode API ------------------------------------------------------
 
@@ -59,13 +87,34 @@ class SyncStrategy(abc.ABC):
         and stuck-round findings from.  With no probes registered this
         is exactly :meth:`barrier`: enter/exit dispatch is skipped, so
         measured runs pay nothing.
+
+        This is also the ``hang`` fault's injection point
+        (:mod:`repro.faults`): a hung block parks *before* the enter
+        notification, so the probe sees exactly what hardware would —
+        every other block stuck inside the round, the hung one absent.
         """
+        faults = ctx.device.faults
+        if faults is not None and faults.should_hang(ctx.block_id, round_idx):
+            yield from _hang_forever(ctx, self.name, round_idx)
         probes = ctx.device.probes
         for probe in probes:
             probe.on_barrier_enter(ctx, self, round_idx)
         yield from self.barrier(ctx, round_idx)
         for probe in probes:
             probe.on_barrier_exit(ctx, self, round_idx)
+
+    def fallback_strategy(self) -> "str | None":
+        """Name of the barrier to degrade to, or ``None`` (no fallback).
+
+        Device-side barriers degrade to ``cpu-implicit`` by default:
+        relaunching per round is slower but structurally immune to the
+        spin-barrier failure modes (a block that dies takes one kernel
+        down, not the grid's liveness).  Override via the
+        :attr:`fallback` class attribute.
+        """
+        if self.fallback is not None:
+            return self.fallback
+        return "cpu-implicit" if self.mode == "device" else None
 
     def shared_mem_request(self, config: "DeviceConfig") -> int:
         """Shared memory per block to request at launch.

@@ -45,6 +45,8 @@ class GpuLockFreeSync(SyncStrategy):
 
     name = "gpu-lockfree"
     mode = "device"
+    #: degrade target when the barrier repeatedly stalls (resilient runtime).
+    fallback = "cpu-implicit"
 
     def __init__(self, serial_gather: bool = False, detailed: bool = False):
         #: ablation flag: one checker thread scans Arrayin serially

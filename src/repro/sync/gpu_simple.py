@@ -46,6 +46,8 @@ class GpuSimpleSync(SyncStrategy):
 
     name = "gpu-simple"
     mode = "device"
+    #: degrade target when the barrier repeatedly stalls (resilient runtime).
+    fallback = "cpu-implicit"
 
     def __init__(self, reset_mutex: bool = False):
         #: ablation flag: reset ``g_mutex`` each round instead of

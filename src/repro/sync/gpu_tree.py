@@ -40,6 +40,8 @@ class GpuTreeSync(SyncStrategy):
     """The multi-level mutex-tree device barrier."""
 
     mode = "device"
+    #: degrade target when the barrier repeatedly stalls (resilient runtime).
+    fallback = "cpu-implicit"
 
     def __init__(self, levels: int = 2):
         if levels < 2:

@@ -1,0 +1,75 @@
+"""Tests for the chaos campaign and its sanitizer cross-check."""
+
+from repro.faults import chaos_campaign
+from repro.faults.chaos import ChaosReport, ChaosRunRecord
+
+
+def test_small_campaign_is_clean_and_deterministic():
+    a = chaos_campaign("gpu-lockfree", plans=8, seed=7)
+    b = chaos_campaign("gpu-lockfree", plans=8, seed=7)
+    assert a.clean, a.render()
+    assert len(a.records) == 8
+    assert [(r.seed, r.outcome, r.attempts) for r in a.records] == [
+        (r.seed, r.outcome, r.attempts) for r in b.records
+    ]
+
+
+def test_campaign_outcomes_partition_the_runs():
+    rep = chaos_campaign("gpu-simple", plans=10, seed=3)
+    total = sum(
+        rep.count(o) for o in ("ok", "recovered", "degraded", "failed")
+    )
+    assert total == len(rep.records) == 10
+
+
+def test_hang_only_campaign_always_degrades_device_barrier():
+    from repro.faults.plan import FaultPlan
+
+    rep = chaos_campaign(
+        "gpu-lockfree", plans=6, seed=11, max_faults=1
+    )
+    # Force it differently: build a campaign where we know the kinds.
+    hang_records = [r for r in rep.records if "hang" in " ".join(r.fired)]
+    for rec in hang_records:
+        assert rec.outcome == "degraded", rec
+        plan = FaultPlan.generate(rec.seed, 8, 4, max_faults=1)
+        assert plan.descriptions == rec.planned  # seed replays the plan
+
+
+def test_host_strategy_campaign_never_degrades():
+    rep = chaos_campaign("cpu-implicit", plans=10, seed=5)
+    assert rep.clean, rep.render()
+    assert rep.count("degraded") == 0
+
+
+def test_unknown_strategy_is_unexplained_not_crash():
+    rep = chaos_campaign("no-such-barrier", plans=2, seed=1, cross_check=False)
+    assert not rep.clean
+    assert all(not r.explained for r in rep.records)
+
+
+def test_render_mentions_verdict_and_counts():
+    rep = chaos_campaign("gpu-lockfree", plans=4, seed=2)
+    text = rep.render()
+    assert "chaos campaign: gpu-lockfree" in text
+    assert "verdict" in text
+    assert "CLEAN" in text
+
+
+def test_report_flags_unverified_result_records():
+    rep = ChaosReport(
+        strategy="s", algorithm="a", num_blocks=8, seed=0, plans=1
+    )
+    rep.records.append(
+        ChaosRunRecord(
+            seed=1,
+            planned=["x"],
+            outcome="ok",
+            attempts=1,
+            fired=[],
+            explained=False,
+            error="run returned unverified",
+        )
+    )
+    assert not rep.clean
+    assert "UNEXPLAINED" in rep.render()

@@ -1,0 +1,124 @@
+"""Tests for FaultPlan generation, determinism and consumption."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import (
+    FAULT_KINDS,
+    PERSISTENT_KINDS,
+    TRANSIENT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    fault_plans,
+)
+
+
+def test_kind_partition_is_total():
+    assert PERSISTENT_KINDS | TRANSIENT_KINDS == frozenset(FAULT_KINDS)
+    assert not PERSISTENT_KINDS & TRANSIENT_KINDS
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(FaultError, match="unknown fault kind"):
+        FaultSpec("cosmic-ray")
+
+
+def test_invalid_spec_fields_rejected():
+    with pytest.raises(FaultError):
+        FaultSpec("straggler", block=0, factor=0.5)
+    with pytest.raises(FaultError):
+        FaultSpec("spurious-wakeup", block=0, count=0)
+    with pytest.raises(FaultError):
+        FaultSpec("driver-kill", at_ns=-1)
+
+
+def test_generate_is_deterministic():
+    a = FaultPlan.generate(1234, num_blocks=8, rounds=4)
+    b = FaultPlan.generate(1234, num_blocks=8, rounds=4)
+    assert a.descriptions == b.descriptions
+    assert a.seed == b.seed == 1234
+
+
+def test_generate_respects_bounds():
+    for seed in range(50):
+        plan = FaultPlan.generate(seed, num_blocks=6, rounds=3, max_faults=4)
+        assert 1 <= len(plan) <= 4
+        for spec in plan.specs:
+            assert spec.kind in FAULT_KINDS
+            if spec.block is not None:
+                assert 0 <= spec.block < 6
+            if spec.kind == "hang":
+                assert 0 <= spec.round < 3
+
+
+def test_generate_kind_restriction():
+    for seed in range(20):
+        plan = FaultPlan.generate(
+            seed, num_blocks=4, rounds=2, kinds=["straggler"]
+        )
+        assert all(s.kind == "straggler" for s in plan.specs)
+
+
+def test_transient_fault_consumed_once():
+    plan = FaultPlan([FaultSpec("atomic-drop", block=2)])
+    assert plan.drop_atomic(2) is True
+    assert plan.drop_atomic(2) is False  # consumed
+    assert plan.drop_atomic(1) is False  # wrong block never fires
+    assert [f.kind for f in plan.fired] == ["atomic-drop"]
+
+
+def test_persistent_hang_refires_every_attempt():
+    plan = FaultPlan([FaultSpec("hang", block=1, round=0)])
+    assert plan.should_hang(1, 0) is True
+    plan.next_attempt()
+    assert plan.should_hang(1, 0) is True
+    # recorded once per attempt, not once per poll
+    assert plan.should_hang(1, 0) is True
+    assert [(f.kind, f.attempt) for f in plan.fired] == [
+        ("hang", 1),
+        ("hang", 2),
+    ]
+
+
+def test_straggler_scales_and_records_once_per_attempt():
+    plan = FaultPlan([FaultSpec("straggler", block=0, factor=3.0)])
+    assert plan.scale_compute(0, 100.0) == 300.0
+    assert plan.scale_compute(0, 100.0) == 300.0
+    assert plan.scale_compute(1, 100.0) == 100.0
+    assert len(plan.fired) == 1
+    assert plan.persistent
+
+
+def test_driver_kill_armed_once():
+    plan = FaultPlan([FaultSpec("driver-kill", at_ns=777)])
+    assert plan.take_driver_kill() == 777
+    assert plan.take_driver_kill() is None  # consumed at arming
+    assert plan.fired == []  # not fired until the killer reports it
+    plan.note_driver_kill_fired()
+    assert [f.kind for f in plan.fired] == ["driver-kill"]
+
+
+def test_spurious_polls_returned_once():
+    plan = FaultPlan([FaultSpec("spurious-wakeup", block=3, count=5)])
+    assert plan.spurious_polls(3) == 5
+    assert plan.spurious_polls(3) == 0
+
+
+def test_corrupt_store_zeroes_scalar_once():
+    plan = FaultPlan([FaultSpec("mem-corrupt", block=0)])
+    assert plan.corrupt_store(0, 7.5) == 0
+    assert plan.corrupt_store(0, 7.5) == 7.5  # consumed
+
+
+def test_corrupt_store_zeroes_arrays():
+    import numpy as np
+
+    plan = FaultPlan([FaultSpec("mem-corrupt", block=0)])
+    out = plan.corrupt_store(0, np.array([1.0, 2.0]))
+    assert np.array_equal(out, np.zeros(2))
+
+
+def test_fault_plans_prefix_stable():
+    short = [p.descriptions for p in fault_plans(99, 5, num_blocks=8, rounds=4)]
+    long = [p.descriptions for p in fault_plans(99, 10, num_blocks=8, rounds=4)]
+    assert long[:5] == short

@@ -1,0 +1,120 @@
+"""Tests for the barrier watchdog's exact stall detection."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import BarrierWatchdog
+from repro.gpu.device import Device
+from repro.simcore.effects import Delay, WaitUntil
+from repro.simcore.signal import Signal
+
+
+def test_deadline_validation():
+    with pytest.raises(ConfigError):
+        BarrierWatchdog(Device(), deadline_ns=0)
+
+
+def test_watchdog_quiet_on_clean_run():
+    device = Device()
+    dog = BarrierWatchdog(device, deadline_ns=100, strategy_name="t")
+
+    def worker():
+        for _ in range(20):
+            yield Delay(50)
+
+    dog.arm()
+    device.engine.spawn(worker(), "worker")
+    device.run()
+    assert dog.fired is False
+    assert dog.checks >= 1  # it did look
+
+
+def test_watchdog_detects_certain_stall():
+    from repro.errors import DeadlockError
+
+    device = Device()
+    sig = Signal("never")
+    dog = BarrierWatchdog(device, deadline_ns=100, strategy_name="t")
+
+    def stuck():
+        yield WaitUntil(sig, lambda: False, "waiting for godot")
+
+    dog.arm()
+    device.engine.spawn(stuck(), "stuck")
+    # With no watched kernel handles the dog only *observes*: the stuck
+    # process stays parked, so the drain still deadlocks — but the dog
+    # recorded the stall first (the runner uses this to raise the typed
+    # error instead).
+    with pytest.raises(DeadlockError):
+        device.run()
+    assert dog.fired is True
+    assert dog.fired_at == 100
+    assert dog.stuck == [("stuck", "waiting for godot (signal 'never')")]
+
+
+def test_watchdog_ignores_slow_but_live_processes():
+    """Pending events = progress: a straggler 50x past the deadline is
+    not a stall, so the deadline is pure detection latency."""
+    device = Device()
+    dog = BarrierWatchdog(device, deadline_ns=100, strategy_name="t")
+
+    def straggler():
+        yield Delay(5_000)  # 50 deadlines of honest work
+
+    dog.arm()
+    device.engine.spawn(straggler(), "slow")
+    device.run()
+    assert dog.fired is False
+
+
+def test_watchdog_waker_pair_not_flagged():
+    """A blocked process whose waker has a pending event is fine."""
+    device = Device()
+    sig = Signal("flag")
+    state = {"ready": False}
+    dog = BarrierWatchdog(device, deadline_ns=100, strategy_name="t")
+
+    def waiter():
+        yield WaitUntil(sig, lambda: state["ready"], "the flag")
+
+    def waker():
+        yield Delay(1_000)  # well past several deadlines
+        state["ready"] = True
+        device.engine.fire(sig)
+
+    dog.arm()
+    device.engine.spawn(waiter(), "waiter")
+    device.engine.spawn(waker(), "waker")
+    device.run()
+    assert dog.fired is False
+
+
+def test_disarm_cancels_cleanly_without_inflating_time():
+    device = Device()
+    dog = BarrierWatchdog(device, deadline_ns=1_000_000, strategy_name="t")
+
+    def quick():
+        yield Delay(10)
+        dog.disarm()
+
+    dog.arm()
+    device.engine.spawn(quick(), "quick")
+    assert device.run() == 10  # the dog's pending wakeup adds nothing
+
+
+def test_fired_watchdog_kills_watched_kernel():
+    from repro.faults import FaultPlan, FaultSpec
+    from repro.errors import BarrierTimeoutError
+    from repro.harness.runner import run
+    from repro.sanitize.sanitizer import SkewedMicrobench
+
+    plan = FaultPlan([FaultSpec("hang", block=1, round=0)])
+    with pytest.raises(BarrierTimeoutError):
+        run(
+            SkewedMicrobench(rounds=2, num_blocks_hint=4),
+            "gpu-lockfree",
+            4,
+            faults=plan,
+            keep_device=True,
+            barrier_deadline_ns=50_000,
+        )

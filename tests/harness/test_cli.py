@@ -99,3 +99,23 @@ def test_save_sweeps_option(tmp_path, capsys):
     sweep = load_sweep(out_dir / "fig11.json")
     assert sweep.algorithm == "micro"
     assert len(sweep.blocks) == 30
+
+
+def test_chaos_command_clean_exit(capsys):
+    assert main(["chaos", "--strategy", "gpu-lockfree", "--plans", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "chaos campaign: gpu-lockfree" in out
+    assert "verdict      CLEAN" in out
+
+
+def test_chaos_command_all_sweeps_device_and_host(capsys):
+    assert main(["chaos", "--strategy", "all", "--plans", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "gpu-simple" in out
+    assert "cpu-implicit" in out
+
+
+def test_chaos_command_unknown_strategy_fails(capsys):
+    assert main(["chaos", "--strategy", "no-such", "--plans", "2"]) == 1
+    out = capsys.readouterr().out
+    assert "UNEXPLAINED" in out

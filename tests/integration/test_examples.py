@@ -42,6 +42,7 @@ CASES = {
     "custom_barrier.py": [],
     "autotune_demo.py": [],
     "multi_gpu.py": [],
+    "chaos_recovery.py": [],
 }
 
 

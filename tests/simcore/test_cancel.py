@@ -173,6 +173,91 @@ def test_join_on_already_cancelled_process_is_immediate():
     assert isinstance(results[0][1], Cancelled)
 
 
+def test_cancelled_holder_frees_every_held_resource():
+    """A holder of several resources frees all of them on cancel."""
+    eng = Engine()
+    a, b = Resource("a"), Resource("b")
+    got = []
+
+    def hoarder():
+        yield Acquire(a)
+        yield Acquire(b)
+        yield Delay(10_000)
+        yield Release(b)
+        yield Release(a)
+
+    def waiter(res, tag):
+        yield Delay(1)  # let the hoarder take both units first
+        yield Acquire(res)
+        got.append((tag, eng.now))
+        yield Release(res)
+
+    h = eng.spawn(hoarder())
+    eng.spawn(waiter(a, "a"))
+    eng.spawn(waiter(b, "b"))
+
+    def killer():
+        yield Delay(30)
+        eng.cancel(h, "hoarding")
+
+    eng.spawn(killer())
+    eng.run()
+    assert sorted(got) == [("a", 30), ("b", 30)]
+    assert a.available == 1 and b.available == 1
+    assert h.holding == []
+
+
+def test_cancel_wakes_multiple_pending_joiners():
+    """Every joiner parked on the victim gets the Cancelled sentinel."""
+    eng = Engine()
+    results = []
+
+    def sleeper():
+        yield Delay(10_000)
+
+    s = eng.spawn(sleeper())
+
+    def joiner(tag):
+        result = yield Join(s)
+        results.append((tag, eng.now, result))
+
+    for tag in ("x", "y", "z"):
+        eng.spawn(joiner(tag))
+
+    def killer():
+        yield Delay(12)
+        eng.cancel(s, "abort")
+
+    eng.spawn(killer())
+    eng.run()
+    assert len(results) == 3
+    assert {tag for tag, _, _ in results} == {"x", "y", "z"}
+    assert all(t == 12 for _, t, _ in results)
+    assert all(isinstance(r, Cancelled) for _, _, r in results)
+    assert all(r.reason == "abort" for _, _, r in results)
+
+
+def test_double_cancel_is_idempotent():
+    """The second cancel is a no-op returning False, not an error."""
+    eng = Engine()
+
+    def sleeper():
+        yield Delay(10_000)
+
+    s = eng.spawn(sleeper())
+    outcomes = []
+
+    def killer():
+        yield Delay(5)
+        outcomes.append(eng.cancel(s, "first"))
+        outcomes.append(eng.cancel(s, "second"))
+
+    eng.spawn(killer())
+    eng.run()
+    assert outcomes == [True, False]
+    assert s.state == ProcessState.CANCELLED
+
+
 def test_cancelling_a_join_blocked_process_detaches_it():
     eng = Engine()
 

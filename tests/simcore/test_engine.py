@@ -436,3 +436,110 @@ def test_events_dispatched_counter():
     eng.spawn(proc())
     eng.run()
     assert eng.events_dispatched == 3  # initial resume + two delays
+
+
+def test_release_of_resource_held_by_another_raises():
+    """Releasing someone else's unit is a protocol error, not silent."""
+    eng = Engine()
+    res = Resource("unit")
+
+    def holder():
+        yield Acquire(res)
+        yield Delay(100)
+        yield Release(res)
+
+    def thief():
+        yield Delay(10)
+        yield Release(res)  # held by holder, not us
+
+    eng.spawn(holder(), name="holder")
+    eng.spawn(thief(), name="thief")
+    with pytest.raises(ProcessError, match="thief.*does not hold"):
+        eng.run()
+
+
+def test_double_release_raises():
+    eng = Engine()
+    res = Resource("unit")
+
+    def sloppy():
+        yield Acquire(res)
+        yield Release(res)
+        yield Release(res)
+
+    eng.spawn(sloppy(), name="sloppy")
+    with pytest.raises(ProcessError, match="does not hold"):
+        eng.run()
+
+
+def test_cancelled_wakeups_do_not_inflate_final_time():
+    """A dead process's future wakeup must not drag the clock forward."""
+    eng = Engine()
+
+    def sleeper():
+        yield Delay(1_000_000)
+
+    s = eng.spawn(sleeper())
+
+    def killer():
+        yield Delay(10)
+        eng.cancel(s, "not needed")
+
+    eng.spawn(killer())
+    assert eng.run() == 10  # not 1_000_000
+
+
+def test_cancelled_wakeup_beyond_horizon_does_not_pause_run():
+    """A dead entry past the horizon is skipped, not treated as progress."""
+    eng = Engine()
+    done = []
+
+    def sleeper():
+        yield Delay(1_000_000)
+
+    def worker():
+        yield Delay(5)
+        done.append(eng.now)
+
+    s = eng.spawn(sleeper())
+    eng.cancel(s, "immediately")
+    eng.spawn(worker())
+    assert eng.run(until=100) == 5
+    assert done == [5]
+
+
+def test_blocked_processes_lists_parked_only():
+    eng = Engine()
+    sig = Signal("s")
+
+    def waiter():
+        yield WaitUntil(sig, lambda: False, "the flag")
+
+    def sleeper():
+        yield Delay(500)
+
+    eng.spawn(waiter(), name="w")
+    eng.spawn(sleeper(), name="zz")
+    eng.run(until=100)
+    blocked = eng.blocked_processes
+    assert len(blocked) == 1
+    name, reason = blocked[0]
+    assert name == "w" and "the flag" in reason
+
+
+def test_pending_events_counts_live_wakeups_and_ignores():
+    eng = Engine()
+    sig = Signal("s")
+
+    def waiter():
+        yield WaitUntil(sig, lambda: False, "forever")
+
+    def sleeper():
+        yield Delay(500)
+
+    eng.spawn(waiter(), name="w")
+    zz = eng.spawn(sleeper(), name="zz")
+    eng.run(until=100)
+    # The sleeper's 500 ns wakeup is pending; the waiter has none.
+    assert eng.pending_events() == 1
+    assert eng.pending_events(ignore=(zz,)) == 0
