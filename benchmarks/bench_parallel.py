@@ -1,0 +1,79 @@
+"""The parallel executor's two contract benchmarks.
+
+1. **Equality** — the Fig. 11 sweep produced by a 4-worker executor is
+   byte-identical (as versioned JSON) to the serial one, and a cached
+   rerun is byte-identical again.  Runs everywhere.
+2. **Speedup** — on a machine with ≥ 4 cores, the 4-worker sweep is at
+   least 2.5× faster than the serial sweep.  Skipped on smaller boxes
+   (CI containers often expose 1–2 cores), where the equality half
+   still guards the semantics.
+"""
+
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.harness import experiments
+from repro.parallel import Executor, ResultCache
+
+ROUNDS = 200
+JOBS = 4
+MIN_SPEEDUP = 2.5
+
+
+def _fig11(executor=None):
+    return experiments.fig11(rounds=ROUNDS, executor=executor)
+
+
+def test_parallel_sweep_identical_to_serial(benchmark, tmp_path):
+    serial = _fig11()
+    parallel = benchmark.pedantic(
+        _fig11, kwargs={"executor": Executor(jobs=JOBS)}, rounds=1, iterations=1
+    )
+    assert parallel.to_json() == serial.to_json()
+
+    cache = ResultCache(tmp_path / "cache")
+    warm = _fig11(executor=Executor(jobs=1, cache=cache))
+    cached = _fig11(executor=Executor(jobs=1, cache=cache))
+    assert cache.hits == cache.misses  # second pass fully served from disk
+    assert warm.to_json() == serial.to_json()
+    assert cached.to_json() == serial.to_json()
+
+    save_report(
+        "parallel_equality",
+        f"fig11 x {JOBS} workers: JSON byte-identical to serial "
+        f"({len(serial.to_json())} bytes); cached rerun identical "
+        f"({cache.hits} hits / {cache.hits + cache.misses} lookups)",
+    )
+
+
+def test_parallel_sweep_speedup(benchmark):
+    cores = os.cpu_count() or 1
+    if cores < JOBS:
+        pytest.skip(
+            f"speedup bench needs >= {JOBS} cores, machine has {cores}"
+        )
+
+    t0 = time.perf_counter()
+    serial = _fig11()
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = benchmark.pedantic(
+        _fig11, kwargs={"executor": Executor(jobs=JOBS)}, rounds=1, iterations=1
+    )
+    parallel_s = time.perf_counter() - t0
+
+    assert parallel.to_json() == serial.to_json()
+    speedup = serial_s / parallel_s
+    save_report(
+        "parallel_speedup",
+        f"fig11: serial {serial_s:.2f}s, {JOBS} workers {parallel_s:.2f}s "
+        f"-> {speedup:.2f}x (floor {MIN_SPEEDUP}x)",
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"{JOBS}-worker fig11 sweep only {speedup:.2f}x faster "
+        f"(need >= {MIN_SPEEDUP}x)"
+    )

@@ -41,7 +41,7 @@ def main() -> None:
 
     # 3. brute force
     measured = {
-        name: run(scan, name, NUM_BLOCKS).total_ns
+        name: run(scan, name, num_blocks=NUM_BLOCKS).total_ns
         for name, _ in tuned.ranking()
     }
     brute = min(measured, key=measured.get)

@@ -12,20 +12,21 @@ walks the resilient runtime's full escalation ladder:
    notices that no process can ever make progress again, kills the
    kernel, and raises ``BarrierTimeoutError`` naming the injected hang
    (instead of the terminal ``DeadlockError`` an unguarded run dies of);
-3. ``run_resilient`` retries with virtual-time backoff — the hang
-   re-fires every attempt — then *degrades*: it swaps the device barrier
-   for the host-side ``cpu-implicit`` barrier, which a hung barrier
-   round structurally cannot deadlock (the kernel boundary itself
-   synchronizes, paper §4.1), and finishes with a verified result.
+3. ``repro.run(..., retry=..., degrade=...)`` — the resilient path of
+   the unified facade — retries with virtual-time backoff; the hang
+   re-fires every attempt, so it then *degrades*: it swaps the device
+   barrier for the host-side ``cpu-implicit`` barrier, which a hung
+   barrier round structurally cannot deadlock (the kernel boundary
+   itself synchronizes, paper §4.1), and finishes verified.
 
 Usage::
 
     python examples/chaos_recovery.py
 """
 
+from repro import DegradePolicy, RetryPolicy, run
 from repro.errors import BarrierTimeoutError
 from repro.faults import FaultPlan, FaultSpec
-from repro.harness import run, run_resilient
 from repro.sanitize import SkewedMicrobench
 
 
@@ -39,7 +40,7 @@ def main() -> None:
 
     # --- 2. one guarded attempt: typed, recoverable failure ---------------
     try:
-        run(micro(), "gpu-lockfree", 8, faults=plan)
+        run(micro(), "gpu-lockfree", num_blocks=8, faults=plan)
     except BarrierTimeoutError as exc:
         stuck = [name for name, _ in exc.stuck if "/b" in name]
         hung = [r for _, r in exc.stuck if "injected hang" in r]
@@ -51,7 +52,14 @@ def main() -> None:
 
     # --- 3. the full runtime: retry, then degrade --------------------------
     plan = FaultPlan([FaultSpec("hang", block=3, round=1)])
-    result = run_resilient(micro(), "gpu-lockfree", 8, faults=plan)
+    result = run(
+        micro(),
+        "gpu-lockfree",
+        num_blocks=8,
+        faults=plan,
+        retry=RetryPolicy(),
+        degrade=DegradePolicy(),
+    )
     for event in result.recovery:
         print(f"[3] attempt {event.attempt}: {event.kind:8s} {event.detail[:68]}")
     print(

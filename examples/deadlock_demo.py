@@ -38,7 +38,7 @@ def main() -> None:
     # --- 1. the guard ------------------------------------------------------
     micro = MeanMicrobench(rounds=5, num_blocks_hint=31)
     try:
-        run(micro, "gpu-lockfree", 31)
+        run(micro, "gpu-lockfree", num_blocks=31)
     except OccupancyError as exc:
         print(f"[1] guard refused the launch:\n    {exc}\n")
 
@@ -114,7 +114,7 @@ def main() -> None:
 
     # --- 4. the safe configuration ----------------------------------------
     result = run(
-        MeanMicrobench(rounds=5, num_blocks_hint=30), "gpu-lockfree", 30
+        MeanMicrobench(rounds=5, num_blocks_hint=30), "gpu-lockfree", num_blocks=30
     )
     print(
         f"[4] same barrier at 30 blocks (= #SMs): completed in "

@@ -36,7 +36,7 @@ def main() -> None:
 
     rows = []
     for strategy in STRATEGIES:
-        result = run(scan, strategy, num_blocks)
+        result = run(scan, strategy, num_blocks=num_blocks)
         assert result.verified, strategy
         rows.append((strategy, result.total_ns))
 
@@ -60,7 +60,7 @@ def main() -> None:
 
     # A Chrome-tracing timeline of the winner's execution.
     best = rows[0][0]
-    result = run(scan, best, num_blocks, keep_device=True)
+    result = run(scan, best, num_blocks=num_blocks, trace=True)
     path = write_chrome_trace(result.device.trace, "scan_trace.json")
     print(
         f"\nwrote {len(result.device.trace)} spans of the {best!r} run to "

@@ -32,7 +32,7 @@ def main() -> None:
     rows = []
     baseline = None
     for strategy in STRATEGIES:
-        result = run(fft, strategy, num_blocks)
+        result = run(fft, strategy, num_blocks=num_blocks)
         assert result.verified, strategy
         if strategy == "cpu-implicit":
             baseline = result.total_ns

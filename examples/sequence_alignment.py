@@ -45,7 +45,7 @@ def main() -> None:
     null = compute_only(algo, num_blocks)
     rows = []
     for strategy in ("cpu-implicit", "gpu-simple", "gpu-tree-2", "gpu-lockfree"):
-        result = run(algo, strategy, num_blocks)
+        result = run(algo, strategy, num_blocks=num_blocks)
         assert result.verified
         b = breakdown(result, null)
         rows.append(

@@ -33,7 +33,7 @@ def main() -> None:
 
     rows = []
     for strategy in ("cpu-implicit", "gpu-simple", "gpu-tree-2", "gpu-lockfree"):
-        result = run(sort, strategy, num_blocks)
+        result = run(sort, strategy, num_blocks=num_blocks)
         assert result.verified, strategy
         rows.append(
             [

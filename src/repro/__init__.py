@@ -21,6 +21,7 @@ Subpackages:
 * :mod:`repro.harness`    — experiment drivers for every table/figure
 * :mod:`repro.sanitize`   — barrier sanitizer + schedule fuzzer
 * :mod:`repro.faults`     — fault injection + resilient-runtime pieces
+* :mod:`repro.parallel`   — fan-out executor + content-addressed cache
 """
 
 from repro.algorithms import (
@@ -64,13 +65,15 @@ from repro.gpu import (
     Stream,
     gtx280,
 )
+from repro.api import run
+from repro.errors import ExecutorError
 from repro.harness import (
     DegradePolicy,
     RetryPolicy,
     RunResult,
-    run,
     run_resilient,
 )
+from repro.parallel import Executor, ResultCache
 from repro.sanitize import (
     Finding,
     SanitizeReport,
@@ -107,6 +110,8 @@ __all__ = [
     "Device",
     "DeviceConfig",
     "Event",
+    "Executor",
+    "ExecutorError",
     "FFT",
     "FaultError",
     "FaultPlan",
@@ -127,6 +132,7 @@ __all__ = [
     "PrefixSum",
     "Reduction",
     "ReproError",
+    "ResultCache",
     "RetryExhaustedError",
     "RetryPolicy",
     "RoundAlgorithm",

@@ -1,0 +1,84 @@
+"""The unified run facade: one keyword-only entry point for every mode.
+
+Historically the repo had two front doors — ``repro.harness.runner.run``
+for plain single-attempt simulation and ``run_resilient`` for the
+retry/degrade runtime — with positional grids that read ambiguously at
+call sites (``run(algo, "gpu-lockfree", 30)``: blocks? threads?).
+:func:`run` collapses them:
+
+* ``num_blocks`` is keyword-only, so every call site names its grid;
+* ``retry=`` / ``degrade=`` switch to the resilient runtime
+  (:mod:`repro.harness.resilient`) — passing either one opts in;
+* ``watchdog=`` arms the barrier watchdog: ``True`` uses the default
+  deadline, an ``int`` is a custom deadline in virtual ns;
+* ``trace=True`` keeps the simulated device (and its event trace) on
+  the result for post-mortem inspection;
+* every other keyword of :func:`repro.harness.runner.run`
+  (``threads_per_block``, ``config``, ``jitter_pct``, ``faults``, …)
+  passes straight through.
+
+``run_resilient`` remains as a thin :class:`DeprecationWarning` shim.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.algorithms.base import RoundAlgorithm
+from repro.errors import ConfigError
+from repro.harness.runner import RunResult
+from repro.sync.base import SyncStrategy
+
+__all__ = ["run"]
+
+
+def run(
+    algorithm: RoundAlgorithm,
+    strategy: Union[str, SyncStrategy],
+    *,
+    num_blocks: int,
+    retry=None,
+    degrade=None,
+    watchdog: Union[bool, int, None] = None,
+    trace: bool = False,
+    **kwargs,
+) -> RunResult:
+    """Simulate ``algorithm`` under ``strategy`` on ``num_blocks`` blocks.
+
+    The single entry point for plain, watchdog-guarded and resilient
+    runs.  ``retry`` (:class:`~repro.harness.resilient.RetryPolicy`) and
+    ``degrade`` (:class:`~repro.harness.resilient.DegradePolicy`) enable
+    the resilient runtime; ``watchdog`` arms the barrier-liveness
+    watchdog (``True`` → default deadline, ``int`` → that deadline in
+    ns); ``trace`` keeps the device and its trace on the result.
+    Remaining keywords forward to :func:`repro.harness.runner.run`.
+    """
+    if watchdog is not None and watchdog is not False:
+        if kwargs.get("barrier_deadline_ns") is not None:
+            raise ConfigError(
+                "pass watchdog= or barrier_deadline_ns=, not both"
+            )
+        if watchdog is True:
+            from repro.faults.watchdog import DEFAULT_BARRIER_DEADLINE_NS
+
+            kwargs["barrier_deadline_ns"] = DEFAULT_BARRIER_DEADLINE_NS
+        else:
+            kwargs["barrier_deadline_ns"] = int(watchdog)
+    if trace:
+        kwargs["keep_device"] = True
+
+    if retry is not None or degrade is not None:
+        from repro.harness.resilient import _run_resilient
+
+        return _run_resilient(
+            algorithm,
+            strategy,
+            num_blocks,
+            retry=retry,
+            degrade=degrade,
+            **kwargs,
+        )
+
+    from repro.harness.runner import run as _run
+
+    return _run(algorithm, strategy, num_blocks, **kwargs)

@@ -22,6 +22,7 @@ __all__ = [
     "OccupancyError",
     "SyncProtocolError",
     "ExperimentError",
+    "ExecutorError",
 ]
 
 
@@ -167,3 +168,32 @@ class SyncProtocolError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment driver was asked for an impossible configuration."""
+
+
+class ExecutorError(ReproError):
+    """A parallel-executor task failed, timed out, or could not dispatch.
+
+    Raised by :class:`repro.parallel.Executor` — never from inside a
+    worker process.  ``kind`` classifies the failure:
+
+    * ``"timeout"`` — the task exceeded the executor's per-task deadline
+      (the worker process may still be running; it is abandoned);
+    * ``"worker"`` — the worker function raised (the original error's
+      type and message are embedded in this message and chained as
+      ``__cause__`` when available);
+    * ``"pool"`` — the process pool itself broke (a worker died);
+    * ``"unknown-worker"`` — the requested worker name is not registered.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        worker: str | None = None,
+        task_index: int | None = None,
+        kind: str = "worker",
+    ):
+        self.worker = worker
+        self.task_index = task_index
+        self.kind = kind
+        super().__init__(message)

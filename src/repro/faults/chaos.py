@@ -30,8 +30,8 @@ exists to rule out.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.algorithms.base import RoundAlgorithm, VerificationError
 from repro.errors import (
@@ -44,6 +44,13 @@ from repro.errors import (
 )
 from repro.faults.plan import FaultPlan
 from repro.faults.watchdog import DEFAULT_BARRIER_DEADLINE_NS
+from repro.serialization import (
+    device_config_from_dict,
+    device_config_to_dict,
+    dump_result,
+    parse_result,
+    require,
+)
 
 __all__ = ["ChaosReport", "ChaosRunRecord", "chaos_campaign"]
 
@@ -120,6 +127,36 @@ class ChaosReport:
         lines.append(f"  verdict      {tail}")
         return "\n".join(lines)
 
+    def to_json(self) -> str:
+        """Serialize via the shared versioned envelope (docs/parallel.md)."""
+        return dump_result(
+            "chaos-report",
+            {
+                "strategy": self.strategy,
+                "algorithm": self.algorithm,
+                "num_blocks": self.num_blocks,
+                "seed": self.seed,
+                "plans": self.plans,
+                "records": [asdict(r) for r in self.records],
+            },
+        )
+
+    @classmethod
+    def from_json(cls, text: str, *, source: str = "<string>") -> "ChaosReport":
+        """Rebuild a report from :meth:`to_json` output (typed failures)."""
+        payload = parse_result(text, kind="chaos-report", source=source)
+        return cls(
+            strategy=require(payload, "strategy", source),
+            algorithm=require(payload, "algorithm", source),
+            num_blocks=require(payload, "num_blocks", source),
+            seed=require(payload, "seed", source),
+            plans=require(payload, "plans", source),
+            records=[
+                ChaosRunRecord(**r)
+                for r in require(payload, "records", source)
+            ],
+        )
+
 
 def _default_algorithm(num_blocks: int, rounds: int) -> RoundAlgorithm:
     from repro.sanitize.sanitizer import SkewedMicrobench
@@ -174,6 +211,135 @@ def _cross_check(
     return detected if liveness_fired else True
 
 
+def _plan_record(
+    strategy: str,
+    plan_seed: int,
+    num_blocks: int,
+    rounds: int,
+    max_faults: int,
+    retry,
+    degrade,
+    config,
+    barrier_deadline_ns: int,
+    cross_check: bool,
+    algorithm_factory: Optional[Callable[[int, int], RoundAlgorithm]],
+) -> ChaosRunRecord:
+    """Run one seeded fault plan to its explained (or not) outcome."""
+    from repro.harness.resilient import _run_resilient
+
+    factory = algorithm_factory or _default_algorithm
+    plan = FaultPlan.generate(
+        plan_seed, num_blocks, rounds, max_faults=max_faults
+    )
+    planned = plan.descriptions
+    algorithm = factory(num_blocks, rounds)
+    outcome = "failed"
+    attempts = 0
+    error: Optional[str] = None
+    explained = True
+    try:
+        result = _run_resilient(
+            algorithm,
+            strategy,
+            num_blocks,
+            retry=retry,
+            degrade=degrade,
+            faults=plan,
+            barrier_deadline_ns=barrier_deadline_ns,
+            config=config,
+        )
+        attempts = result.attempts
+        if result.degraded:
+            outcome = "degraded"
+        elif result.attempts > 1:
+            outcome = "recovered"
+        else:
+            outcome = "ok"
+        # Zero silent wrong answers: a non-failed run must have
+        # actually been verified against the reference output.
+        if result.verified is not True:
+            explained = False
+            error = "run returned unverified"
+    except _TYPED as exc:
+        attempts = plan.attempt
+        error = f"{type(exc).__name__}: {exc}"
+    except ReproError as exc:
+        # Typed, but not a failure the resilient path is allowed to
+        # surface — in particular a DeadlockError escaping the
+        # watchdog.
+        explained = False
+        error = f"{type(exc).__name__}: {exc}"
+    except Exception as exc:  # noqa: BLE001 - untyped = campaign bug
+        explained = False
+        error = f"untyped {type(exc).__name__}: {exc}"
+
+    checked: Optional[bool] = None
+    if (
+        cross_check
+        and explained
+        and {"hang", "driver-kill"} & set(plan.fired_kinds)
+    ):
+        checked = _cross_check(
+            plan_seed,
+            strategy,
+            num_blocks,
+            rounds,
+            factory,
+            config,
+            barrier_deadline_ns,
+        )
+        if not checked:
+            explained = False
+            error = (error or "") + " [cross-check: fault undetected]"
+
+    return ChaosRunRecord(
+        seed=plan_seed,
+        planned=planned,
+        outcome=outcome,
+        attempts=attempts,
+        fired=plan.fired_kinds,
+        error=error,
+        explained=explained,
+        cross_checked=checked,
+    )
+
+
+def plan_record_from_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """The ``chaos-plan`` worker body: payload dict → record dict.
+
+    Policies and device config arrive as plain dicts (pickle- and
+    cache-safe); only the default campaign algorithm is reachable here —
+    a custom ``algorithm_factory`` keeps the campaign serial.
+    """
+    from repro.harness.resilient import DegradePolicy, RetryPolicy
+
+    retry = (
+        RetryPolicy(**payload["retry"]) if payload.get("retry") else None
+    )
+    degrade = (
+        DegradePolicy(**payload["degrade"]) if payload.get("degrade") else None
+    )
+    config = (
+        device_config_from_dict(payload["device"])
+        if payload.get("device")
+        else None
+    )
+    record = _plan_record(
+        strategy=payload["strategy"],
+        plan_seed=payload["seed"],
+        num_blocks=payload["num_blocks"],
+        rounds=payload["rounds"],
+        max_faults=payload["max_faults"],
+        retry=retry,
+        degrade=degrade,
+        config=config,
+        barrier_deadline_ns=payload["barrier_deadline_ns"],
+        cross_check=payload["cross_check"],
+        algorithm_factory=None,
+    )
+    return asdict(record)
+
+
 def chaos_campaign(
     strategy: str = "gpu-lockfree",
     plans: int = 50,
@@ -187,15 +353,21 @@ def chaos_campaign(
     barrier_deadline_ns: int = DEFAULT_BARRIER_DEADLINE_NS,
     cross_check: bool = True,
     max_faults: int = 3,
+    executor=None,
 ) -> ChaosReport:
     """Run ``plans`` seeded fault plans against one strategy.
 
     Plan ``i`` of a long campaign equals plan ``i`` of a short one
     (stable seed derivation), so a failing seed from CI replays locally
     with ``FaultPlan.generate(that_seed, num_blocks, rounds)``.
+
+    ``executor`` (:class:`repro.parallel.Executor`) shards the campaign
+    per plan seed; records come back in seed order, so the report —
+    verdict included — is identical to the serial run's.  A custom
+    ``algorithm_factory`` is not portable to worker processes and keeps
+    the campaign serial.
     """
-    from repro.harness.resilient import run_resilient
-    from repro.sanitize.fuzzer import derive_seeds
+    from repro.sanitize.fuzzer import derive_seeds, seed_payloads
 
     factory = algorithm_factory or _default_algorithm
     report = ChaosReport(
@@ -206,81 +378,40 @@ def chaos_campaign(
         plans=plans,
     )
 
-    for plan_seed in derive_seeds(seed, plans):
-        plan = FaultPlan.generate(
-            plan_seed, num_blocks, rounds, max_faults=max_faults
+    if executor is not None and algorithm_factory is None:
+        base = {
+            "strategy": strategy,
+            "num_blocks": num_blocks,
+            "rounds": rounds,
+            "max_faults": max_faults,
+            "retry": asdict(retry) if retry is not None else None,
+            "degrade": asdict(degrade) if degrade is not None else None,
+            "device": (
+                device_config_to_dict(config) if config is not None else None
+            ),
+            "barrier_deadline_ns": barrier_deadline_ns,
+            "cross_check": cross_check,
+        }
+        records = executor.map(
+            "chaos-plan", seed_payloads(seed, plans, base)
         )
-        planned = plan.descriptions
-        algorithm = factory(num_blocks, rounds)
-        outcome = "failed"
-        attempts = 0
-        error: Optional[str] = None
-        explained = True
-        try:
-            result = run_resilient(
-                algorithm,
-                strategy,
-                num_blocks,
-                retry=retry,
-                degrade=degrade,
-                faults=plan,
-                barrier_deadline_ns=barrier_deadline_ns,
-                config=config,
-            )
-            attempts = result.attempts
-            if result.degraded:
-                outcome = "degraded"
-            elif result.attempts > 1:
-                outcome = "recovered"
-            else:
-                outcome = "ok"
-            # Zero silent wrong answers: a non-failed run must have
-            # actually been verified against the reference output.
-            if result.verified is not True:
-                explained = False
-                error = "run returned unverified"
-        except _TYPED as exc:
-            attempts = plan.attempt
-            error = f"{type(exc).__name__}: {exc}"
-        except ReproError as exc:
-            # Typed, but not a failure the resilient path is allowed to
-            # surface — in particular a DeadlockError escaping the
-            # watchdog.
-            explained = False
-            error = f"{type(exc).__name__}: {exc}"
-        except Exception as exc:  # noqa: BLE001 - untyped = campaign bug
-            explained = False
-            error = f"untyped {type(exc).__name__}: {exc}"
+        report.records = [ChaosRunRecord(**r) for r in records]
+        return report
 
-        checked: Optional[bool] = None
-        if (
-            cross_check
-            and explained
-            and {"hang", "driver-kill"} & set(plan.fired_kinds)
-        ):
-            checked = _cross_check(
-                plan_seed,
+    for plan_seed in derive_seeds(seed, plans):
+        report.records.append(
+            _plan_record(
                 strategy,
+                plan_seed,
                 num_blocks,
                 rounds,
-                factory,
+                max_faults,
+                retry,
+                degrade,
                 config,
                 barrier_deadline_ns,
-            )
-            if not checked:
-                explained = False
-                error = (error or "") + " [cross-check: fault undetected]"
-
-        report.records.append(
-            ChaosRunRecord(
-                seed=plan_seed,
-                planned=planned,
-                outcome=outcome,
-                attempts=attempts,
-                fired=plan.fired_kinds,
-                error=error,
-                explained=explained,
-                cross_checked=checked,
+                cross_check,
+                algorithm_factory,
             )
         )
     return report

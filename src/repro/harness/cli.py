@@ -23,6 +23,13 @@ Extras beyond the paper:
 * ``chaos``      — run ``--plans`` seeded fault plans against a strategy
   (or ``--strategy all``) under the resilient runtime (docs/faults.md);
   exits 1 when any run's fate is not explained by its fault plan
+* ``cache``      — inspect (``cache stats``, the default) or empty
+  (``cache clear``) the content-addressed result cache
+
+Execution flags (docs/parallel.md): ``--jobs N`` shards sweeps and
+campaigns across N worker processes; ``--cache`` memoizes every run
+keyed on its full configuration (``--cache-dir`` relocates the store).
+Both are bit-identical to the serial, uncached run.
 """
 
 from __future__ import annotations
@@ -51,10 +58,12 @@ def _persist_sweep(args: argparse.Namespace, sweep, stem: str) -> None:
     (out / f"{stem}_sync.csv").write_text(sweep.to_csv(sync=True))
 
 
-def _fig13_14(args: argparse.Namespace, sync: bool) -> str:
+def _fig13_14(args: argparse.Namespace, sync: bool, executor=None) -> str:
     chunks: List[str] = []
     for algo in args.algorithms:
-        sweep = experiments.algorithm_sweep(algo, step=args.step)
+        sweep = experiments.algorithm_sweep(
+            algo, step=args.step, executor=executor
+        )
         fig = "Fig. 14" if sync else "Fig. 13"
         title = f"{fig} ({algo})"
         if sync:
@@ -129,7 +138,7 @@ SANITIZE_ALL = (
 )
 
 
-def _sanitize(args: argparse.Namespace) -> "tuple[str, bool]":
+def _sanitize(args: argparse.Namespace, executor=None) -> "tuple[str, bool]":
     """Run the sanitizer; returns (rendered report, any findings)."""
     from repro.errors import ConfigError
     from repro.sanitize import DEFAULT_SEED, sanitize_run
@@ -145,6 +154,7 @@ def _sanitize(args: argparse.Namespace) -> "tuple[str, bool]":
                 num_blocks=args.blocks,
                 seed=seed,
                 schedules=args.schedules,
+                executor=executor,
             )
         except (ConfigError, ValueError) as exc:
             raise SystemExit(f"sanitize: {exc}")
@@ -164,7 +174,7 @@ CHAOS_ALL = (
 )
 
 
-def _chaos(args: argparse.Namespace) -> "tuple[str, bool]":
+def _chaos(args: argparse.Namespace, executor=None) -> "tuple[str, bool]":
     """Run chaos campaigns; returns (rendered reports, any unexplained)."""
     from repro.errors import ConfigError
     from repro.faults import chaos_campaign
@@ -181,12 +191,29 @@ def _chaos(args: argparse.Namespace) -> "tuple[str, bool]":
                 plans=args.plans,
                 seed=seed,
                 num_blocks=args.blocks,
+                executor=executor,
             )
         except (ConfigError, ValueError) as exc:
             raise SystemExit(f"chaos: {exc}")
         chunks.append(rep.render())
         dirty = dirty or not rep.clean
     return "\n\n".join(chunks), dirty
+
+
+def _epilogue(want: str, started: float, cache=None) -> None:
+    """Timing (and, when caching, hit-rate) summary on stderr."""
+    if cache is not None:
+        looked = cache.hits + cache.misses
+        rate = 100.0 * cache.hits / looked if looked else 0.0
+        print(
+            f"\n[cache: {cache.hits} hit(s), {cache.misses} miss(es), "
+            f"hit-rate {rate:.1f}%]",
+            file=sys.stderr,
+        )
+    print(
+        f"\n[{want} completed in {time.time() - started:.1f}s]",
+        file=sys.stderr,
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -215,8 +242,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             "diff",
             "sanitize",
             "chaos",
+            "cache",
             "all",
         ],
+    )
+    parser.add_argument(
+        "action",
+        nargs="?",
+        default=None,
+        choices=["stats", "clear"],
+        help="cache experiment only: 'stats' (default) or 'clear'",
     )
     parser.add_argument(
         "--rounds",
@@ -300,6 +335,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="diff: relative tolerance before a point counts as drift",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweeps and campaigns (default 1: "
+        "serial, in-process); results are identical at any job count",
+    )
+    parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="memoize runs in the content-addressed result cache "
+        "(--no-cache disables; see 'cache stats' / 'cache clear')",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache location (default benchmarks/out/cache)",
+    )
+    parser.add_argument(
         "--save-sweeps",
         metavar="DIR",
         default=None,
@@ -310,15 +364,40 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     args = parser.parse_args(argv)
+    if args.action is not None and args.experiment != "cache":
+        parser.error(
+            f"'{args.action}' only applies to the cache experiment"
+        )
 
     started = time.time()
     sections: List[str] = []
     want = args.experiment
 
+    from repro.parallel import DEFAULT_CACHE_DIR, Executor, ResultCache
+
+    cache_dir = args.cache_dir or DEFAULT_CACHE_DIR
+    cache = ResultCache(cache_dir) if args.cache else None
+    executor: Optional[Executor] = None
+    if args.jobs > 1 or cache is not None:
+        executor = Executor(jobs=args.jobs, cache=cache)
+
+    if want == "cache":
+        store = ResultCache(cache_dir)
+        if args.action == "clear":
+            removed = store.clear()
+            sections.append(
+                f"cleared {removed} entr{'y' if removed == 1 else 'ies'} "
+                f"from {store.root}"
+            )
+        else:
+            sections.append(store.stats().render())
+
     if want in ("table1", "all"):
-        sections.append(report.render_table1(experiments.table1()))
+        sections.append(
+            report.render_table1(experiments.table1(executor=executor))
+        )
     if want in ("fig11", "all"):
-        sweep = experiments.fig11(rounds=args.rounds)
+        sweep = experiments.fig11(rounds=args.rounds, executor=executor)
         sections.append(
             report.render_sweep_totals(
                 sweep, f"Fig. 11 (micro-benchmark, {args.rounds} rounds)"
@@ -332,13 +411,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 plot_sweep(sweep, sync=True, title="Fig. 11 sync time")
             )
     if want in ("fig13", "all"):
-        sections.append(_fig13_14(args, sync=False))
+        sections.append(_fig13_14(args, sync=False, executor=executor))
     if want in ("fig14", "all"):
-        sections.append(_fig13_14(args, sync=True))
+        sections.append(_fig13_14(args, sync=True, executor=executor))
     if want in ("fig15", "all"):
-        sections.append(report.render_fig15(experiments.fig15()))
+        sections.append(report.render_fig15(experiments.fig15(executor=executor)))
     if want in ("headline", "all"):
-        sections.append(report.render_headline(experiments.headline()))
+        sections.append(
+            report.render_headline(experiments.headline(executor=executor))
+        )
     if want in ("models", "all"):
         sections.append(
             report.render_model_validation(experiments.model_validation())
@@ -371,35 +452,26 @@ def main(argv: Optional[List[str]] = None) -> int:
                 + "\n".join(f"  {d}" for d in drifts)
             )
             print("\n\n".join(sections))
-            print(
-                f"\n[{want} completed in {time.time() - started:.1f}s]",
-                file=sys.stderr,
-            )
+            _epilogue(want, started, cache)
             return 1
         sections.append("no drift: sweeps are identical within tolerance")
     if want == "sanitize":
-        text, dirty = _sanitize(args)
+        text, dirty = _sanitize(args, executor=executor)
         sections.append(text)
         if dirty:
             print("\n\n".join(sections))
-            print(
-                f"\n[{want} completed in {time.time() - started:.1f}s]",
-                file=sys.stderr,
-            )
+            _epilogue(want, started, cache)
             return 1
     if want == "chaos":
-        text, dirty = _chaos(args)
+        text, dirty = _chaos(args, executor=executor)
         sections.append(text)
         if dirty:
             print("\n\n".join(sections))
-            print(
-                f"\n[{want} completed in {time.time() - started:.1f}s]",
-                file=sys.stderr,
-            )
+            _epilogue(want, started, cache)
             return 1
 
     print("\n\n".join(sections))
-    print(f"\n[{want} completed in {time.time() - started:.1f}s]", file=sys.stderr)
+    _epilogue(want, started, cache)
     return 0
 
 

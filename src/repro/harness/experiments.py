@@ -6,12 +6,17 @@ the same numbers.  Problem sizes default to the calibrated ones
 (:mod:`repro.algorithms.costs`); block sweeps default to a step of 3 to
 keep pure-Python simulation time reasonable (the paper sweeps 9–30 in
 steps of 1; pass ``step=1`` for the full grid).
+
+Every driver takes an ``executor=`` (:class:`repro.parallel.Executor`):
+sweep cells are independent seeded simulations, so they shard across
+worker processes and memoize in the content-addressed result cache,
+with output bit-identical to the serial run (docs/parallel.md).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.algorithms import (
     BitonicSort,
@@ -22,9 +27,16 @@ from repro.algorithms import (
 )
 from repro.errors import ExperimentError
 from repro.gpu.config import DeviceConfig, gtx280
-from repro.harness.phases import Breakdown, breakdown, compute_only, sync_time_ns
+from repro.harness.phases import Breakdown, compute_only, sync_time_ns
 from repro.harness.runner import run
 from repro.model.barrier_costs import lockfree_cost, simple_cost, tree_cost
+from repro.parallel import Executor
+from repro.serialization import (
+    device_config_to_dict,
+    dump_result,
+    parse_result,
+    require,
+)
 
 __all__ = [
     "SweepResult",
@@ -66,6 +78,44 @@ def make_algorithm(name: str) -> RoundAlgorithm:
         ) from None
 
 
+def _algorithm_spec(name: str) -> Dict[str, Any]:
+    """Validate a workload name and return its worker spec."""
+    if name not in ALGORITHM_FACTORIES:
+        raise ExperimentError(
+            f"unknown algorithm {name!r}; known: "
+            f"{', '.join(sorted(ALGORITHM_FACTORIES))}"
+        )
+    return {"name": name}
+
+
+def _cell(
+    algorithm: Dict[str, Any],
+    strategy: str,
+    num_blocks: int,
+    device: Dict[str, Any],
+) -> Dict[str, Any]:
+    """One ``run-total`` worker payload (``strategy="null"`` = baseline)."""
+    return {
+        "algorithm": algorithm,
+        "strategy": strategy,
+        "num_blocks": num_blocks,
+        "device": device,
+    }
+
+
+def _totals(
+    executor: Optional[Executor], payloads: List[Dict[str, Any]]
+) -> List[int]:
+    """Run every cell through the (possibly parallel, cached) executor.
+
+    With ``executor=None`` a throwaway inline executor runs the same
+    worker functions serially in-process — the reference path parallel
+    runs must reproduce bit-for-bit.
+    """
+    ex = executor if executor is not None else Executor(jobs=1)
+    return ex.map("run-total", payloads)
+
+
 @dataclass
 class SweepResult:
     """A block-count sweep of one algorithm over several strategies."""
@@ -101,6 +151,53 @@ class SweepResult:
             lines.append(f"{n}," + ",".join(values))
         return "\n".join(lines) + "\n"
 
+    def to_json(self) -> str:
+        """Serialize via the shared versioned envelope (docs/parallel.md).
+
+        Deterministic output: equal sweeps render byte-identical text,
+        which is how the benches prove parallel == serial.
+        """
+        return dump_result(
+            "sweep",
+            {
+                "algorithm": self.algorithm,
+                "blocks": list(self.blocks),
+                "nulls": list(self.nulls),
+                "totals": {k: list(v) for k, v in self.totals.items()},
+            },
+        )
+
+    @classmethod
+    def from_json(cls, text: str, *, source: str = "<string>") -> "SweepResult":
+        """Rebuild a sweep from :meth:`to_json` output.
+
+        Accepts schema versions 1 (the pre-protocol store format) and 2.
+        Every failure is a typed :class:`~repro.errors.ExperimentError`
+        naming ``source``.
+        """
+        payload = parse_result(
+            text, kind="sweep", source=source, accept=(1, 2)
+        )
+        blocks = list(require(payload, "blocks", source))
+        nulls = list(require(payload, "nulls", source))
+        totals = {
+            k: list(v) for k, v in require(payload, "totals", source).items()
+        }
+        for name, series in totals.items():
+            if len(series) != len(blocks):
+                raise ExperimentError(
+                    f"{source}: series {name!r} length {len(series)} != "
+                    f"{len(blocks)} block counts"
+                )
+        if len(nulls) != len(blocks):
+            raise ExperimentError(f"{source}: nulls length mismatch")
+        return cls(
+            algorithm=require(payload, "algorithm", source),
+            blocks=blocks,
+            totals=totals,
+            nulls=nulls,
+        )
+
 
 # ---------------------------------------------------------------------------
 # Table 1 — % of time spent on inter-block communication (CPU implicit)
@@ -110,18 +207,29 @@ def table1(
     config: Optional[DeviceConfig] = None,
     num_blocks: int = 30,
     algorithms: Sequence[str] = ("fft", "swat", "bitonic"),
+    executor: Optional[Executor] = None,
 ) -> Dict[str, Breakdown]:
     """Reproduce Table 1: sync share under CPU implicit synchronization.
 
     Paper: FFT 19.6 %, SWat 49.7 %, bitonic sort 59.6 %.
     """
     cfg = config or gtx280()
-    out: Dict[str, Breakdown] = {}
+    device = device_config_to_dict(cfg)
+    payloads: List[Dict[str, Any]] = []
     for name in algorithms:
-        algo = make_algorithm(name)
-        null = compute_only(algo, num_blocks, config=cfg)
-        result = run(algo, "cpu-implicit", num_blocks, config=cfg)
-        out[name] = breakdown(result, null)
+        spec = _algorithm_spec(name)
+        payloads.append(_cell(spec, "null", num_blocks, device))
+        payloads.append(_cell(spec, "cpu-implicit", num_blocks, device))
+    totals = _totals(executor, payloads)
+    out: Dict[str, Breakdown] = {}
+    for i, name in enumerate(algorithms):
+        null, total = totals[2 * i], totals[2 * i + 1]
+        out[name] = Breakdown(
+            strategy="cpu-implicit",
+            total_ns=total,
+            compute_ns=null,
+            sync_ns=total - null,
+        )
     return out
 
 
@@ -134,6 +242,7 @@ def fig11(
     rounds: int = 200,
     blocks: Optional[Sequence[int]] = None,
     strategies: Sequence[str] = ("cpu-explicit",) + ALL_STRATEGIES,
+    executor: Optional[Executor] = None,
 ) -> SweepResult:
     """Reproduce Fig. 11: micro-benchmark total time per strategy per N.
 
@@ -143,15 +252,17 @@ def fig11(
     """
     cfg = config or gtx280()
     xs = list(blocks) if blocks is not None else list(range(1, cfg.num_sms + 1))
-    micro = MeanMicrobench(rounds=rounds, num_blocks_hint=max(xs))
-    sweep = SweepResult(algorithm="micro", blocks=xs)
-    for n in xs:
-        sweep.nulls.append(compute_only(micro, n, config=cfg).total_ns)
+    device = device_config_to_dict(cfg)
+    spec = {"name": "micro", "rounds": rounds, "num_blocks_hint": max(xs)}
+    payloads = [_cell(spec, "null", n, device) for n in xs]
     for strat in strategies:
-        series: List[int] = []
-        for n in xs:
-            series.append(run(micro, strat, n, config=cfg).total_ns)
-        sweep.totals[strat] = series
+        payloads.extend(_cell(spec, strat, n, device) for n in xs)
+    totals = _totals(executor, payloads)
+    sweep = SweepResult(algorithm="micro", blocks=xs)
+    sweep.nulls = totals[: len(xs)]
+    for j, strat in enumerate(strategies):
+        start = len(xs) * (j + 1)
+        sweep.totals[strat] = totals[start : start + len(xs)]
     return sweep
 
 
@@ -165,6 +276,7 @@ def algorithm_sweep(
     blocks: Optional[Sequence[int]] = None,
     step: int = 3,
     strategies: Sequence[str] = ALL_STRATEGIES,
+    executor: Optional[Executor] = None,
 ) -> SweepResult:
     """Sweep one algorithm over block counts for Figs. 13/14.
 
@@ -175,15 +287,17 @@ def algorithm_sweep(
     xs = list(blocks) if blocks is not None else list(range(9, cfg.num_sms + 1, step))
     if not xs:
         raise ExperimentError("empty block sweep")
-    algo = make_algorithm(algorithm_name)
-    sweep = SweepResult(algorithm=algorithm_name, blocks=xs)
-    for n in xs:
-        sweep.nulls.append(compute_only(algo, n, config=cfg).total_ns)
+    spec = _algorithm_spec(algorithm_name)
+    device = device_config_to_dict(cfg)
+    payloads = [_cell(spec, "null", n, device) for n in xs]
     for strat in strategies:
-        series: List[int] = []
-        for n in xs:
-            series.append(run(algo, strat, n, config=cfg).total_ns)
-        sweep.totals[strat] = series
+        payloads.extend(_cell(spec, strat, n, device) for n in xs)
+    totals = _totals(executor, payloads)
+    sweep = SweepResult(algorithm=algorithm_name, blocks=xs)
+    sweep.nulls = totals[: len(xs)]
+    for j, strat in enumerate(strategies):
+        start = len(xs) * (j + 1)
+        sweep.totals[strat] = totals[start : start + len(xs)]
     return sweep
 
 
@@ -192,9 +306,10 @@ def fig13(
     config: Optional[DeviceConfig] = None,
     blocks: Optional[Sequence[int]] = None,
     step: int = 3,
+    executor: Optional[Executor] = None,
 ) -> SweepResult:
     """Fig. 13(a/b/c): kernel execution time vs number of blocks."""
-    return algorithm_sweep(algorithm_name, config, blocks, step)
+    return algorithm_sweep(algorithm_name, config, blocks, step, executor=executor)
 
 
 def fig14(
@@ -202,13 +317,14 @@ def fig14(
     config: Optional[DeviceConfig] = None,
     blocks: Optional[Sequence[int]] = None,
     step: int = 3,
+    executor: Optional[Executor] = None,
 ) -> SweepResult:
     """Fig. 14(a/b/c): synchronization time vs number of blocks.
 
     Same sweep as Fig. 13; read the sync series via
     :meth:`SweepResult.sync_series`.
     """
-    return algorithm_sweep(algorithm_name, config, blocks, step)
+    return algorithm_sweep(algorithm_name, config, blocks, step, executor=executor)
 
 
 # ---------------------------------------------------------------------------
@@ -220,18 +336,33 @@ def fig15(
     num_blocks: int = 30,
     algorithms: Sequence[str] = ("fft", "swat", "bitonic"),
     strategies: Sequence[str] = ALL_STRATEGIES,
+    executor: Optional[Executor] = None,
 ) -> Dict[str, Dict[str, Breakdown]]:
     """Fig. 15: per-algorithm, per-strategy compute/sync percentages at
     each algorithm's best configuration (30 blocks)."""
     cfg = config or gtx280()
-    out: Dict[str, Dict[str, Breakdown]] = {}
+    device = device_config_to_dict(cfg)
+    payloads: List[Dict[str, Any]] = []
     for name in algorithms:
-        algo = make_algorithm(name)
-        null = compute_only(algo, num_blocks, config=cfg)
+        spec = _algorithm_spec(name)
+        payloads.append(_cell(spec, "null", num_blocks, device))
+        payloads.extend(
+            _cell(spec, strat, num_blocks, device) for strat in strategies
+        )
+    totals = _totals(executor, payloads)
+    stride = 1 + len(strategies)
+    out: Dict[str, Dict[str, Breakdown]] = {}
+    for i, name in enumerate(algorithms):
+        null = totals[i * stride]
         per_strategy: Dict[str, Breakdown] = {}
-        for strat in strategies:
-            result = run(algo, strat, num_blocks, config=cfg)
-            per_strategy[strat] = breakdown(result, null)
+        for j, strat in enumerate(strategies):
+            total = totals[i * stride + 1 + j]
+            per_strategy[strat] = Breakdown(
+                strategy=strat,
+                total_ns=total,
+                compute_ns=null,
+                sync_ns=total - null,
+            )
         out[name] = per_strategy
     return out
 
@@ -244,6 +375,7 @@ def headline(
     config: Optional[DeviceConfig] = None,
     num_blocks: int = 30,
     micro_rounds: int = 200,
+    executor: Optional[Executor] = None,
 ) -> Dict[str, float]:
     """The abstract's numbers.
 
@@ -253,20 +385,34 @@ def headline(
       with lock-free vs CPU implicit.
     """
     cfg = config or gtx280()
-    micro = MeanMicrobench(rounds=micro_rounds, num_blocks_hint=num_blocks)
-    null = compute_only(micro, num_blocks, config=cfg)
+    device = device_config_to_dict(cfg)
+    micro_spec = {
+        "name": "micro",
+        "rounds": micro_rounds,
+        "num_blocks_hint": num_blocks,
+    }
+    micro_strats = ("cpu-explicit", "cpu-implicit", "gpu-lockfree")
+    kernels = ("fft", "swat", "bitonic")
+    payloads = [_cell(micro_spec, "null", num_blocks, device)]
+    payloads.extend(
+        _cell(micro_spec, strat, num_blocks, device) for strat in micro_strats
+    )
+    for name in kernels:
+        spec = _algorithm_spec(name)
+        payloads.append(_cell(spec, "cpu-implicit", num_blocks, device))
+        payloads.append(_cell(spec, "gpu-lockfree", num_blocks, device))
+    totals = _totals(executor, payloads)
+    null = totals[0]
     sync = {
-        strat: sync_time_ns(run(micro, strat, num_blocks, config=cfg), null)
-        for strat in ("cpu-explicit", "cpu-implicit", "gpu-lockfree")
+        strat: totals[1 + i] - null for i, strat in enumerate(micro_strats)
     }
     out: Dict[str, float] = {
         "micro_lockfree_vs_explicit": sync["cpu-explicit"] / sync["gpu-lockfree"],
         "micro_lockfree_vs_implicit": sync["cpu-implicit"] / sync["gpu-lockfree"],
     }
-    for name in ("fft", "swat", "bitonic"):
-        algo = make_algorithm(name)
-        base = run(algo, "cpu-implicit", num_blocks, config=cfg).total_ns
-        fast = run(algo, "gpu-lockfree", num_blocks, config=cfg).total_ns
+    for i, name in enumerate(kernels):
+        base = totals[1 + len(micro_strats) + 2 * i]
+        fast = totals[1 + len(micro_strats) + 2 * i + 1]
         out[f"{name}_improvement_pct"] = 100.0 * (base - fast) / base
     return out
 

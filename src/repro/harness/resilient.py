@@ -2,8 +2,9 @@
 
 :func:`repro.harness.runner.run` is single-attempt: an injected fault or
 a stalled barrier surfaces as one typed exception and the run is lost.
-:func:`run_resilient` wraps it in the recovery policy a production
-driver stack would apply:
+The resilient path (reached through ``repro.run(..., retry=...,
+degrade=...)``) wraps it in the recovery policy a production driver
+stack would apply:
 
 1. **Retry with backoff** (:class:`RetryPolicy`).  A failed attempt's
    kernel has already been killed (by the barrier watchdog or the
@@ -34,6 +35,7 @@ in a :class:`~repro.errors.RetryExhaustedError`.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Union
 
@@ -95,7 +97,7 @@ class DegradePolicy:
     fallback: Optional[str] = None
 
 
-def run_resilient(
+def _run_resilient(
     algorithm: RoundAlgorithm,
     strategy: Union[str, SyncStrategy],
     num_blocks: int,
@@ -195,3 +197,37 @@ def run_resilient(
             history.append(f"fallback {fallback}: {exc}")
 
     raise RetryExhaustedError(strategy.name, attempt, history)
+
+
+def run_resilient(
+    algorithm: RoundAlgorithm,
+    strategy: Union[str, SyncStrategy],
+    num_blocks: int,
+    retry: Optional[RetryPolicy] = None,
+    degrade: Optional[DegradePolicy] = None,
+    faults=None,
+    barrier_deadline_ns: Optional[int] = None,
+    **run_kwargs,
+) -> RunResult:
+    """Deprecated spelling of the resilient path; use :func:`repro.run`.
+
+    ``repro.run(algorithm, strategy, num_blocks=n, retry=..., degrade=...)``
+    reaches the same retry/degrade runtime through the unified facade.
+    This shim forwards unchanged and emits a :class:`DeprecationWarning`.
+    """
+    warnings.warn(
+        "run_resilient() is deprecated; call "
+        "repro.run(..., retry=..., degrade=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_resilient(
+        algorithm,
+        strategy,
+        num_blocks,
+        retry=retry,
+        degrade=degrade,
+        faults=faults,
+        barrier_deadline_ns=barrier_deadline_ns,
+        **run_kwargs,
+    )

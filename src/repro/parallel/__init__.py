@@ -1,0 +1,46 @@
+"""Parallel sweep execution: deterministic fan-out + result memoization.
+
+The paper's evaluation is a grid of sweeps — Table 1, Figs. 11/13/14/15,
+three kernels × four barriers × block counts — and each cell is an
+*independent, seeded* simulation.  This package exploits that:
+
+* :class:`Executor` shards independent runs across
+  ``ProcessPoolExecutor`` workers with bounded in-flight work, per-task
+  timeouts that surface as typed
+  :class:`~repro.errors.ExecutorError`\\ s, and a progress callback.
+  Results come back in submission order, so a parallel sweep is
+  **bit-identical** to the serial one.
+* :class:`ResultCache` memoizes each run under a content-addressed key —
+  the sha256 of the canonical JSON of (worker, algorithm config,
+  strategy, device config, seed, cache schema version) — stored under
+  ``benchmarks/out/cache/``.  Re-running a sweep after a doc-only change
+  is instant; any config change misses cleanly because the key changes.
+
+Every batch driver accepts an ``executor=``:
+:mod:`repro.harness.experiments` (all figure/table drivers),
+:func:`repro.faults.chaos.chaos_campaign` and
+:func:`repro.sanitize.sanitize_run` fan out per cell / per seed.  The
+CLI exposes the same via ``--jobs N`` and ``--cache``.
+
+See docs/parallel.md for semantics and determinism guarantees.
+"""
+
+from repro.errors import ExecutorError
+from repro.parallel.cache import (
+    CACHE_SCHEMA_VERSION,
+    CacheStats,
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    cache_key,
+)
+from repro.parallel.executor import Executor
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CacheStats",
+    "DEFAULT_CACHE_DIR",
+    "Executor",
+    "ExecutorError",
+    "ResultCache",
+    "cache_key",
+]

@@ -1,0 +1,156 @@
+"""Content-addressed result cache for simulation runs.
+
+A cache entry memoizes one worker task (one simulation run, one chaos
+plan, one fuzzed schedule).  The key is the sha256 of the canonical JSON
+of ``{"cache-schema": V, "worker": name, "payload": payload}`` — the
+payload fully determines the run (algorithm config, strategy, device
+config, seed), so:
+
+* a byte-identical re-request hits instantly;
+* *any* change to the configuration — a different seed, one timing
+  parameter, a schema bump — changes the key and misses cleanly;
+* entries never go stale, because a stale key is simply never asked for
+  again (unreferenced entries are garbage ``repro cache clear`` sweeps).
+
+Entries live as one JSON file per key under ``benchmarks/out/cache/``
+(two-hex-char shards), written atomically so a crashed run never leaves
+a half-written entry a later run would trust.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Tuple, Union
+
+from repro.errors import ConfigError
+from repro.serialization import canonical_json, plain
+
+__all__ = ["CACHE_SCHEMA_VERSION", "CacheStats", "DEFAULT_CACHE_DIR", "ResultCache", "cache_key"]
+
+#: bumped whenever the meaning of a cached value changes; part of every
+#: key, so a bump invalidates the whole cache without deleting a file.
+CACHE_SCHEMA_VERSION = 1
+
+#: default on-disk location (relative to the invocation directory, which
+#: for the CLI and CI is the repo root).
+DEFAULT_CACHE_DIR = Path("benchmarks") / "out" / "cache"
+
+
+def cache_key(worker: str, payload: Dict[str, Any]) -> str:
+    """The content-addressed key of one task.
+
+    Canonical JSON (sorted keys, minimal separators) makes semantically
+    equal payloads hash equal regardless of dict construction order.
+    """
+    body = {
+        "cache-schema": CACHE_SCHEMA_VERSION,
+        "worker": worker,
+        "payload": payload,
+    }
+    return hashlib.sha256(canonical_json(body).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """On-disk shape of a cache directory."""
+
+    root: str
+    entries: int
+    bytes: int
+
+    def render(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"cache at {self.root}: {self.entries} entr"
+            f"{'y' if self.entries == 1 else 'ies'}, {self.bytes} bytes"
+        )
+
+
+class ResultCache:
+    """Content-addressed, JSON-valued, atomic on-disk cache.
+
+    Values must be JSON-serializable (workers return plain ints/dicts).
+    ``hits`` and ``misses`` count this instance's lookups, so a driver
+    can report the hit rate of one invocation.
+    """
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, worker: str, payload: Dict[str, Any]) -> str:
+        """See :func:`cache_key`."""
+        return cache_key(worker, payload)
+
+    def _path(self, key: str) -> Path:
+        if len(key) < 3:
+            raise ConfigError(f"malformed cache key {key!r}")
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """Look up a key; returns ``(hit, value)``.
+
+        A corrupt, unreadable or schema-mismatched entry is treated as a
+        miss (and will be overwritten by the next ``put``) — the cache
+        must never turn disk rot into a wrong result.
+        """
+        path = self._path(key)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return False, None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("cache-schema") != CACHE_SCHEMA_VERSION
+            or entry.get("key") != key
+            or "value" not in entry
+        ):
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, entry["value"]
+
+    def put(self, key: str, value: Any) -> Path:
+        """Store a value atomically (write-to-temp, rename)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "cache-schema": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "value": plain(value),
+        }
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(entry))
+        tmp.replace(path)
+        return path
+
+    def stats(self) -> CacheStats:
+        """Count entries and bytes on disk."""
+        entries = 0
+        size = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*/*.json"):
+                entries += 1
+                size += path.stat().st_size
+        return CacheStats(root=str(self.root), entries=entries, bytes=size)
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*/*.json"):
+                path.unlink()
+                removed += 1
+            for shard in self.root.iterdir():
+                if shard.is_dir() and not any(shard.iterdir()):
+                    shard.rmdir()
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ResultCache(root={str(self.root)!r})"

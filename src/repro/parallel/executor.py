@@ -1,0 +1,249 @@
+"""The deterministic fan-out executor.
+
+One :meth:`Executor.map` call runs one *batch*: a named worker function
+(:mod:`repro.parallel.workers`) applied to a list of payload dicts.
+Three properties make parallel batches drop-in replacements for serial
+loops:
+
+* **Determinism** — every payload fully seeds its simulation and results
+  are returned in submission order, so the output is bit-identical to a
+  serial run regardless of worker count or completion order.
+* **Bounded in-flight work** — at most ``max_inflight`` tasks are
+  submitted at once (default ``4 × jobs``), so a million-cell sweep
+  never materializes a million pickled futures.
+* **Typed failure** — a task exceeding ``timeout_s`` or a worker raising
+  surfaces as an :class:`~repro.errors.ExecutorError` (with ``kind``
+  ``"timeout"`` / ``"worker"`` / ``"pool"``), never a bare pool
+  traceback.
+
+``jobs=1`` executes inline in-process (no pool, no pickling) through the
+exact same worker functions — the serial reference path every driver
+uses by default.  The optional :class:`~repro.parallel.cache.ResultCache`
+short-circuits tasks whose content-addressed key is already stored.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigError, ExecutorError
+from repro.parallel.cache import ResultCache
+
+__all__ = ["Executor"]
+
+#: a progress callback: ``progress(done, total, cached)`` after every
+#: task that completes (``cached=True`` when served from the cache).
+ProgressFn = Callable[[int, int, bool], None]
+
+
+class Executor:
+    """Shard independent simulation runs across worker processes.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (the default) runs inline in-process.
+    cache:
+        Optional :class:`~repro.parallel.ResultCache`; tasks whose key
+        is stored are served without running, fresh results are stored.
+    timeout_s:
+        Per-task wall-clock deadline.  A task that exceeds it raises
+        :class:`~repro.errors.ExecutorError` (``kind="timeout"``) and
+        the batch is abandoned.  ``None`` (default) waits forever.
+    max_inflight:
+        Cap on concurrently submitted tasks (default ``4 × jobs``).
+    progress:
+        ``progress(done, total, cached)`` callback, invoked in the
+        calling process after every completed task.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        *,
+        cache: Optional[ResultCache] = None,
+        timeout_s: Optional[float] = None,
+        max_inflight: Optional[int] = None,
+        progress: Optional[ProgressFn] = None,
+    ):
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ConfigError(f"timeout_s must be positive, got {timeout_s}")
+        if max_inflight is not None and max_inflight < 1:
+            raise ConfigError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        self.jobs = jobs
+        self.cache = cache
+        self.timeout_s = timeout_s
+        self.max_inflight = max_inflight or 4 * jobs
+        self.progress = progress
+        #: tasks actually executed (cache misses) across this instance.
+        self.tasks_run = 0
+        #: tasks served from the cache across this instance.
+        self.tasks_cached = 0
+
+    # -- public API ---------------------------------------------------------
+
+    def map(self, worker: str, payloads: Sequence[Dict[str, Any]]) -> List[Any]:
+        """Run ``worker`` over every payload; results in payload order.
+
+        ``worker`` names a registered function in
+        :mod:`repro.parallel.workers`; each payload must be a plain
+        JSON-serializable dict that fully determines the task (that is
+        what the cache keys on).
+        """
+        from repro.parallel.workers import resolve
+
+        fn = resolve(worker)
+        total = len(payloads)
+        results: List[Any] = [None] * total
+        done = 0
+
+        # Cache pass: fill hits, queue misses.
+        pending: List[tuple] = []  # (index, key-or-None, payload)
+        for index, payload in enumerate(payloads):
+            if self.cache is not None:
+                key = self.cache.key(worker, payload)
+                hit, value = self.cache.get(key)
+                if hit:
+                    results[index] = value
+                    self.tasks_cached += 1
+                    done += 1
+                    if self.progress is not None:
+                        self.progress(done, total, True)
+                    continue
+                pending.append((index, key, payload))
+            else:
+                pending.append((index, None, payload))
+
+        if not pending:
+            return results
+
+        if self.jobs == 1:
+            self._run_inline(fn, worker, pending, results, done, total)
+        else:
+            self._run_pool(worker, pending, results, done, total)
+        return results
+
+    # -- serial reference path ----------------------------------------------
+
+    def _run_inline(self, fn, worker, pending, results, done, total) -> None:
+        for index, key, payload in pending:
+            try:
+                value = fn(dict(payload))
+            except ExecutorError:
+                raise
+            except Exception as exc:
+                raise ExecutorError(
+                    f"worker {worker!r} task {index} failed: "
+                    f"{type(exc).__name__}: {exc}",
+                    worker=worker,
+                    task_index=index,
+                    kind="worker",
+                ) from exc
+            results[index] = value
+            self.tasks_run += 1
+            if key is not None:
+                self.cache.put(key, value)
+            done += 1
+            if self.progress is not None:
+                self.progress(done, total, False)
+
+    # -- process-pool path --------------------------------------------------
+
+    def _run_pool(self, worker, pending, results, done, total) -> None:
+        from repro.parallel.workers import dispatch
+
+        queue = deque(pending)
+        inflight: Dict[Any, tuple] = {}  # future -> (index, key, deadline)
+        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        try:
+            while queue or inflight:
+                while queue and len(inflight) < self.max_inflight:
+                    index, key, payload = queue.popleft()
+                    future = pool.submit(dispatch, worker, dict(payload))
+                    deadline = (
+                        time.monotonic() + self.timeout_s
+                        if self.timeout_s is not None
+                        else None
+                    )
+                    inflight[future] = (index, key, deadline)
+
+                wait_s = None
+                if self.timeout_s is not None:
+                    now = time.monotonic()
+                    wait_s = max(
+                        0.0,
+                        min(d for _, _, d in inflight.values()) - now,
+                    )
+                completed, _ = wait(
+                    set(inflight), timeout=wait_s, return_when=FIRST_COMPLETED
+                )
+
+                if not completed:
+                    now = time.monotonic()
+                    expired = [
+                        index
+                        for future, (index, _, deadline) in inflight.items()
+                        if deadline is not None
+                        and deadline <= now
+                        and not future.done()
+                    ]
+                    if expired:
+                        raise ExecutorError(
+                            f"worker {worker!r} task {expired[0]} exceeded "
+                            f"the {self.timeout_s} s per-task deadline "
+                            f"({len(expired)} task(s) overdue); the batch "
+                            "was abandoned",
+                            worker=worker,
+                            task_index=expired[0],
+                            kind="timeout",
+                        )
+                    continue
+
+                for future in completed:
+                    index, key, _ = inflight.pop(future)
+                    try:
+                        value = future.result()
+                    except ExecutorError:
+                        raise
+                    except BrokenProcessPool as exc:
+                        raise ExecutorError(
+                            f"worker pool broke while running {worker!r} "
+                            f"task {index}: {exc}",
+                            worker=worker,
+                            task_index=index,
+                            kind="pool",
+                        ) from exc
+                    except Exception as exc:
+                        raise ExecutorError(
+                            f"worker {worker!r} task {index} failed: "
+                            f"{type(exc).__name__}: {exc}",
+                            worker=worker,
+                            task_index=index,
+                            kind="worker",
+                        ) from exc
+                    results[index] = value
+                    self.tasks_run += 1
+                    if key is not None:
+                        self.cache.put(key, value)
+                    done += 1
+                    if self.progress is not None:
+                        self.progress(done, total, False)
+        except BaseException:
+            # Abandon outstanding work without joining possibly-hung
+            # workers; the processes exit on their own once done.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        else:
+            pool.shutdown(wait=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        cached = "+cache" if self.cache is not None else ""
+        return f"Executor(jobs={self.jobs}{cached})"

@@ -23,9 +23,9 @@ replays the same schedule, which is why failure reports always carry it.
 from __future__ import annotations
 
 import random
-from typing import Iterator, List
+from typing import Any, Dict, Iterator, List
 
-__all__ = ["ScheduleFuzzer", "derive_seeds", "fuzz_schedules"]
+__all__ = ["ScheduleFuzzer", "derive_seeds", "fuzz_schedules", "seed_payloads"]
 
 
 def derive_seeds(seed: int, n: int) -> List[int]:
@@ -39,6 +39,21 @@ def derive_seeds(seed: int, n: int) -> List[int]:
         raise ValueError(f"need n >= 0 schedules, got {n}")
     rng = random.Random(seed)
     return [rng.getrandbits(63) for _ in range(n)]
+
+
+def seed_payloads(
+    seed: int, n: int, base: Dict[str, Any]
+) -> List[Dict[str, Any]]:
+    """One executor payload per derived seed: ``{**base, "seed": s}``.
+
+    The bridge between seed derivation and the
+    :class:`repro.parallel.Executor`: campaigns (chaos plans, sanitizer
+    schedules) fan out one payload per schedule seed, all sharing the
+    ``base`` configuration.  Payload ``i`` is stable under changes to
+    ``n`` — the same property :func:`derive_seeds` guarantees — so cached
+    results survive campaign resizing.
+    """
+    return [{**base, "seed": derived} for derived in derive_seeds(seed, n)]
 
 
 class ScheduleFuzzer:

@@ -9,7 +9,6 @@ print.
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -137,8 +136,46 @@ class SanitizeReport:
         }
 
     def to_json(self) -> str:
-        """Deterministic JSON rendering."""
-        return json.dumps(self.to_dict(), indent=2, sort_keys=False)
+        """Deterministic JSON in the shared versioned envelope.
+
+        Equal reports render byte-identical text (the property the
+        sanitizer's determinism tests and the parallel-parity tests
+        assert), and the envelope's schema/kind stamps make stored
+        reports fail loudly on format drift.
+        """
+        from repro.serialization import dump_result
+
+        return dump_result("sanitize-report", self.to_dict())
+
+    @classmethod
+    def from_json(
+        cls, text: str, *, source: str = "<string>"
+    ) -> "SanitizeReport":
+        """Rebuild a report from :meth:`to_json` output (typed failures)."""
+        from repro.serialization import parse_result, require
+
+        payload = parse_result(text, kind="sanitize-report", source=source)
+        report = cls(
+            algorithm=require(payload, "algorithm", source),
+            strategy=require(payload, "strategy", source),
+            num_blocks=require(payload, "num_blocks", source),
+            seed=require(payload, "seed", source),
+            schedules_requested=require(payload, "schedules_requested", source),
+            schedules_run=require(payload, "schedules_run", source),
+            schedules_flagged=require(payload, "schedules_flagged", source),
+            barrier_events=require(payload, "barrier_events", source),
+            access_events=require(payload, "access_events", source),
+        )
+        for entry in require(payload, "findings", source):
+            finding = Finding(
+                kind=entry["kind"],
+                message=entry["message"],
+                seed=entry["seed"],
+                details=entry["details"] or None,
+            )
+            report.findings.append(finding)
+            report.occurrences[finding.fingerprint] = entry["occurrences"]
+        return report
 
     def render(self) -> str:
         """Deterministic plain-text report."""

@@ -18,7 +18,8 @@ The top of the sanitizer stack.  One call:
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from dataclasses import asdict
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.algorithms.base import RoundAlgorithm, VerificationError
 from repro.algorithms.microbench import MeanMicrobench
@@ -30,9 +31,10 @@ from repro.sanitize.analysis import (
     race_findings,
     round_ordering_violations,
 )
-from repro.sanitize.fuzzer import ScheduleFuzzer, derive_seeds
+from repro.sanitize.fuzzer import ScheduleFuzzer, derive_seeds, seed_payloads
 from repro.sanitize.probe import SanitizerProbe
 from repro.sanitize.report import Finding, SanitizeReport
+from repro.serialization import device_config_from_dict, device_config_to_dict, plain
 from repro.sync.base import SyncStrategy, get_strategy
 
 __all__ = ["DEFAULT_SEED", "SkewedMicrobench", "sanitize_run"]
@@ -59,6 +61,135 @@ class SkewedMicrobench(MeanMicrobench):
         )
 
 
+def _run_one_schedule(
+    algorithm: RoundAlgorithm,
+    strategy: Union[str, SyncStrategy],
+    named: bool,
+    num_blocks: int,
+    threads_per_block: Optional[int],
+    cfg: DeviceConfig,
+    schedule_seed: int,
+    jitter_pct: float,
+    verify: bool,
+) -> Tuple[List[Finding], int, int]:
+    """One fuzzed schedule → (findings in detection order, event counts)."""
+    from repro.harness.runner import run  # late: harness imports sanitize types
+
+    strat = get_strategy(strategy) if named else strategy
+    fuzzer = ScheduleFuzzer(schedule_seed)
+    probe = SanitizerProbe()
+    findings: List[Finding] = []
+    deadlocked = False
+    result = None
+    try:
+        result = run(
+            algorithm,
+            strat,
+            num_blocks,
+            threads_per_block=threads_per_block,
+            config=cfg,
+            verify=False,
+            monitor_races=True,
+            keep_device=True,
+            jitter_pct=jitter_pct,
+            jitter_seed=schedule_seed,
+            fuzzer=fuzzer,
+            probe=probe,
+        )
+    except (DeadlockError, KernelTimeoutError) as exc:
+        deadlocked = True
+        if isinstance(exc, KernelTimeoutError):
+            findings.append(
+                Finding(
+                    kind="simulation-error",
+                    message=f"watchdog fired: {exc}",
+                    seed=schedule_seed,
+                )
+            )
+    except ReproError as exc:
+        findings.append(
+            Finding(
+                kind="simulation-error",
+                message=f"{type(exc).__name__}: {exc}",
+                seed=schedule_seed,
+            )
+        )
+
+    findings.extend(
+        barrier_findings(
+            probe, num_blocks, seed=schedule_seed, deadlocked=deadlocked
+        )
+    )
+    findings.extend(race_findings(probe, seed=schedule_seed))
+
+    if result is not None:
+        for violation in round_ordering_violations(result.device.trace):
+            findings.append(
+                Finding(
+                    kind="round-overlap",
+                    message=(
+                        f"round {violation['round'] + 1} work began at "
+                        f"{violation['next_round_start_ns']} ns, before "
+                        f"round {violation['round']} finished at "
+                        f"{violation['latest_end_ns']} ns"
+                    ),
+                    seed=schedule_seed,
+                    details={
+                        **violation,
+                        "monitor_violations": result.violations,
+                    },
+                )
+            )
+        if verify and strat.name != "null":
+            try:
+                algorithm.verify()
+            except VerificationError as exc:
+                findings.append(
+                    Finding(
+                        kind="verification-failed",
+                        message=str(exc).splitlines()[0],
+                        seed=schedule_seed,
+                    )
+                )
+
+    return findings, len(probe.barrier_events), len(probe.accesses)
+
+
+def schedule_result_from_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """The ``sanitize-schedule`` worker body: payload dict → result dict.
+
+    The algorithm arrives as a spec (rebuilt seeded in the worker) and
+    the strategy as a registered name — the same restriction that gates
+    the parallel path in :func:`sanitize_run`.
+    """
+    from repro.parallel.workers import build_algorithm
+
+    algorithm = build_algorithm(payload["algorithm"])
+    cfg = (
+        device_config_from_dict(payload["device"])
+        if payload.get("device")
+        else gtx280()
+    )
+    findings, barrier_events, access_events = _run_one_schedule(
+        algorithm,
+        payload["strategy"],
+        True,
+        payload["num_blocks"],
+        payload.get("threads_per_block"),
+        cfg,
+        payload["seed"],
+        payload["jitter_pct"],
+        payload["verify"],
+    )
+    return plain(
+        {
+            "findings": [asdict(f) for f in findings],
+            "barrier_events": barrier_events,
+            "access_events": access_events,
+        }
+    )
+
+
 def sanitize_run(
     algorithm: Optional[RoundAlgorithm] = None,
     strategy: Union[str, SyncStrategy] = "gpu-lockfree",
@@ -71,6 +202,7 @@ def sanitize_run(
     jitter_pct: float = 25.0,
     verify: bool = True,
     fail_fast: bool = False,
+    executor=None,
 ) -> SanitizeReport:
     """Sanitize one (algorithm × strategy × grid) configuration.
 
@@ -82,19 +214,29 @@ def sanitize_run(
     jitter model (``jitter_pct``, same derived seed).  ``fail_fast``
     stops after the first flagged schedule.
 
+    ``executor`` (:class:`repro.parallel.Executor`) shards the campaign
+    per schedule seed; schedule results merge back in seed order, so the
+    report — findings, occurrence counts, flagged tally — is identical
+    to the serial run's.  The parallel path needs a portable
+    configuration: the default algorithm and a strategy *name*.  A
+    custom algorithm instance or strategy instance keeps the run serial.
+
     Never raises for bugs it detects — deadlocks, divergence, races and
     verification failures all come back as findings in the report.
     """
-    from repro.harness.runner import run  # late: harness imports sanitize types
-
     cfg = config or gtx280()
     named = isinstance(strategy, str)
     resolved = get_strategy(strategy) if named else strategy
+    spec: Optional[Dict[str, Any]] = None
     if algorithm is None:
+        spec = {
+            "name": "micro-skewed",
+            "rounds": 4,
+            "num_blocks_hint": num_blocks,
+            "threads_per_block": threads_per_block or 64,
+        }
         algorithm = SkewedMicrobench(
-            rounds=4,
-            num_blocks_hint=num_blocks,
-            threads_per_block=threads_per_block or 64,
+            **{k: v for k, v in spec.items() if k != "name"}
         )
 
     report = SanitizeReport(
@@ -112,87 +254,56 @@ def sanitize_run(
         # Running would only starve the engine; the point is to say so first.
         return report
 
-    for schedule_seed in derive_seeds(seed, schedules):
-        strat = get_strategy(strategy) if named else strategy
-        fuzzer = ScheduleFuzzer(schedule_seed)
-        probe = SanitizerProbe()
-        before = sum(report.occurrences.values())
-        deadlocked = False
-        result = None
-        try:
-            result = run(
-                algorithm,
-                strat,
-                num_blocks,
-                threads_per_block=threads_per_block,
-                config=cfg,
-                verify=False,
-                monitor_races=True,
-                keep_device=True,
-                jitter_pct=jitter_pct,
-                jitter_seed=schedule_seed,
-                fuzzer=fuzzer,
-                probe=probe,
-            )
-        except (DeadlockError, KernelTimeoutError) as exc:
-            deadlocked = True
-            if isinstance(exc, KernelTimeoutError):
-                report.add(
-                    Finding(
-                        kind="simulation-error",
-                        message=f"watchdog fired: {exc}",
-                        seed=schedule_seed,
-                    )
-                )
-        except ReproError as exc:
-            report.add(
-                Finding(
-                    kind="simulation-error",
-                    message=f"{type(exc).__name__}: {exc}",
-                    seed=schedule_seed,
-                )
-            )
-
-        report.schedules_run += 1
-        report.barrier_events += len(probe.barrier_events)
-        report.access_events += len(probe.accesses)
-
-        for finding in barrier_findings(
-            probe, num_blocks, seed=schedule_seed, deadlocked=deadlocked
+    if executor is not None and spec is not None and named:
+        base = {
+            "algorithm": spec,
+            "strategy": strategy,
+            "num_blocks": num_blocks,
+            "threads_per_block": threads_per_block,
+            "device": device_config_to_dict(cfg),
+            "jitter_pct": jitter_pct,
+            "verify": verify,
+        }
+        for sched in executor.map(
+            "sanitize-schedule", seed_payloads(seed, schedules, base)
         ):
-            report.add(finding)
-        for finding in race_findings(probe, seed=schedule_seed):
-            report.add(finding)
-
-        if result is not None:
-            for violation in round_ordering_violations(result.device.trace):
+            before = sum(report.occurrences.values())
+            report.schedules_run += 1
+            report.barrier_events += sched["barrier_events"]
+            report.access_events += sched["access_events"]
+            for f in sched["findings"]:
                 report.add(
                     Finding(
-                        kind="round-overlap",
-                        message=(
-                            f"round {violation['round'] + 1} work began at "
-                            f"{violation['next_round_start_ns']} ns, before "
-                            f"round {violation['round']} finished at "
-                            f"{violation['latest_end_ns']} ns"
-                        ),
-                        seed=schedule_seed,
-                        details={
-                            **violation,
-                            "monitor_violations": result.violations,
-                        },
+                        kind=f["kind"],
+                        message=f["message"],
+                        seed=f["seed"],
+                        details=f["details"],
                     )
                 )
-            if verify and strat.name != "null":
-                try:
-                    algorithm.verify()
-                except VerificationError as exc:
-                    report.add(
-                        Finding(
-                            kind="verification-failed",
-                            message=str(exc).splitlines()[0],
-                            seed=schedule_seed,
-                        )
-                    )
+            if sum(report.occurrences.values()) > before:
+                report.schedules_flagged += 1
+                if fail_fast:
+                    break
+        return report
+
+    for schedule_seed in derive_seeds(seed, schedules):
+        before = sum(report.occurrences.values())
+        findings, barrier_events, access_events = _run_one_schedule(
+            algorithm,
+            strategy,
+            named,
+            num_blocks,
+            threads_per_block,
+            cfg,
+            schedule_seed,
+            jitter_pct,
+            verify,
+        )
+        report.schedules_run += 1
+        report.barrier_events += barrier_events
+        report.access_events += access_events
+        for finding in findings:
+            report.add(finding)
 
         # Flagged = any finding this schedule, new site or a repeat of one.
         if sum(report.occurrences.values()) > before:

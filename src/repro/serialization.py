@@ -1,0 +1,163 @@
+"""The shared versioned-JSON protocol for batch results.
+
+Every batch result the harness produces — a :class:`SweepResult`, a
+:class:`ChaosReport`, a :class:`SanitizeReport` — serializes to the same
+envelope::
+
+    {"schema": <int>, "kind": "<result kind>", ...body...}
+
+so the result cache, the persistence layer (:mod:`repro.harness.store`)
+and the ``repro`` CLI treat all of them uniformly: one schema version,
+one ``kind`` tag to dispatch on, and *typed* load failures
+(:class:`~repro.errors.ExperimentError`) that always name the source
+and the found/expected versions instead of leaking bare ``KeyError``\\ s.
+
+This module also holds the canonical-form helpers the content-addressed
+cache keys on: :func:`canonical_json` (sorted keys, minimal separators,
+so semantically equal payloads hash equal) and the
+:class:`~repro.gpu.config.DeviceConfig` dict round-trip.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Any, Dict, Iterable, Union
+
+from repro.errors import ExperimentError
+from repro.gpu.config import DeviceConfig
+from repro.model.calibration import CalibratedTimings
+
+__all__ = [
+    "RESULT_SCHEMA_VERSION",
+    "canonical_json",
+    "check_envelope",
+    "device_config_from_dict",
+    "device_config_to_dict",
+    "dump_result",
+    "parse_result",
+    "plain",
+    "require",
+]
+
+#: current schema of every serialized batch result.  Version 1 was the
+#: pre-protocol sweep-only format of :mod:`repro.harness.store`; version
+#: 2 introduced the shared envelope across all result kinds.
+RESULT_SCHEMA_VERSION = 2
+
+
+def plain(value: Any) -> Any:
+    """Recursively coerce a value into plain JSON-serializable types.
+
+    Numpy scalars become Python ints/floats, tuples become lists, dict
+    keys become strings — everything the cache and the envelope dumps
+    need to round-trip losslessly through ``json``.
+    """
+    if isinstance(value, dict):
+        return {str(k): plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [plain(v) for v in value]
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, float, str)):
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    raise ExperimentError(
+        f"cannot serialize value of type {type(value).__name__}: {value!r}"
+    )
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic minimal JSON: sorted keys, no whitespace.
+
+    Semantically equal payloads produce byte-equal text — the property
+    the content-addressed cache key depends on.
+    """
+    return json.dumps(
+        plain(payload), sort_keys=True, separators=(",", ":")
+    )
+
+
+def dump_result(kind: str, body: Dict[str, Any]) -> str:
+    """Render a batch result as versioned, deterministic JSON."""
+    envelope = {"schema": RESULT_SCHEMA_VERSION, "kind": kind}
+    envelope.update(body)
+    return json.dumps(plain(envelope), indent=1, sort_keys=True)
+
+
+def check_envelope(
+    payload: Any,
+    *,
+    kind: Union[str, Iterable[str]],
+    source: str = "<string>",
+    accept: Iterable[int] = (RESULT_SCHEMA_VERSION,),
+) -> Dict[str, Any]:
+    """Validate an envelope's kind and schema; return the payload.
+
+    Every failure is a typed :class:`~repro.errors.ExperimentError`
+    naming ``source`` (usually a file path) and, for version mismatches,
+    the found and expected schema versions.
+    """
+    kinds = (kind,) if isinstance(kind, str) else tuple(kind)
+    if not isinstance(payload, dict):
+        raise ExperimentError(
+            f"{source} does not contain a JSON object "
+            f"(found {type(payload).__name__})"
+        )
+    found_kind = payload.get("kind")
+    if found_kind not in kinds:
+        wanted = " or ".join(kinds)
+        raise ExperimentError(
+            f"{source} does not contain a {wanted} result "
+            f"(found kind {found_kind!r})"
+        )
+    accepted = tuple(accept)
+    found = payload.get("schema")
+    if found not in accepted:
+        wanted = ", ".join(str(v) for v in accepted)
+        raise ExperimentError(
+            f"{source} has schema {found!r}; this build reads "
+            f"version(s) {wanted}"
+        )
+    return payload
+
+
+def parse_result(
+    text: str,
+    *,
+    kind: Union[str, Iterable[str]],
+    source: str = "<string>",
+    accept: Iterable[int] = (RESULT_SCHEMA_VERSION,),
+) -> Dict[str, Any]:
+    """Parse and envelope-check serialized JSON text."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ExperimentError(f"{source} is not valid JSON: {exc}") from exc
+    return check_envelope(payload, kind=kind, source=source, accept=accept)
+
+
+def require(payload: Dict[str, Any], key: str, source: str = "<string>") -> Any:
+    """Fetch a required envelope field, or fail with a typed error."""
+    try:
+        return payload[key]
+    except KeyError:
+        raise ExperimentError(
+            f"{source}: missing required field {key!r} "
+            f"(schema {payload.get('schema')!r}, kind {payload.get('kind')!r})"
+        ) from None
+
+
+def device_config_to_dict(config: DeviceConfig) -> Dict[str, Any]:
+    """A plain-dict form of a device config (JSON- and pickle-safe)."""
+    return plain(asdict(config))
+
+
+def device_config_from_dict(payload: Dict[str, Any]) -> DeviceConfig:
+    """Rebuild a :class:`DeviceConfig` from :func:`device_config_to_dict`."""
+    fields = dict(payload)
+    timings = fields.pop("timings", None)
+    if timings is not None:
+        fields["timings"] = CalibratedTimings(**timings)
+    return DeviceConfig(**fields)

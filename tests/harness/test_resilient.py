@@ -2,9 +2,14 @@
 
 import pytest
 
+import repro
 from repro.errors import ConfigError, RetryExhaustedError
 from repro.faults import FaultPlan, FaultSpec
-from repro.harness.resilient import DegradePolicy, RetryPolicy, run_resilient
+from repro.harness.resilient import (
+    DegradePolicy,
+    RetryPolicy,
+    _run_resilient as run_resilient,
+)
 from repro.sanitize.sanitizer import SkewedMicrobench
 
 
@@ -123,3 +128,25 @@ def test_explicit_fallback_override():
     )
     assert result.degraded is True
     assert result.strategy == "cpu-explicit"
+
+
+def test_facade_routes_to_resilient_path():
+    """repro.run(..., retry=/degrade=) reaches the same runtime."""
+    plan = FaultPlan([FaultSpec("hang", block=2, round=1)])
+    result = repro.run(
+        micro(),
+        "gpu-lockfree",
+        num_blocks=8,
+        faults=plan,
+        degrade=DegradePolicy(),
+    )
+    assert result.verified is True
+    assert result.degraded is True
+    assert result.strategy == "cpu-implicit"
+
+
+def test_run_resilient_shim_warns_and_forwards():
+    with pytest.warns(DeprecationWarning, match="repro.run"):
+        result = repro.run_resilient(micro(), "gpu-lockfree", 8)
+    assert result.verified is True
+    assert result.attempts == 1

@@ -1,0 +1,94 @@
+"""Tests for the content-addressed result cache."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError, ExperimentError
+from repro.parallel import CACHE_SCHEMA_VERSION, ResultCache, cache_key
+from repro.parallel.cache import DEFAULT_CACHE_DIR
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def test_key_is_stable_and_order_insensitive():
+    a = cache_key("run-total", {"x": 1, "y": 2})
+    b = cache_key("run-total", {"y": 2, "x": 1})
+    assert a == b
+    assert len(a) == 64
+
+
+def test_key_changes_with_any_ingredient():
+    base = cache_key("run-total", {"seed": 1})
+    assert cache_key("run-total", {"seed": 2}) != base
+    assert cache_key("chaos-plan", {"seed": 1}) != base
+
+
+def test_miss_then_hit(cache):
+    key = cache.key("run-total", {"seed": 7})
+    hit, _ = cache.get(key)
+    assert not hit
+    cache.put(key, 1234)
+    hit, value = cache.get(key)
+    assert hit and value == 1234
+    assert (cache.hits, cache.misses) == (1, 1)
+
+
+def test_unserializable_value_rejected(cache):
+    key = cache.key("run-total", {"seed": 7})
+    with pytest.raises(ExperimentError, match="cannot serialize"):
+        cache.put(key, object())
+
+
+def test_corrupt_entry_is_a_miss(cache):
+    key = cache.key("run-total", {"seed": 7})
+    path = cache.put(key, 1234)
+    path.write_text("{ not json")
+    hit, _ = cache.get(key)
+    assert not hit
+    cache.put(key, 1234)  # overwrites the rot
+    assert cache.get(key) == (True, 1234)
+
+
+def test_schema_mismatch_is_a_miss(cache):
+    key = cache.key("run-total", {"seed": 7})
+    path = cache.put(key, 1234)
+    entry = json.loads(path.read_text())
+    entry["cache-schema"] = CACHE_SCHEMA_VERSION + 1
+    path.write_text(json.dumps(entry))
+    hit, _ = cache.get(key)
+    assert not hit
+
+
+def test_wrong_key_in_entry_is_a_miss(cache):
+    key = cache.key("run-total", {"seed": 7})
+    path = cache.put(key, 1234)
+    entry = json.loads(path.read_text())
+    entry["key"] = "0" * 64
+    path.write_text(json.dumps(entry))
+    assert cache.get(key) == (False, None)
+
+
+def test_malformed_key_rejected(cache):
+    with pytest.raises(ConfigError, match="malformed"):
+        cache.get("ab")
+
+
+def test_stats_and_clear(cache):
+    assert cache.stats().entries == 0
+    for seed in range(5):
+        cache.put(cache.key("run-total", {"seed": seed}), seed)
+    stats = cache.stats()
+    assert stats.entries == 5
+    assert stats.bytes > 0
+    assert "5 entries" in stats.render()
+    assert cache.clear() == 5
+    assert cache.stats().entries == 0
+
+
+def test_default_location_is_under_benchmarks():
+    assert str(DEFAULT_CACHE_DIR).endswith("cache")
+    assert str(ResultCache().root) == str(DEFAULT_CACHE_DIR)
