@@ -1,0 +1,58 @@
+"""Linter wall-time: the full-tree `repro lint` pass must stay cheap.
+
+The static linter's value proposition is "runs on every commit": pure
+AST work, no simulation, no imports of the linted code.  That only
+holds if a full pass over the shipped tree (all of ``src/repro`` plus
+``examples`` — every kernel unit and strategy class, CFGs included)
+finishes in interactive time.  This bench measures it and pins the
+budget at 2 seconds; the per-file cost is written to
+``benchmarks/out/lint_walltime.txt``.
+"""
+
+from pathlib import Path
+from time import perf_counter
+
+from benchmarks.conftest import save_report
+from repro.harness.report import format_table
+from repro.staticcheck import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+LINT_ROOTS = [REPO_ROOT / "src" / "repro", REPO_ROOT / "examples"]
+
+#: hard wall-clock budget for one full-tree pass (seconds).
+BUDGET_S = 2.0
+
+
+def test_lint_walltime(benchmark):
+    def measure():
+        t0 = perf_counter()
+        report = lint_paths(LINT_ROOTS)
+        return perf_counter() - t0, report
+
+    elapsed_s, report = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    # The tree must actually be the shipped one: non-trivial, clean,
+    # with exactly the deliberate sites suppressed (see
+    # tests/staticcheck/test_crossval.py, which pins the count).
+    n_files = len(report.files)
+    assert n_files >= 50, f"only {n_files} files linted — wrong roots?"
+    assert report.units_checked >= 10
+    assert report.clean, report.render()
+
+    table = format_table(
+        ["quantity", "value"],
+        [
+            ["files linted", str(n_files)],
+            ["kernel units", str(report.units_checked)],
+            ["suppressed findings", str(report.suppressed)],
+            ["wall time (s)", f"{elapsed_s:.3f}"],
+            ["per file (ms)", f"{1e3 * elapsed_s / n_files:.2f}"],
+            ["budget (s)", f"{BUDGET_S:.1f}"],
+        ],
+        title="Static linter wall-time — full src/repro + examples tree",
+    )
+    save_report("lint_walltime", table)
+
+    assert elapsed_s < BUDGET_S, (
+        f"full-tree lint took {elapsed_s:.2f}s, budget {BUDGET_S:.1f}s"
+    )

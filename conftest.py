@@ -2,8 +2,10 @@
 
 Loads the sanitizer's pytest plugin (``--sanitize``, ``--fuzz-seed``,
 ``--fuzz-schedules`` and the ``fuzz_schedules``/``sanitized_run``
-fixtures — see docs/sanitizer.md).  ``pytest_plugins`` must live in the
-rootdir conftest, hence this file.
+fixtures — see docs/sanitizer.md) and the static linter's plugin
+(``--staticcheck`` plus the ``lint_strategy_report``/
+``lint_source_report`` fixtures — see docs/staticcheck.md).
+``pytest_plugins`` must live in the rootdir conftest, hence this file.
 """
 
 import sys
@@ -15,5 +17,10 @@ _SRC = str(Path(__file__).resolve().parent / "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
-# pytester drives the plugin's own tests (tests/sanitize/test_plugin.py).
-pytest_plugins = ("repro.sanitize.pytest_plugin", "pytester")
+# pytester drives the plugins' own tests (tests/sanitize/test_plugin.py,
+# tests/staticcheck/test_plugin.py).
+pytest_plugins = (
+    "repro.sanitize.pytest_plugin",
+    "repro.staticcheck.pytest_plugin",
+    "pytester",
+)

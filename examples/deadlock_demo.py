@@ -38,7 +38,9 @@ def main() -> None:
     # --- 1. the guard ------------------------------------------------------
     micro = MeanMicrobench(rounds=5, num_blocks_hint=31)
     try:
-        run(micro, "gpu-lockfree", num_blocks=31)
+        # Deliberately one block past the SM count — the demo exists to
+        # show the occupancy guard refusing exactly this launch.
+        run(micro, "gpu-lockfree", num_blocks=31)  # repro: noqa SC002
     except OccupancyError as exc:
         print(f"[1] guard refused the launch:\n    {exc}\n")
 

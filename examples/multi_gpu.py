@@ -18,7 +18,6 @@ Usage::
     python examples/multi_gpu.py
 """
 
-import numpy as np
 
 from repro.gpu.device import Device
 from repro.gpu.host import Host

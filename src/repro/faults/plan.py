@@ -34,7 +34,7 @@ fire on every attempt, which is what forces graceful degradation.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 from repro.errors import FaultError

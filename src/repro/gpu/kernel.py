@@ -3,12 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Dict, Generator
+from typing import Any, Callable, Dict, Generator
 
 from repro.errors import LaunchError
-
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.gpu.context import BlockCtx
 
 __all__ = ["KernelSpec", "DeviceProgram"]
 

@@ -25,6 +25,11 @@ Extras beyond the paper:
   exits 1 when any run's fate is not explained by its fault plan
 * ``cache``      — inspect (``cache stats``, the default) or empty
   (``cache clear``) the content-addressed result cache
+* ``lint``       — static barrier-protocol analysis over Python source
+  (``lint [paths...]``, default ``src/repro examples``); supports
+  ``--format text|json`` and ``--strict`` (docs/staticcheck.md); exits
+  1 on error-severity findings (any finding under ``--strict``), 2 on
+  unreadable/unparsable input
 
 Execution flags (docs/parallel.md): ``--jobs N`` shards sweeps and
 campaigns across N worker processes; ``--cache`` memoizes every run
@@ -200,6 +205,20 @@ def _chaos(args: argparse.Namespace, executor=None) -> "tuple[str, bool]":
     return "\n\n".join(chunks), dirty
 
 
+def _lint(args: argparse.Namespace) -> "tuple[str, int]":
+    """Run the static linter; returns (rendered output, exit code)."""
+    from repro.staticcheck import LintError, lint_paths
+
+    paths = args.action or ["src/repro", "examples"]
+    try:
+        rep = lint_paths(paths)
+    except LintError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return "", 2
+    text = rep.to_json() if args.format == "json" else rep.render()
+    return text, rep.exit_code(strict=args.strict)
+
+
 def _epilogue(want: str, started: float, cache=None) -> None:
     """Timing (and, when caching, hit-rate) summary on stderr."""
     if cache is not None:
@@ -243,15 +262,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             "sanitize",
             "chaos",
             "cache",
+            "lint",
             "all",
         ],
     )
     parser.add_argument(
         "action",
-        nargs="?",
+        nargs="*",
         default=None,
-        choices=["stats", "clear"],
-        help="cache experiment only: 'stats' (default) or 'clear'",
+        help="cache: 'stats' (default) or 'clear'; "
+        "lint: files/directories to analyze (default: src/repro examples)",
     )
     parser.add_argument(
         "--rounds",
@@ -354,6 +374,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="cache location (default benchmarks/out/cache)",
     )
     parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="lint: output format (json uses the shared schema-2 "
+        "envelope, kind 'lint-report')",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="lint: exit 1 on any finding, not just error severity",
+    )
+    parser.add_argument(
         "--save-sweeps",
         metavar="DIR",
         default=None,
@@ -364,9 +396,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     args = parser.parse_args(argv)
-    if args.action is not None and args.experiment != "cache":
+    if args.action and args.experiment == "cache":
+        if len(args.action) > 1 or args.action[0] not in ("stats", "clear"):
+            parser.error(
+                "cache takes at most one action: 'stats' or 'clear'"
+            )
+    elif args.action and args.experiment != "lint":
         parser.error(
-            f"'{args.action}' only applies to the cache experiment"
+            f"positional arguments {args.action!r} only apply to the "
+            "cache and lint experiments"
         )
 
     started = time.time()
@@ -383,7 +421,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if want == "cache":
         store = ResultCache(cache_dir)
-        if args.action == "clear":
+        if args.action and args.action[0] == "clear":
             removed = store.clear()
             sections.append(
                 f"cleared {removed} entr{'y' if removed == 1 else 'ies'} "
@@ -469,6 +507,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("\n\n".join(sections))
             _epilogue(want, started, cache)
             return 1
+    if want == "lint":
+        text, code = _lint(args)
+        if text:
+            sections.append(text)
+        if code:
+            if sections:
+                print("\n\n".join(sections))
+            _epilogue(want, started, cache)
+            return code
 
     print("\n\n".join(sections))
     _epilogue(want, started, cache)

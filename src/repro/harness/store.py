@@ -61,8 +61,9 @@ def load_result(path: Union[str, Path]):
     """Load any stored result, dispatching on the envelope's ``kind``.
 
     Returns a :class:`~repro.harness.experiments.SweepResult`,
-    :class:`~repro.faults.chaos.ChaosReport` or
-    :class:`~repro.sanitize.report.SanitizeReport` according to what the
+    :class:`~repro.faults.chaos.ChaosReport`,
+    :class:`~repro.sanitize.report.SanitizeReport` or
+    :class:`~repro.staticcheck.report.LintReport` according to what the
     file says it holds.
     """
     path = Path(path)
@@ -84,7 +85,11 @@ def load_result(path: Union[str, Path]):
         from repro.sanitize.report import SanitizeReport
 
         return SanitizeReport.from_json(text, source=str(path))
+    if kind == "lint-report":
+        from repro.staticcheck.report import LintReport
+
+        return LintReport.from_json(text, source=str(path))
     raise ExperimentError(
         f"{path} holds unknown result kind {kind!r}; expected one of: "
-        "sweep, chaos-report, sanitize-report"
+        "sweep, chaos-report, sanitize-report, lint-report"
     )

@@ -53,7 +53,7 @@ class BrokenLockFreeNoScatter(GpuLockFreeSync):
             )
             yield from ctx.syncthreads()
             # BUG: the Arrayout scatter is missing here.
-        yield from ctx.spin_until(
+        yield from ctx.spin_until(  # repro: noqa SC008
             arr_out,
             lambda a=arr_out, b=bid, g=goal: a.data[b] >= g,
             f"Arrayout[{bid}] (round {round_idx})",
@@ -76,7 +76,7 @@ class BrokenSimpleUndercount(GpuSimpleSync):
     def barrier(self, ctx: "BlockCtx", round_idx: int) -> Generator:
         mutex = self._mutex
         n = ctx.num_blocks
-        goal = round_idx * n + 1  # BUG: should be (round_idx + 1) * n
+        goal = round_idx * n + 1  # BUG: not (round_idx + 1) * n  # repro: noqa SC005
         yield from ctx.atomic_add(mutex, 0, 1)
         yield from ctx.spin_until(
             mutex, lambda: mutex.data[0] >= goal, f"g_mutex>={goal} (broken)"
@@ -98,7 +98,7 @@ class BrokenSimpleSkipRound(GpuSimpleSync):
     name = "broken-simple-skipround"
 
     def instrumented_barrier(self, ctx: "BlockCtx", round_idx: int) -> Generator:
-        if round_idx == 0 and ctx.block_id == ctx.num_blocks - 1:
+        if round_idx == 0 and ctx.block_id == ctx.num_blocks - 1:  # repro: noqa SC001
             return  # BUG: this block never synchronizes round 0
         yield from super().instrumented_barrier(ctx, round_idx)
 

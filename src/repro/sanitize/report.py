@@ -12,42 +12,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from repro.findings import DYNAMIC_CODES, FINDING_CODES, by_name, format_finding
+
 __all__ = ["Finding", "SanitizeReport", "BUG_CLASSES"]
 
-#: the sanitizer's bug taxonomy → one-line description.
+#: the sanitizer's bug taxonomy → one-line description.  Derived from
+#: the shared static/dynamic registry (:mod:`repro.findings`) so the
+#: sanitizer and the static linter can never drift apart on vocabulary.
 BUG_CLASSES: Dict[str, str] = {
-    "occupancy-deadlock": (
-        "grid exceeds co-resident capacity; a device barrier would starve "
-        "(paper §5: non-preemptive blocks, one block per SM)"
-    ),
-    "barrier-deadlock": (
-        "blocks entered a barrier round and can never leave it "
-        "(e.g. a dropped release/scatter store)"
-    ),
-    "barrier-divergence": (
-        "blocks disagree on which barrier rounds they entered "
-        "(a block skipped a round others synchronized on)"
-    ),
-    "premature-release": (
-        "a block exited a barrier round before every block entered it "
-        "(e.g. an under-counted goal value)"
-    ),
-    "round-overlap": (
-        "a block executed round r+1 work while round r was incomplete — "
-        "conflicting accesses with no intervening grid barrier"
-    ),
-    "data-race": (
-        "different blocks touched the same global-memory cell in the same "
-        "barrier epoch, at least one writing, outside any barrier protocol"
-    ),
-    "verification-failed": (
-        "the algorithm's output does not match its reference "
-        "(usually a downstream symptom of one of the classes above)"
-    ),
-    "simulation-error": (
-        "the run aborted inside the simulator (watchdog kill, protocol "
-        "assertion, …) before the sanitizer could finish observing it"
-    ),
+    FINDING_CODES[code].name: FINDING_CODES[code].summary
+    for code in DYNAMIC_CODES
 }
 
 
@@ -192,8 +166,12 @@ class SanitizeReport:
             count = self.occurrences[f.fingerprint]
             seed = f"seed {f.seed}" if f.seed is not None else "pre-run check"
             lines.append(
-                f"  [{f.kind}] {f.message} "
-                f"(first at {seed}; seen in {count} schedule(s))"
+                "  "
+                + format_finding(
+                    by_name(f.kind),
+                    f.message,
+                    suffix=f"first at {seed}; seen in {count} schedule(s)",
+                )
             )
         if self.clean and self.schedules_run:
             lines.append(

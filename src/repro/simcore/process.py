@@ -26,7 +26,7 @@ class Cancelled:
 
     __slots__ = ("reason",)
 
-    def __init__(self, reason: str):
+    def __init__(self, reason: str) -> None:
         self.reason = reason
 
     def __repr__(self) -> str:
@@ -56,7 +56,7 @@ class Process:
         "holding",
     )
 
-    def __init__(self, pid: int, name: str, generator: Generator[Effect, Any, Any]):
+    def __init__(self, pid: int, name: str, generator: Generator[Effect, Any, Any]) -> None:
         self.pid = pid
         self.name = name
         self.generator = generator

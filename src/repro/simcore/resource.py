@@ -31,7 +31,7 @@ class Resource:
 
     __slots__ = ("name", "capacity", "in_use", "_queue")
 
-    def __init__(self, name: str, capacity: int = 1):
+    def __init__(self, name: str, capacity: int = 1) -> None:
         if capacity < 1:
             raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
         self.name = name

@@ -27,7 +27,7 @@ class Signal:
 
     __slots__ = ("name", "_waiters", "fire_count")
 
-    def __init__(self, name: str = "signal"):
+    def __init__(self, name: str = "signal") -> None:
         self.name = name
         #: list of [process, predicate, reason, polls] entries (mutable lists
         #: so the engine can bump the poll counter in place).

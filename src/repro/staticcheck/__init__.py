@@ -1,0 +1,56 @@
+"""Static barrier-protocol analysis (``repro lint``).
+
+The dynamic sanitizer (:mod:`repro.sanitize`) finds synchronization
+bugs by *running* fuzzed schedules; this package finds the same bug
+classes by *reading the code*: it parses device-kernel generators and
+``SyncStrategy`` implementations into ASTs and small CFGs and checks
+the barrier-protocol invariants of the paper (Xiao & Feng, IPDPS 2010)
+— every block passes every barrier round (§4), grids never exceed the
+one-block-per-SM co-residency limit (§5), spins re-observe memory,
+arrival counters accumulate their goalVal (§5.1), lock-free flag
+arrays scale with the grid and always get their release scatter (§5.3).
+
+Entry points:
+
+* :func:`lint_paths` / :func:`lint_source` / :func:`lint_strategy` —
+  the programmatic API (all return a :class:`LintReport`);
+* ``repro lint [paths] --format text|json --strict`` — the CLI verb;
+* ``pytest --staticcheck`` — lint every registered strategy as part of
+  a test run (see :mod:`repro.staticcheck.pytest_plugin`);
+* :mod:`repro.staticcheck.crossval` — asserts the linter agrees with
+  the dynamic sanitizer on the seeded mutants.
+
+The rule catalog (SC001–SC008) lives in the shared finding registry
+(:mod:`repro.findings`), cross-linked to the sanitizer's dynamic bug
+classes; ``docs/staticcheck.md`` documents each rule with its paper
+citation and suppression syntax (``# repro: noqa SC00x``).
+"""
+
+from repro.staticcheck.cfg import CFG, CFGNode, build_cfg
+from repro.staticcheck.discover import KernelUnit, StrategyClass, discover
+from repro.staticcheck.engine import (
+    DEFAULT_SM_LIMIT,
+    LintError,
+    lint_paths,
+    lint_source,
+    lint_strategy,
+)
+from repro.staticcheck.report import LintReport, StaticFinding
+from repro.staticcheck.rules import RULES
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "DEFAULT_SM_LIMIT",
+    "KernelUnit",
+    "LintError",
+    "LintReport",
+    "RULES",
+    "StaticFinding",
+    "StrategyClass",
+    "build_cfg",
+    "discover",
+    "lint_paths",
+    "lint_source",
+    "lint_strategy",
+]

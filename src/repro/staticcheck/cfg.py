@@ -1,0 +1,263 @@
+"""A control-flow graph over one Python function body.
+
+The linter's rules reason about *paths* through a device-kernel
+generator — "is a barrier yield reachable on every path?", "can exit be
+reached from this ``Acquire`` without passing a ``Release``?" — so this
+module lowers a function's AST into a small CFG:
+
+* one node per simple statement;
+* ``If``/``While`` tests and ``For`` iterators get their own *branch*
+  nodes (their bodies' statements become ordinary nodes downstream);
+* synthetic ``ENTRY``/``EXIT`` nodes bracket the function; ``return``
+  and ``raise`` edge straight to ``EXIT``;
+* loops edge back to their branch node, ``break``/``continue`` edge to
+  the loop exit / loop head.
+
+The representation is deliberately conservative: a ``for`` loop keeps
+its zero-iteration bypass edge, ``try`` blocks are approximated (the
+handler is reachable from anywhere in the body), and nested function
+definitions are opaque single nodes.  Rules that would over-report
+under this approximation (e.g. barrier-divergence) additionally require
+a block-identity-dependent branch on the offending path, which the
+conservative edges never introduce on their own.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Set
+
+__all__ = ["CFG", "CFGNode", "build_cfg"]
+
+ENTRY = 0
+EXIT = 1
+
+
+@dataclass
+class CFGNode:
+    """One CFG node: a statement, a branch test, or a synthetic anchor."""
+
+    index: int
+    kind: str  #: ``"entry"`` | ``"exit"`` | ``"stmt"`` | ``"branch"`` | ``"loop"``
+    stmt: Optional[ast.AST] = None
+    succs: List[int] = field(default_factory=list)
+    preds: List[int] = field(default_factory=list)
+
+    @property
+    def line(self) -> int:
+        """Source line of the underlying statement (0 for synthetic)."""
+        return getattr(self.stmt, "lineno", 0)
+
+
+class CFG:
+    """The graph plus the reachability queries the rules need."""
+
+    def __init__(self, func: ast.AST):
+        self.func = func
+        self.nodes: List[CFGNode] = [
+            CFGNode(ENTRY, "entry"),
+            CFGNode(EXIT, "exit"),
+        ]
+
+    # -- construction ------------------------------------------------------
+
+    def _new(self, kind: str, stmt: Optional[ast.AST]) -> int:
+        node = CFGNode(len(self.nodes), kind, stmt)
+        self.nodes.append(node)
+        return node.index
+
+    def _edge(self, src: int, dst: int) -> None:
+        if dst not in self.nodes[src].succs:
+            self.nodes[src].succs.append(dst)
+            self.nodes[dst].preds.append(src)
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[CFGNode]:
+        return iter(self.nodes)
+
+    def statement_nodes(self) -> List[CFGNode]:
+        """All non-synthetic nodes, in creation (source) order."""
+        return [n for n in self.nodes if n.stmt is not None]
+
+    def reachable(
+        self, start: int, avoid: Iterable[int] = ()
+    ) -> Set[int]:
+        """Node indices reachable from ``start`` without entering ``avoid``.
+
+        ``start`` itself is included (unless it is in ``avoid``); the
+        avoided nodes are never entered, so paths through them do not
+        count.
+        """
+        blocked = set(avoid)
+        if start in blocked:
+            return set()
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            here = frontier.pop()
+            for nxt in self.nodes[here].succs:
+                if nxt in blocked or nxt in seen:
+                    continue
+                seen.add(nxt)
+                frontier.append(nxt)
+        return seen
+
+    def exit_reachable_avoiding(
+        self, start: int, avoid: Iterable[int]
+    ) -> bool:
+        """True if ``EXIT`` is reachable from ``start`` bypassing ``avoid``."""
+        return EXIT in self.reachable(start, avoid)
+
+    def bypass_nodes(self, avoid: Iterable[int]) -> Set[int]:
+        """Nodes on some ENTRY→EXIT path that avoids all of ``avoid``.
+
+        The set is the intersection of forward reachability from entry
+        and backward reachability from exit, both restricted to the
+        graph with ``avoid`` removed.  Empty when no bypass path exists.
+        """
+        blocked = set(avoid)
+        forward = self.reachable(ENTRY, blocked)
+        if EXIT not in forward:
+            return set()
+        backward = {EXIT}
+        frontier = [EXIT]
+        while frontier:
+            here = frontier.pop()
+            for prev in self.nodes[here].preds:
+                if prev in blocked or prev in backward:
+                    continue
+                backward.add(prev)
+                frontier.append(prev)
+        return forward & backward
+
+
+class _LoopFrame:
+    """Break/continue targets of the innermost enclosing loop."""
+
+    def __init__(self, head: int):
+        self.head = head
+        self.breaks: List[int] = []
+
+
+class _Builder:
+    def __init__(self, func: ast.AST):
+        self.cfg = CFG(func)
+        self.loops: List[_LoopFrame] = []
+
+    def build(self, body: Sequence[ast.stmt]) -> CFG:
+        out = self._body(body, [ENTRY])
+        for src in out:
+            self.cfg._edge(src, EXIT)
+        return self.cfg
+
+    # ``frontier`` is the set of nodes whose control flow falls through
+    # into the next statement; each handler returns the new frontier.
+
+    def _body(self, body: Sequence[ast.stmt], frontier: List[int]) -> List[int]:
+        for stmt in body:
+            if not frontier:
+                break  # unreachable code after return/raise/break
+            frontier = self._stmt(stmt, frontier)
+        return frontier
+
+    def _stmt(self, stmt: ast.stmt, frontier: List[int]) -> List[int]:
+        cfg = self.cfg
+        if isinstance(stmt, ast.If):
+            test = cfg._new("branch", stmt)
+            for src in frontier:
+                cfg._edge(src, test)
+            then_out = self._body(stmt.body, [test])
+            if stmt.orelse:
+                else_out = self._body(stmt.orelse, [test])
+            else:
+                else_out = [test]
+            return then_out + else_out
+        if isinstance(stmt, ast.While):
+            head = cfg._new("branch", stmt)
+            for src in frontier:
+                cfg._edge(src, head)
+            frame = _LoopFrame(head)
+            self.loops.append(frame)
+            body_out = self._body(stmt.body, [head])
+            self.loops.pop()
+            for src in body_out:
+                cfg._edge(src, head)
+            out = [head] + frame.breaks
+            if stmt.orelse:
+                out = self._body(stmt.orelse, [head]) + frame.breaks
+            return out
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            head = cfg._new("loop", stmt)
+            for src in frontier:
+                cfg._edge(src, head)
+            frame = _LoopFrame(head)
+            self.loops.append(frame)
+            body_out = self._body(stmt.body, [head])
+            self.loops.pop()
+            for src in body_out:
+                cfg._edge(src, head)
+            out = [head] + frame.breaks
+            if stmt.orelse:
+                out = self._body(stmt.orelse, [head]) + frame.breaks
+            return out
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            node = cfg._new("stmt", stmt)
+            for src in frontier:
+                cfg._edge(src, node)
+            cfg._edge(node, EXIT)
+            return []
+        if isinstance(stmt, ast.Break):
+            node = cfg._new("stmt", stmt)
+            for src in frontier:
+                cfg._edge(src, node)
+            if self.loops:
+                self.loops[-1].breaks.append(node)
+            return []
+        if isinstance(stmt, ast.Continue):
+            node = cfg._new("stmt", stmt)
+            for src in frontier:
+                cfg._edge(src, node)
+            if self.loops:
+                cfg._edge(node, self.loops[-1].head)
+            return []
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            node = cfg._new("stmt", stmt)
+            for src in frontier:
+                cfg._edge(src, node)
+            return self._body(stmt.body, [node])
+        if isinstance(stmt, ast.Try):
+            entry = cfg._new("stmt", stmt)
+            for src in frontier:
+                cfg._edge(src, entry)
+            body_out = self._body(stmt.body, [entry])
+            handler_out: List[int] = []
+            for handler in stmt.handlers:
+                # Conservative: the handler is reachable from the try
+                # entry (an exception can occur anywhere in the body).
+                handler_out += self._body(handler.body, [entry])
+            if stmt.orelse:
+                body_out = self._body(stmt.orelse, body_out)
+            out = body_out + handler_out
+            if stmt.finalbody:
+                out = self._body(stmt.finalbody, out)
+            return out
+        # Simple statements — including nested function/class definitions,
+        # which are deliberately opaque here (they are discovered and
+        # analyzed as their own units).
+        node = cfg._new("stmt", stmt)
+        for src in frontier:
+            cfg._edge(src, node)
+        return [node]
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """Build the CFG of a ``FunctionDef``/``AsyncFunctionDef`` body."""
+    body = getattr(func, "body", None)
+    if not isinstance(body, list):
+        raise TypeError(f"build_cfg needs a function node, got {func!r}")
+    return _Builder(func).build(body)

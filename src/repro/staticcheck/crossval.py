@@ -1,0 +1,125 @@
+"""Cross-validation: the linter vs. the dynamic sanitizer's mutants.
+
+The repository ships deliberately-broken barrier strategies
+(:mod:`repro.sanitize.mutants`) that the *dynamic* sanitizer flags
+after running fuzzed schedules.  This module asserts the static linter
+catches the same defects **without executing a single simulated
+cycle**, and that the two taxonomies agree: each mutant's expected
+``SC`` code must be registry-linked (:mod:`repro.findings`) to the
+dynamic bug class the sanitizer reports for it.
+
+This is the linter's ground truth: if a future rule change stops
+flagging a mutant — or starts flagging a clean shipped strategy — the
+cross-validation tests fail before the rule ships.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from repro.findings import FINDING_CODES
+from repro.staticcheck.engine import lint_strategy
+from repro.staticcheck.report import LintReport
+
+__all__ = [
+    "MUTANT_EXPECTATIONS",
+    "MutantExpectation",
+    "crossval_mutant",
+    "crossval_all",
+    "expectation_links_ok",
+]
+
+
+@dataclass(frozen=True)
+class MutantExpectation:
+    """What both analyzers must say about one seeded mutant."""
+
+    mutant: str  #: registered strategy name (``broken-*``)
+    static: Set[str]  #: exact set of SC codes the linter must report
+    dynamic: Set[str]  #: dynamic bug classes the sanitizer reports
+
+
+#: the seeded-mutant ground truth.  Keys are registry names from
+#: :mod:`repro.sanitize.mutants`; the ``dynamic`` sets mirror that
+#: module's docstrings (and the sanitizer's own mutant tests).
+MUTANT_EXPECTATIONS: Dict[str, MutantExpectation] = {
+    exp.mutant: exp
+    for exp in (
+        MutantExpectation(
+            mutant="broken-lockfree-noscatter",
+            static={"SC008"},
+            dynamic={"barrier-deadlock"},
+        ),
+        MutantExpectation(
+            mutant="broken-simple-undercount",
+            static={"SC005"},
+            dynamic={"premature-release"},
+        ),
+        MutantExpectation(
+            mutant="broken-simple-skipround",
+            static={"SC001"},
+            dynamic={"barrier-divergence"},
+        ),
+    )
+}
+
+
+def expectation_links_ok(exp: MutantExpectation) -> bool:
+    """True when every expected SC code is registry-linked to (at least
+    one of) the mutant's dynamic bug classes — the static and dynamic
+    taxonomies agree this is the same defect."""
+    from repro.findings import by_name
+
+    dynamic_codes = {by_name(name).code for name in exp.dynamic}
+    for sc in exp.static:
+        related = set(FINDING_CODES[sc].related)
+        if not related & dynamic_codes:
+            return False
+    return True
+
+
+def crossval_mutant(name: str) -> LintReport:
+    """Lint one registered mutant strategy class by registry name.
+
+    ``respect_noqa=False``: the mutant files annotate their seeded bugs
+    with ``# repro: noqa`` so ordinary tree-wide lint runs stay clean,
+    but cross-validation must still see the defects.
+    """
+    from repro.sync.base import get_strategy
+
+    strategy = get_strategy(name)
+    return lint_strategy(strategy, respect_noqa=False)
+
+
+def crossval_all() -> Dict[str, LintReport]:
+    """Lint every mutant in :data:`MUTANT_EXPECTATIONS`.
+
+    Importing :mod:`repro.sanitize.mutants` registers the mutants.
+    """
+    import repro.sanitize.mutants  # noqa: F401  (registration side effect)
+
+    return {name: crossval_mutant(name) for name in MUTANT_EXPECTATIONS}
+
+
+def verify_expectations() -> List[str]:
+    """Run the full cross-validation; return human-readable failures.
+
+    Empty list ⇒ every mutant is statically flagged with exactly its
+    expected SC codes and every static/dynamic link holds.
+    """
+    problems: List[str] = []
+    for name, report in crossval_all().items():
+        exp = MUTANT_EXPECTATIONS[name]
+        got = set(report.codes())
+        if got != exp.static:
+            problems.append(
+                f"{name}: expected static codes {sorted(exp.static)}, "
+                f"linter reported {sorted(got)}"
+            )
+        if not expectation_links_ok(exp):
+            problems.append(
+                f"{name}: static codes {sorted(exp.static)} are not "
+                f"registry-linked to dynamic classes {sorted(exp.dynamic)}"
+            )
+    return problems

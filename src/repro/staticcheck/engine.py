@@ -1,0 +1,209 @@
+"""The lint driver: files in, :class:`LintReport` out.
+
+Orchestrates the pipeline — parse → discover kernel-shaped units →
+build per-file context → run the SC rule catalog → apply ``# repro:
+noqa`` suppressions — and exposes the three entry points everything
+else uses:
+
+* :func:`lint_source` — one source string (tests, tooling);
+* :func:`lint_paths` — files and directory trees (the CLI verb);
+* :func:`lint_strategy` — one registered strategy class (the pytest
+  plugin lints what the suite actually registered, not what happens to
+  sit in a directory).
+
+Suppression follows the sanitizer's comment convention: a trailing
+``# repro: noqa`` silences every finding on that line, ``# repro: noqa
+SC005`` (comma/space separated list) silences just those codes.
+Suppressed findings are counted in :attr:`LintReport.suppressed` so a
+report never silently shrinks.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import re
+from pathlib import Path
+from typing import Dict, List, Sequence, Set, Tuple, Union
+
+from repro.errors import ReproError
+from repro.staticcheck.discover import discover, int_constants
+from repro.staticcheck.report import LintReport, StaticFinding
+from repro.staticcheck.rules import FileContext, run_rules
+
+__all__ = [
+    "DEFAULT_SM_LIMIT",
+    "LintError",
+    "lint_paths",
+    "lint_source",
+    "lint_strategy",
+    "suppressed_codes",
+]
+
+
+class LintError(ReproError):
+    """A lint run could not analyze its input (bad path, syntax error)."""
+
+
+def _default_sm_limit() -> int:
+    try:
+        from repro.gpu.config import gtx280
+
+        return gtx280().num_sms
+    except Exception:  # pragma: no cover - preset import must not kill lint
+        return 30
+
+
+#: co-residency limit of the default (paper-calibrated GTX 280) device.
+DEFAULT_SM_LIMIT: int = _default_sm_limit()
+
+#: ``# repro: noqa`` / ``# repro: noqa SC001, SC005`` (case-insensitive).
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?P<codes>(?:[ \t,]+SC\d{3})*)\s*$",
+    re.IGNORECASE,
+)
+
+
+def suppressed_codes(source: str) -> Dict[int, Set[str]]:
+    """Per-line suppressions from ``# repro: noqa`` comments.
+
+    Maps 1-based line number → the set of silenced ``SC`` codes; an
+    empty set means *all* codes are silenced on that line.
+    """
+    table: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        codes = {c.upper() for c in re.findall(r"SC\d{3}", match.group("codes"))}
+        table[lineno] = codes
+    return table
+
+
+def _apply_suppressions(
+    findings: List[StaticFinding], table: Dict[int, Set[str]]
+) -> Tuple[List[StaticFinding], int]:
+    if not table:
+        return findings, 0
+    kept: List[StaticFinding] = []
+    suppressed = 0
+    for finding in findings:
+        codes = table.get(finding.line)
+        if codes is not None and (not codes or finding.code in codes):
+            suppressed += 1
+            continue
+        kept.append(finding)
+    return kept, suppressed
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    sm_limit: int = DEFAULT_SM_LIMIT,
+    respect_noqa: bool = True,
+) -> LintReport:
+    """Lint one Python source string.
+
+    ``respect_noqa=False`` reports findings even on lines carrying a
+    ``# repro: noqa`` comment — the cross-validation harness uses it to
+    assert the seeded mutants stay detectable while their annotated
+    lines keep ordinary ``repro lint`` runs clean.
+    """
+    try:
+        module = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise LintError(f"{path}: cannot lint, {exc}") from exc
+    units, classes = discover(module)
+    ctx = FileContext(
+        path=path,
+        module=module,
+        consts=int_constants(module),
+        sm_limit=sm_limit,
+        units=units,
+        classes=classes,
+    )
+    findings = run_rules(ctx)
+    suppressed = 0
+    if respect_noqa:
+        findings, suppressed = _apply_suppressions(
+            findings, suppressed_codes(source)
+        )
+    return LintReport(
+        files=[path],
+        units_checked=len(units),
+        findings=findings,
+        suppressed=suppressed,
+    ).normalize()
+
+
+def _collect_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise LintError(f"no such file or directory: {path}")
+    # De-duplicate while keeping deterministic order.
+    seen: Set[Path] = set()
+    unique: List[Path] = []
+    for path in files:
+        resolved = path.resolve()
+        if resolved in seen:
+            continue
+        seen.add(resolved)
+        unique.append(path)
+    return unique
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]],
+    *,
+    sm_limit: int = DEFAULT_SM_LIMIT,
+) -> LintReport:
+    """Lint files and directory trees into one merged report."""
+    report = LintReport()
+    for path in _collect_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintError(f"cannot read {path}: {exc}") from exc
+        report.merge(lint_source(source, str(path), sm_limit=sm_limit))
+    return report
+
+
+def lint_strategy(
+    strategy: Union[type, object],
+    *,
+    sm_limit: int = DEFAULT_SM_LIMIT,
+    respect_noqa: bool = True,
+) -> LintReport:
+    """Lint one strategy class (instance accepted) in isolation.
+
+    Parses the defining module but keeps only findings attributed to
+    the class's own line span, so linting ``GpuSimpleSync`` never
+    reports a neighbour's bug.  Used by the pytest plugin to lint
+    exactly the strategies the suite registered.
+    """
+    cls = strategy if isinstance(strategy, type) else type(strategy)
+    try:
+        source_file = inspect.getsourcefile(cls)
+        source, start_line = inspect.getsourcelines(cls)
+    except (OSError, TypeError) as exc:
+        raise LintError(
+            f"cannot locate source for strategy {cls.__name__}"
+        ) from exc
+    if source_file is None:
+        raise LintError(f"cannot locate source for strategy {cls.__name__}")
+    file_source = Path(source_file).read_text(encoding="utf-8")
+    report = lint_source(
+        file_source, source_file, sm_limit=sm_limit, respect_noqa=respect_noqa
+    )
+    end_line = start_line + len(source) - 1
+    report.findings = [
+        f for f in report.findings if start_line <= f.line <= end_line
+    ]
+    return report.normalize()

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Callable, Dict, Generator, List
+from typing import Any, Callable, Dict, Generator, List, TYPE_CHECKING
 
 from repro.errors import ConfigError, OccupancyError
 
@@ -15,7 +15,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["SyncStrategy", "register_strategy", "get_strategy", "strategy_names"]
 
 
-def _hang_forever(ctx: "BlockCtx", strategy_name: str, round_idx: int) -> Generator:
+def _hang_forever(ctx: "BlockCtx", strategy_name: str, round_idx: int) -> Generator[Any, Any, Any]:
     """Park a block forever (the injected ``hang`` fault).
 
     The block waits on a signal nothing ever fires — the simulated
@@ -73,11 +73,11 @@ class SyncStrategy(abc.ABC):
         """Allocate device state for a grid of ``num_blocks`` blocks."""
         raise NotImplementedError(f"{self.name} is a host-side strategy")
 
-    def barrier(self, ctx: "BlockCtx", round_idx: int) -> Generator:
+    def barrier(self, ctx: "BlockCtx", round_idx: int) -> Generator[Any, Any, Any]:
         """The device barrier; called by every block, once per round."""
         raise NotImplementedError(f"{self.name} is a host-side strategy")
 
-    def instrumented_barrier(self, ctx: "BlockCtx", round_idx: int) -> Generator:
+    def instrumented_barrier(self, ctx: "BlockCtx", round_idx: int) -> Generator[Any, Any, Any]:
         """:meth:`barrier` bracketed by sanitizer notifications.
 
         Every registered probe on the device sees this block *enter* the

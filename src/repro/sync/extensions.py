@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import math
 from itertools import count
-from typing import TYPE_CHECKING, Generator, Optional
+from typing import Any, Generator, Optional, TYPE_CHECKING
 
 import numpy as np
 
@@ -111,7 +111,7 @@ class GpuSenseReversalSync(SyncStrategy):
             f"sr_sense#{self._uid}", 1, dtype=np.int64, reuse=True
         )
 
-    def barrier(self, ctx: "BlockCtx", round_idx: int) -> Generator:
+    def barrier(self, ctx: "BlockCtx", round_idx: int) -> Generator[Any, Any, Any]:
         if self._count is None or self._sense is None:
             raise SyncProtocolError(
                 "gpu-sense-reversal barrier used before prepare()"
@@ -129,7 +129,10 @@ class GpuSenseReversalSync(SyncStrategy):
             # Last arriver: reset the counter for the next epoch, then
             # publish the new sense. The reset must land before the
             # sense flip so no block of the next epoch races the counter.
-            yield from ctx.gwrite(self._count, 0, 0)
+            # Sense reversal *is* the counter-reset design; the sense
+            # flip (not an accumulating goalVal) closes the race SC005
+            # warns about, so the reset is deliberate here.
+            yield from ctx.gwrite(self._count, 0, 0)  # repro: noqa SC005
             yield from ctx.gwrite(self._sense, 0, epoch)
         else:
             yield from ctx.spin_until(
@@ -164,7 +167,7 @@ class GpuDisseminationSync(SyncStrategy):
             f"dissem_flags#{self._uid}", shape, dtype=np.int64, reuse=True
         )
 
-    def barrier(self, ctx: "BlockCtx", round_idx: int) -> Generator:
+    def barrier(self, ctx: "BlockCtx", round_idx: int) -> Generator[Any, Any, Any]:
         flags = self._flags
         if flags is None:
             raise SyncProtocolError(

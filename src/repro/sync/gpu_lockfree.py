@@ -23,7 +23,7 @@ cost grows linearly with N.
 from __future__ import annotations
 
 from itertools import count
-from typing import TYPE_CHECKING, Generator, Optional
+from typing import Any, Generator, Optional, TYPE_CHECKING
 
 import numpy as np
 
@@ -34,6 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.gpu.context import BlockCtx
     from repro.gpu.device import Device
     from repro.gpu.memory import GlobalArray
+    from repro.gpu.warps import WarpCtx
 
 __all__ = ["GpuLockFreeSync"]
 
@@ -48,7 +49,7 @@ class GpuLockFreeSync(SyncStrategy):
     #: degrade target when the barrier repeatedly stalls (resilient runtime).
     fallback = "cpu-implicit"
 
-    def __init__(self, serial_gather: bool = False, detailed: bool = False):
+    def __init__(self, serial_gather: bool = False, detailed: bool = False) -> None:
         #: ablation flag: one checker thread scans Arrayin serially
         #: instead of N threads in parallel (paper §5.3 step 2 note).
         self.serial_gather = serial_gather
@@ -85,7 +86,7 @@ class GpuLockFreeSync(SyncStrategy):
         """The block whose threads gather/scatter (block 1, per Fig. 9)."""
         return 1 if self._num_blocks > 1 else 0
 
-    def barrier(self, ctx: "BlockCtx", round_idx: int) -> Generator:
+    def barrier(self, ctx: "BlockCtx", round_idx: int) -> Generator[Any, Any, Any]:
         arr_in, arr_out = self._array_in, self._array_out
         if arr_in is None or arr_out is None:
             raise SyncProtocolError("gpu-lockfree barrier used before prepare()")
@@ -121,7 +122,7 @@ class GpuLockFreeSync(SyncStrategy):
                 # then stores Arrayout[i].
                 from repro.gpu.warps import run_warps
 
-                def checker_warp(wctx):
+                def checker_warp(wctx: "WarpCtx") -> Generator[Any, Any, Any]:
                     lo, hi = wctx.lanes
                     yield from wctx.spin_until(
                         arr_in,

@@ -18,7 +18,7 @@ prediction cannot drift apart.
 from __future__ import annotations
 
 from itertools import count
-from typing import TYPE_CHECKING, Dict, Generator, List, Tuple
+from typing import Any, Dict, Generator, List, TYPE_CHECKING, Tuple
 
 import numpy as np
 
@@ -43,7 +43,7 @@ class GpuTreeSync(SyncStrategy):
     #: degrade target when the barrier repeatedly stalls (resilient runtime).
     fallback = "cpu-implicit"
 
-    def __init__(self, levels: int = 2):
+    def __init__(self, levels: int = 2) -> None:
         if levels < 2:
             raise SyncProtocolError(f"tree barrier needs >= 2 levels, got {levels}")
         self.levels = levels
@@ -89,7 +89,7 @@ class GpuTreeSync(SyncStrategy):
 
     # -- the barrier -----------------------------------------------------------
 
-    def barrier(self, ctx: "BlockCtx", round_idx: int) -> Generator:
+    def barrier(self, ctx: "BlockCtx", round_idx: int) -> Generator[Any, Any, Any]:
         if not self._mutexes:
             raise SyncProtocolError(f"{self.name} barrier used before prepare()")
         if ctx.num_blocks != self._num_blocks:

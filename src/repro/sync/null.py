@@ -10,7 +10,7 @@ the harness never verifies its output.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator
+from typing import Any, Generator, TYPE_CHECKING
 
 from repro.sync.base import SyncStrategy, register_strategy
 
@@ -30,7 +30,7 @@ class NullSync(SyncStrategy):
     def prepare(self, device: "Device", num_blocks: int) -> None:
         self.validate_grid(device.config, num_blocks)
 
-    def barrier(self, ctx: "BlockCtx", round_idx: int) -> Generator:
+    def barrier(self, ctx: "BlockCtx", round_idx: int) -> Generator[Any, Any, Any]:
         return
         yield  # pragma: no cover - makes this a generator function
 

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.algorithms import SmithWaterman
-from repro.algorithms.traceback import Alignment, score_alignment, traceback
+from repro.algorithms.traceback import score_alignment, traceback
 from repro.errors import ConfigError
 
 from tests.algorithms.conftest import run_rounds_serially

@@ -7,7 +7,6 @@ one engine we can measure exactly that claim.
 """
 
 import numpy as np
-import pytest
 
 from repro.gpu.device import Device
 from repro.gpu.host import Host

@@ -1,6 +1,5 @@
 """Tests for the claim-checking engine (small problem sizes)."""
 
-import pytest
 
 from repro.harness.claims import CheckResult, check_headline, check_table1
 from repro.harness.phases import Breakdown

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.algorithms import FFT, MeanMicrobench, VerificationError
+from repro.algorithms import FFT, MeanMicrobench
 from repro.errors import ConfigError, OccupancyError
 from repro.harness import RaceMonitor, run
 from repro.sync import GpuLockFreeSync

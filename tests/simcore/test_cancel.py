@@ -1,6 +1,5 @@
 """Tests for process cancellation in the engine."""
 
-import pytest
 
 from repro.simcore import (
     Acquire,

@@ -1,0 +1,127 @@
+"""The CFG builder: shapes, reachability, and bypass queries."""
+
+import ast
+
+import pytest
+
+from repro.staticcheck.cfg import ENTRY, EXIT, build_cfg
+
+
+def cfg_of(source: str):
+    func = ast.parse(source).body[0]
+    return build_cfg(func)
+
+
+def nodes_on_line(cfg, line):
+    return [n.index for n in cfg.statement_nodes() if n.line == line]
+
+
+def test_straight_line_chains_entry_to_exit():
+    cfg = cfg_of("def f():\n a = 1\n b = 2\n return b\n")
+    stmts = cfg.statement_nodes()
+    assert [n.kind for n in stmts] == ["stmt", "stmt", "stmt"]
+    assert cfg.nodes[ENTRY].succs == [stmts[0].index]
+    assert EXIT in cfg.nodes[stmts[-1].index].succs
+    assert EXIT in cfg.reachable(ENTRY)
+
+
+def test_if_without_else_branches_and_rejoins():
+    cfg = cfg_of("def f(x):\n if x:\n  a = 1\n b = 2\n")
+    branch = next(n for n in cfg.statement_nodes() if n.kind == "branch")
+    (then_idx,) = nodes_on_line(cfg, 3)
+    (join_idx,) = nodes_on_line(cfg, 4)
+    assert set(cfg.nodes[branch.index].succs) == {then_idx, join_idx}
+    assert cfg.nodes[then_idx].succs == [join_idx]
+
+
+def test_return_edges_to_exit_and_ends_flow():
+    cfg = cfg_of("def f(x):\n if x:\n  return 1\n y = 2\n")
+    (ret_idx,) = nodes_on_line(cfg, 3)
+    assert cfg.nodes[ret_idx].succs == [EXIT]
+
+
+def test_while_has_back_edge_and_zero_iteration_bypass():
+    cfg = cfg_of("def f(x):\n while x:\n  x -= 1\n return x\n")
+    head = next(n for n in cfg.statement_nodes() if n.kind == "branch")
+    (body_idx,) = nodes_on_line(cfg, 3)
+    assert head.index in cfg.nodes[body_idx].succs  # back edge
+    (ret_idx,) = nodes_on_line(cfg, 4)
+    assert ret_idx in cfg.nodes[head.index].succs  # zero-iteration exit
+
+
+def test_break_exits_loop_continue_returns_to_head():
+    cfg = cfg_of(
+        "def f(xs):\n"
+        " for x in xs:\n"
+        "  if x:\n"
+        "   break\n"
+        "  continue\n"
+        " return 0\n"
+    )
+    head = next(n for n in cfg.statement_nodes() if n.kind == "loop")
+    (brk,) = nodes_on_line(cfg, 4)
+    (cont,) = nodes_on_line(cfg, 5)
+    (ret,) = nodes_on_line(cfg, 6)
+    assert ret in cfg.nodes[brk].succs
+    assert cfg.nodes[cont].succs == [head.index]
+
+
+def test_reachable_respects_avoid_set():
+    cfg = cfg_of("def f():\n a = 1\n b = 2\n c = 3\n")
+    (a,) = nodes_on_line(cfg, 2)
+    (b,) = nodes_on_line(cfg, 3)
+    assert EXIT in cfg.reachable(a)
+    assert EXIT not in cfg.reachable(a, avoid=[b])
+    assert not cfg.exit_reachable_avoiding(a, [b])
+
+
+def test_bypass_nodes_empty_when_every_path_passes():
+    cfg = cfg_of("def f():\n a = 1\n barrier = 2\n b = 3\n")
+    (barrier,) = nodes_on_line(cfg, 3)
+    assert cfg.bypass_nodes([barrier]) == set()
+
+
+def test_bypass_nodes_finds_the_skipping_branch():
+    cfg = cfg_of(
+        "def f(x):\n"
+        " if x:\n"
+        "  return 0\n"
+        " barrier = 1\n"
+        " return 1\n"
+    )
+    (barrier,) = nodes_on_line(cfg, 4)
+    bypass = cfg.bypass_nodes([barrier])
+    branch = next(n for n in cfg.statement_nodes() if n.kind == "branch")
+    assert branch.index in bypass
+    (early_ret,) = nodes_on_line(cfg, 3)
+    assert early_ret in bypass
+
+
+def test_try_handler_reachable_conservatively():
+    cfg = cfg_of(
+        "def f():\n"
+        " try:\n"
+        "  a = 1\n"
+        " except ValueError:\n"
+        "  b = 2\n"
+        " return 0\n"
+    )
+    (handler_stmt,) = nodes_on_line(cfg, 5)
+    assert handler_stmt in cfg.reachable(ENTRY)
+    assert EXIT in cfg.reachable(handler_stmt)
+
+
+def test_nested_function_is_one_opaque_node():
+    cfg = cfg_of(
+        "def f():\n"
+        " def inner():\n"
+        "  return 1\n"
+        " return inner\n"
+    )
+    kinds = [n.kind for n in cfg.statement_nodes()]
+    assert kinds == ["stmt", "stmt"]  # def + return, nothing from inside
+
+
+def test_build_cfg_rejects_non_functions():
+    with pytest.raises(TypeError):
+        build_cfg(ast.parse("x = 1").body[0].value)

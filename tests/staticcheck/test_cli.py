@@ -1,0 +1,89 @@
+"""The ``lint`` CLI verb: paths, formats, exit codes."""
+
+import json
+
+import pytest
+
+from repro.harness.cli import main
+
+BROKEN_SOURCE = """\
+def kernel(ctx):
+    snapshot = 0
+    yield from ctx.spin_until(flags, lambda s=snapshot: s >= 1, "stale")
+"""
+
+WARNING_SOURCE = """\
+class ResetSync(SyncStrategy):
+    def barrier(self, ctx, round_idx):
+        yield from ctx.atomic_add(self._count, 0, 1)
+        yield from ctx.spin_until(
+            self._count, lambda: self._count.data[0] >= 1, "in"
+        )
+        yield from ctx.gwrite(self._count, 0, 0)
+"""
+
+
+def test_lint_defaults_to_shipped_tree_and_exits_zero(capsys):
+    assert main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "CLEAN" in out
+    assert "suppressed" in out
+
+
+def test_lint_explicit_paths_text_format(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(BROKEN_SOURCE)
+    assert main(["lint", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "[SC003 error]" in out
+    assert f"{bad}:3:" in out
+
+
+def test_lint_json_format_uses_envelope(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(BROKEN_SOURCE)
+    assert main(["lint", str(bad), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["kind"] == "lint-report"
+    assert payload["findings"][0]["code"] == "SC003"
+
+
+def test_lint_strict_promotes_warnings_to_failures(tmp_path, capsys):
+    warn = tmp_path / "warn.py"
+    warn.write_text(WARNING_SOURCE)
+    assert main(["lint", str(warn)]) == 0  # SC005 is warning severity
+    capsys.readouterr()
+    assert main(["lint", str(warn), "--strict"]) == 1
+    assert "[SC005 warning]" in capsys.readouterr().out
+
+
+def test_lint_missing_path_exits_two(capsys):
+    assert main(["lint", "/no/such/path"]) == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_lint_syntax_error_exits_two(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def broken(:\n")
+    assert main(["lint", str(bad)]) == 2
+    assert "cannot lint" in capsys.readouterr().err
+
+
+def test_lint_report_loads_via_store(tmp_path, capsys):
+    from repro.harness.store import load_result
+    from repro.staticcheck.report import LintReport
+
+    bad = tmp_path / "bad.py"
+    bad.write_text(BROKEN_SOURCE)
+    main(["lint", str(bad), "--format", "json"])
+    out_file = tmp_path / "lint.json"
+    out_file.write_text(capsys.readouterr().out)
+    loaded = load_result(out_file)
+    assert isinstance(loaded, LintReport)
+    assert loaded.codes() == ["SC003"]
+
+
+def test_positional_paths_rejected_for_other_experiments(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["table1", "src/repro"])
+    assert exc.value.code == 2

@@ -1,0 +1,81 @@
+"""Cross-validation: the linter vs. the sanitizer's seeded mutants.
+
+The contract under test (ISSUE acceptance criteria): every dynamic bug
+class the mutants exhibit is *also* flagged statically with the
+registry-linked SC code, and every shipped clean strategy, algorithm
+and example lints clean.
+"""
+
+import pytest
+
+import repro.sanitize.mutants  # noqa: F401  (registers the broken-* mutants)
+from repro.staticcheck.crossval import (
+    MUTANT_EXPECTATIONS,
+    crossval_all,
+    crossval_mutant,
+    expectation_links_ok,
+    verify_expectations,
+)
+
+
+def test_expectations_cover_every_registered_mutant():
+    from repro.sync.base import strategy_names
+
+    registered = {n for n in strategy_names() if n.startswith("broken-")}
+    assert registered == set(MUTANT_EXPECTATIONS)
+
+
+@pytest.mark.parametrize("name", sorted(MUTANT_EXPECTATIONS))
+def test_each_mutant_is_statically_flagged_with_expected_codes(name):
+    report = crossval_mutant(name)
+    assert set(report.codes()) == MUTANT_EXPECTATIONS[name].static
+
+
+@pytest.mark.parametrize("name", sorted(MUTANT_EXPECTATIONS))
+def test_static_and_dynamic_taxonomies_are_linked(name):
+    assert expectation_links_ok(MUTANT_EXPECTATIONS[name])
+
+
+def test_verify_expectations_reports_no_problems():
+    assert verify_expectations() == []
+
+
+def test_crossval_all_lints_every_mutant():
+    assert set(crossval_all()) == set(MUTANT_EXPECTATIONS)
+
+
+def test_clean_strategies_lint_clean():
+    """Every non-mutant registered strategy produces zero findings."""
+    from repro.staticcheck import lint_strategy
+    from repro.sync.base import get_strategy, strategy_names
+
+    for name in strategy_names():
+        if name.startswith("broken-"):
+            continue
+        report = lint_strategy(get_strategy(name))
+        assert report.clean, (
+            f"{name}: {[f.render() for f in report.findings]}"
+        )
+
+
+def test_shipped_tree_lints_clean():
+    """src/repro + examples: zero unsuppressed findings (the CI gate)."""
+    from repro.staticcheck import lint_paths
+
+    report = lint_paths(["src/repro", "examples"])
+    assert report.clean, [f.render() for f in report.findings]
+    # The deliberate sites (mutants, reset-variant, occupancy demo) are
+    # annotated, not invisible: the suppression count proves the linter
+    # still sees them.
+    assert report.suppressed == 6
+
+
+def test_mutant_detection_survives_noqa_annotations():
+    """The mutants' noqa comments hide them from tree lint runs but not
+    from cross-validation (respect_noqa=False)."""
+    from repro.staticcheck import lint_paths
+
+    tree = lint_paths(["src/repro/sanitize/mutants.py"])
+    assert tree.clean and tree.suppressed == 3
+    for name, exp in MUTANT_EXPECTATIONS.items():
+        assert set(crossval_mutant(name).codes()) == exp.static

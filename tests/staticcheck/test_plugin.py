@@ -1,0 +1,105 @@
+"""The --staticcheck pytest plugin, driven through pytester."""
+
+import textwrap
+
+import pytest
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+CONFTEST = textwrap.dedent(
+    """
+    import sys
+    sys.path.insert(0, {src!r})
+    pytest_plugins = ("repro.staticcheck.pytest_plugin",)
+    """
+)
+
+
+def _conftest():
+    from pathlib import Path
+
+    import repro
+
+    src = str(Path(repro.__file__).resolve().parent.parent)
+    return CONFTEST.format(src=src)
+
+
+def test_header_reports_mode(pytester):
+    pytester.makeconftest(_conftest())
+    pytester.makepyfile("def test_ok():\n    assert True\n")
+    result = pytester.runpytest_subprocess()
+    result.stdout.fnmatch_lines(["staticcheck: off"])
+    result = pytester.runpytest_subprocess("--staticcheck", "--co")
+    result.stdout.fnmatch_lines(["staticcheck: lint registered strategies"])
+
+
+def test_staticcheck_passes_on_shipped_strategies(pytester):
+    pytester.makeconftest(_conftest())
+    pytester.makepyfile(
+        """
+        import repro.sync.extensions  # register the extension barriers
+
+        def test_ok():
+            assert True
+        """
+    )
+    result = pytester.runpytest_subprocess("-q", "--staticcheck")
+    result.assert_outcomes(passed=1)
+
+
+def test_staticcheck_fails_session_on_buggy_registered_strategy(pytester):
+    pytester.makeconftest(_conftest())
+    pytester.makepyfile(
+        test_buggy=(
+            """
+            from repro.sync.base import SyncStrategy, register_strategy
+
+            class SkipSync(SyncStrategy):
+                name = "test-skip"
+
+                def prepare(self, device, num_blocks):
+                    self._m = device.alloc("m", num_blocks)
+
+                def barrier(self, ctx, round_idx):
+                    if ctx.block_id == 0:
+                        return
+                    yield from ctx.atomic_add(self._m, 0, 1)
+                    yield from ctx.spin_until(
+                        self._m, lambda: self._m.data[0] >= 1, "go"
+                    )
+
+            register_strategy("test-skip", SkipSync)
+
+            def test_never_reached():
+                assert True
+            """
+        )
+    )
+    result = pytester.runpytest_subprocess("-q", "--staticcheck")
+    assert result.ret != 0
+    result.stderr.fnmatch_lines(["*--staticcheck: 1 finding(s)*"])
+    result.stderr.fnmatch_lines(["*SC001*SkipSync*"])
+
+
+def test_broken_mutants_are_exempt(pytester):
+    pytester.makeconftest(_conftest())
+    pytester.makepyfile(
+        """
+        import repro.sanitize.mutants  # registers broken-* strategies
+
+        def test_ok():
+            assert True
+        """
+    )
+    result = pytester.runpytest_subprocess("-q", "--staticcheck")
+    result.assert_outcomes(passed=1)
+
+
+def test_fixtures_available(lint_source_report, lint_strategy_report):
+    report = lint_source_report("def kernel(ctx):\n    yield from ctx.compute(1)\n")
+    assert report.clean and report.units_checked == 1
+
+    from repro.sync.base import get_strategy
+
+    report = lint_strategy_report(get_strategy("gpu-lockfree"))
+    assert report.clean

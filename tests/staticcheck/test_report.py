@@ -1,0 +1,120 @@
+"""LintReport: serialization round-trips and determinism properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.findings import STATIC_CODES
+from repro.staticcheck.report import LintReport, StaticFinding
+
+finding_st = st.builds(
+    StaticFinding,
+    code=st.sampled_from(sorted(STATIC_CODES)),
+    message=st.text(
+        alphabet=st.characters(codec="ascii", exclude_characters="\n"),
+        min_size=1,
+        max_size=40,
+    ),
+    file=st.sampled_from(["a.py", "b.py", "dir/c.py"]),
+    line=st.integers(min_value=1, max_value=500),
+    unit=st.sampled_from(["<module>", "Foo.barrier", "kernel"]),
+)
+
+
+def test_rejects_unknown_and_dynamic_codes():
+    with pytest.raises(ValueError):
+        StaticFinding(code="SC999", message="x", file="f.py", line=1)
+    with pytest.raises(ValueError):
+        StaticFinding(code="DYN001", message="x", file="f.py", line=1)
+
+
+def test_render_carries_code_severity_and_paper_ref():
+    finding = StaticFinding(
+        code="SC002", message="grid too big", file="demo.py", line=7
+    )
+    line = finding.render()
+    assert line.startswith("demo.py:7: [SC002 error]")
+    assert "paper §5" in line and "in <module>" in line
+
+
+def test_exit_codes():
+    clean = LintReport(files=["a.py"])
+    assert clean.exit_code() == 0 and clean.exit_code(strict=True) == 0
+    warn = LintReport(
+        files=["a.py"],
+        findings=[
+            StaticFinding(code="SC005", message="m", file="a.py", line=1)
+        ],
+    )
+    assert warn.exit_code() == 0  # SC005 is warning severity
+    assert warn.exit_code(strict=True) == 1
+    err = LintReport(
+        files=["a.py"],
+        findings=[
+            StaticFinding(code="SC001", message="m", file="a.py", line=1)
+        ],
+    )
+    assert err.exit_code() == 1
+
+
+@given(findings=st.lists(finding_st, max_size=8))
+@settings(max_examples=50, deadline=None)
+def test_json_round_trip_preserves_everything(findings):
+    report = LintReport(
+        files=["b.py", "a.py"],
+        units_checked=3,
+        findings=list(findings),
+        suppressed=2,
+    )
+    back = LintReport.from_json(report.to_json())
+    assert back.files == sorted({"a.py", "b.py"})
+    assert back.units_checked == 3
+    assert back.suppressed == 2
+    assert sorted(f.sort_key for f in back.findings) == sorted(
+        f.sort_key for f in findings
+    )
+
+
+@given(findings=st.lists(finding_st, max_size=8), seed=st.randoms())
+@settings(max_examples=50, deadline=None)
+def test_render_is_input_order_independent(findings, seed):
+    shuffled = list(findings)
+    seed.shuffle(shuffled)
+    one = LintReport(files=["a.py"], findings=list(findings))
+    two = LintReport(files=["a.py"], findings=shuffled)
+    assert one.render() == two.render()
+    assert one.to_json() == two.to_json()
+
+
+def test_merge_accumulates_and_normalizes():
+    first = LintReport(files=["b.py"], units_checked=1, suppressed=1)
+    second = LintReport(
+        files=["a.py"],
+        units_checked=2,
+        findings=[
+            StaticFinding(code="SC003", message="m", file="a.py", line=4)
+        ],
+    )
+    merged = first.merge(second)
+    assert merged is first
+    assert merged.files == ["a.py", "b.py"]
+    assert merged.units_checked == 3
+    assert merged.suppressed == 1
+    assert merged.codes() == ["SC003"]
+
+
+def test_linting_same_tree_twice_is_byte_identical():
+    from repro.staticcheck import lint_paths
+
+    one = lint_paths(["src/repro/sync"])
+    two = lint_paths(["src/repro/sync"])
+    assert one.render() == two.render()
+    assert one.to_json() == two.to_json()
+
+
+def test_lint_paths_order_independent():
+    from repro.staticcheck import lint_paths
+
+    forward = lint_paths(["src/repro/sync", "examples"])
+    reverse = lint_paths(["examples", "src/repro/sync"])
+    assert forward.to_json() == reverse.to_json()

@@ -1,7 +1,6 @@
 """Tests for the CUDA-flavored front-end."""
 
 import numpy as np
-import pytest
 
 from repro.cudaapi import CudaSession
 from repro.model.kernel_time import cpu_explicit_time, cpu_implicit_time
