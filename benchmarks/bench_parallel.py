@@ -1,20 +1,25 @@
-"""The parallel executor's two contract benchmarks.
+"""The parallel executor's three contract benchmarks.
 
 1. **Equality** — the Fig. 11 sweep produced by a 4-worker executor is
    byte-identical (as versioned JSON) to the serial one, and a cached
    rerun is byte-identical again.  Runs everywhere.
-2. **Speedup** — on a machine with ≥ 4 cores, the 4-worker sweep is at
+2. **Resume equality** — the same sweep interrupted mid-flight
+   (SIGINT) and resumed from its write-ahead journal is byte-identical
+   to an uninterrupted run.  Runs everywhere.
+3. **Speedup** — on a machine with ≥ 4 cores, the 4-worker sweep is at
    least 2.5× faster than the serial sweep.  Skipped on smaller boxes
-   (CI containers often expose 1–2 cores), where the equality half
-   still guards the semantics.
+   (CI containers often expose 1–2 cores), where the equality halves
+   still guard the semantics.
 """
 
 import os
+import signal
 import time
 
 import pytest
 
 from benchmarks.conftest import save_report
+from repro.errors import InterruptedSweepError
 from repro.harness import experiments
 from repro.parallel import Executor, ResultCache
 
@@ -46,6 +51,38 @@ def test_parallel_sweep_identical_to_serial(benchmark, tmp_path):
         f"fig11 x {JOBS} workers: JSON byte-identical to serial "
         f"({len(serial.to_json())} bytes); cached rerun identical "
         f"({cache.hits} hits / {cache.hits + cache.misses} lookups)",
+    )
+
+
+def test_interrupted_sweep_resumes_identical(benchmark, tmp_path):
+    serial = _fig11()
+
+    def tripwire(done, total, cached):
+        if done == total // 2:
+            signal.raise_signal(signal.SIGINT)
+
+    tripped = Executor(journal_dir=tmp_path, progress=tripwire)
+    with pytest.raises(InterruptedSweepError) as info:
+        _fig11(executor=tripped)
+    run_id = info.value.run_id
+    assert info.value.done < info.value.total
+
+    def resume():
+        return experiments.fig11(
+            rounds=ROUNDS,
+            executor=Executor(journal_dir=tmp_path),
+            resume=run_id,
+        )
+
+    resumed = benchmark.pedantic(resume, rounds=1, iterations=1)
+    assert resumed.to_json() == serial.to_json()
+    assert resumed.resumed_from == run_id
+
+    save_report(
+        "parallel_resume_equality",
+        f"fig11 interrupted at {info.value.done}/{info.value.total} cells, "
+        f"resumed from journal {run_id}: JSON byte-identical to the "
+        f"uninterrupted sweep ({len(serial.to_json())} bytes)",
     )
 
 

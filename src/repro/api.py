@@ -13,6 +13,11 @@ call sites (``run(algo, "gpu-lockfree", 30)``: blocks? threads?).
   deadline, an ``int`` is a custom deadline in virtual ns;
 * ``trace=True`` keeps the simulated device (and its event trace) on
   the result for post-mortem inspection;
+* ``resume=`` journals the run under a caller-chosen run-id label and,
+  when a journal for that label already holds a result, replays it
+  instead of simulating (``journal_dir=`` relocates the journal) —
+  the single-run face of the sweep resume machinery
+  (docs/resilience.md);
 * every other keyword of :func:`repro.harness.runner.run`
   (``threads_per_block``, ``config``, ``jitter_pct``, ``faults``, …)
   passes straight through.
@@ -41,6 +46,8 @@ def run(
     degrade=None,
     watchdog: Union[bool, int, None] = None,
     trace: bool = False,
+    resume: Union[str, None] = None,
+    journal_dir=None,
     **kwargs,
 ) -> RunResult:
     """Simulate ``algorithm`` under ``strategy`` on ``num_blocks`` blocks.
@@ -52,7 +59,29 @@ def run(
     watchdog (``True`` → default deadline, ``int`` → that deadline in
     ns); ``trace`` keeps the device and its trace on the result.
     Remaining keywords forward to :func:`repro.harness.runner.run`.
+
+    ``resume`` journals the finished :class:`RunResult` under the given
+    run-id label (algorithm instances are not content-hashable the way
+    sweep payloads are, so the caller names the run) and replays it on
+    the next same-label call instead of re-simulating.  Incompatible
+    with ``trace=True``: a replayed result has no device to keep.
     """
+    if resume is not None:
+        if trace:
+            raise ConfigError(
+                "resume= cannot replay a kept device; drop trace=True"
+            )
+        return _run_journaled(
+            algorithm,
+            strategy,
+            num_blocks=num_blocks,
+            retry=retry,
+            degrade=degrade,
+            watchdog=watchdog,
+            resume=resume,
+            journal_dir=journal_dir,
+            **kwargs,
+        )
     if watchdog is not None and watchdog is not False:
         if kwargs.get("barrier_deadline_ns") is not None:
             raise ConfigError(
@@ -82,3 +111,49 @@ def run(
     from repro.harness.runner import run as _run
 
     return _run(algorithm, strategy, num_blocks, **kwargs)
+
+
+def _run_journaled(
+    algorithm,
+    strategy,
+    *,
+    num_blocks,
+    retry,
+    degrade,
+    watchdog,
+    resume,
+    journal_dir,
+    **kwargs,
+) -> RunResult:
+    """The ``resume=`` path: replay a journaled run or execute + record.
+
+    The journal holds one entry — the serialized
+    :class:`~repro.harness.runner.RunResult` — under the caller's
+    run-id label, with the same torn-tail-tolerant write-ahead format
+    sweeps use.
+    """
+    from repro.parallel.journal import DEFAULT_JOURNAL_DIR, JournalEntry, RunJournal
+    from repro.serialization import run_result_from_dict, run_result_to_dict
+
+    journal = RunJournal(journal_dir or DEFAULT_JOURNAL_DIR, resume)
+    if journal.exists():
+        _, entries = journal.load(worker="run-facade", total=1)
+        if 0 in entries and entries[0].status == "ok":
+            result = run_result_from_dict(entries[0].value)
+            result.resumed_from = resume
+            return result
+    result = run(
+        algorithm,
+        strategy,
+        num_blocks=num_blocks,
+        retry=retry,
+        degrade=degrade,
+        watchdog=watchdog,
+        **kwargs,
+    )
+    journal.start(worker="run-facade", total=1, fresh=True)
+    try:
+        journal.record(JournalEntry(0, "ok", run_result_to_dict(result)))
+    finally:
+        journal.close()
+    return result

@@ -23,6 +23,8 @@ __all__ = [
     "SyncProtocolError",
     "ExperimentError",
     "ExecutorError",
+    "JournalError",
+    "InterruptedSweepError",
 ]
 
 
@@ -177,11 +179,19 @@ class ExecutorError(ReproError):
     worker process.  ``kind`` classifies the failure:
 
     * ``"timeout"`` — the task exceeded the executor's per-task deadline
-      (the worker process may still be running; it is abandoned);
+      on every allowed attempt.  The error surfaces only after sibling
+      in-flight tasks were drained (and journaled, when the batch is
+      journaled), so a timeout loses one cell, not the batch;
     * ``"worker"`` — the worker function raised (the original error's
       type and message are embedded in this message and chained as
       ``__cause__`` when available);
-    * ``"pool"`` — the process pool itself broke (a worker died);
+    * ``"pool"`` — the process pool itself broke (a worker died) and
+      could not be rebuilt;
+    * ``"poison"`` — one or more payloads killed their worker process
+      repeatedly and were quarantined; every other task completed (and
+      was journaled) before this surfaced;
+    * ``"resume"`` — a requested ``resume=`` run-id does not match this
+      batch (the configuration changed) or has no journal on disk;
     * ``"unknown-worker"`` — the requested worker name is not registered.
     """
 
@@ -197,3 +207,51 @@ class ExecutorError(ReproError):
         self.task_index = task_index
         self.kind = kind
         super().__init__(message)
+
+
+class JournalError(ReproError):
+    """A run journal is unreadable, mismatched, or malformed.
+
+    Raised when loading a write-ahead journal whose header does not
+    match the batch being resumed (different run-id, worker, or task
+    count) or whose header line cannot be parsed at all.  A truncated
+    *trailing* entry — the signature of a crash mid-append — is **not**
+    an error: write-ahead semantics mean every fully written line is
+    trusted and the torn tail is simply re-run.
+    """
+
+
+class InterruptedSweepError(ReproError):
+    """A journaled sweep was interrupted (SIGINT/SIGTERM) and drained.
+
+    The supervisor caught the signal, let in-flight tasks finish,
+    flushed their results to the write-ahead journal, and raised this
+    instead of dying mid-batch.  ``run_id`` is the content-derived
+    batch identity to pass back as ``--resume <run_id>`` (or
+    ``resume=`` on the driver): the resumed sweep replays the journal
+    and executes only the remainder, bit-identical to an uninterrupted
+    run.
+    """
+
+    def __init__(
+        self,
+        run_id: str,
+        *,
+        worker: str,
+        done: int,
+        total: int,
+        signal_name: str = "signal",
+        journal_path: str | None = None,
+    ):
+        self.run_id = run_id
+        self.worker = worker
+        self.done = done
+        self.total = total
+        self.signal_name = signal_name
+        self.journal_path = journal_path
+        where = f" (journal: {journal_path})" if journal_path else ""
+        super().__init__(
+            f"sweep {run_id} ({worker}) interrupted by {signal_name} with "
+            f"{done}/{total} task(s) journaled{where}; rerun with "
+            f"resume={run_id!r} to execute only the remainder"
+        )

@@ -91,6 +91,17 @@ class ChaosReport:
     seed: int
     plans: int
     records: List[ChaosRunRecord] = field(default_factory=list)
+    # -- partial-failure provenance (supervised executor campaigns) --
+    #: process-level re-executions the parallel supervisor forced.
+    retries: int = 0
+    #: plan indices whose payload was quarantined as poison
+    #: (``on_poison="mark"`` executors; their records carry outcome
+    #: ``"poison"`` and are never explained).
+    quarantined: List[int] = field(default_factory=list)
+    #: run-id this campaign was resumed from, if any.  In-memory only:
+    #: excluded from serialization and equality so a resumed campaign
+    #: stays bit-identical to an uninterrupted one.
+    resumed_from: Optional[str] = field(default=None, compare=False)
 
     def count(self, outcome: str) -> int:
         """Number of runs with the given outcome."""
@@ -138,12 +149,18 @@ class ChaosReport:
                 "seed": self.seed,
                 "plans": self.plans,
                 "records": [asdict(r) for r in self.records],
+                "retries": self.retries,
+                "quarantined": list(self.quarantined),
             },
         )
 
     @classmethod
     def from_json(cls, text: str, *, source: str = "<string>") -> "ChaosReport":
-        """Rebuild a report from :meth:`to_json` output (typed failures)."""
+        """Rebuild a report from :meth:`to_json` output (typed failures).
+
+        Accepts the pre-provenance schema-2 envelope too; ``retries``
+        and ``quarantined`` then default to a clean campaign.
+        """
         payload = parse_result(text, kind="chaos-report", source=source)
         return cls(
             strategy=require(payload, "strategy", source),
@@ -155,6 +172,8 @@ class ChaosReport:
                 ChaosRunRecord(**r)
                 for r in require(payload, "records", source)
             ],
+            retries=int(payload.get("retries", 0)),
+            quarantined=list(payload.get("quarantined", [])),
         )
 
 
@@ -354,6 +373,7 @@ def chaos_campaign(
     cross_check: bool = True,
     max_faults: int = 3,
     executor=None,
+    resume: Optional[str] = None,
 ) -> ChaosReport:
     """Run ``plans`` seeded fault plans against one strategy.
 
@@ -366,6 +386,13 @@ def chaos_campaign(
     verdict included — is identical to the serial run's.  A custom
     ``algorithm_factory`` is not portable to worker processes and keeps
     the campaign serial.
+
+    ``resume`` replays a journaled earlier invocation of the same
+    campaign (docs/resilience.md).  Under an ``on_poison="mark"``
+    executor, a plan whose payload repeatedly killed its worker comes
+    back as an unexplained ``"poison"`` record instead of aborting the
+    campaign; the report's ``retries``/``quarantined``/``resumed_from``
+    fields carry the batch's partial-failure provenance.
     """
     from repro.sanitize.fuzzer import derive_seeds, seed_payloads
 
@@ -392,10 +419,32 @@ def chaos_campaign(
             "barrier_deadline_ns": barrier_deadline_ns,
             "cross_check": cross_check,
         }
+        from repro.parallel import Quarantined
+
+        plan_seeds = list(derive_seeds(seed, plans))
         records = executor.map(
-            "chaos-plan", seed_payloads(seed, plans, base)
+            "chaos-plan", seed_payloads(seed, plans, base), resume=resume
         )
-        report.records = [ChaosRunRecord(**r) for r in records]
+        for i, raw in enumerate(records):
+            if isinstance(raw, Quarantined):
+                report.records.append(
+                    ChaosRunRecord(
+                        seed=plan_seeds[i],
+                        planned=[],
+                        outcome="poison",
+                        attempts=0,
+                        fired=[],
+                        error=raw.error,
+                        explained=False,
+                    )
+                )
+            else:
+                report.records.append(ChaosRunRecord(**raw))
+        stats = executor.last_batch
+        if stats is not None:
+            report.retries = stats.retries
+            report.quarantined = list(stats.quarantined)
+            report.resumed_from = stats.resumed_from
         return report
 
     for plan_seed in derive_seeds(seed, plans):

@@ -35,6 +35,14 @@ Execution flags (docs/parallel.md): ``--jobs N`` shards sweeps and
 campaigns across N worker processes; ``--cache`` memoizes every run
 keyed on its full configuration (``--cache-dir`` relocates the store).
 Both are bit-identical to the serial, uncached run.
+
+Resilience flags (docs/resilience.md): ``--journal`` write-ahead-journals
+every completed cell under ``benchmarks/out/journal/<run-id>/``
+(``--journal-dir`` relocates it); a journaled run interrupted by
+Ctrl-C/SIGTERM exits 130 with a resume hint, and ``--resume [RUN_ID]``
+replays the journal and executes only the remainder — bit-identical to
+an uninterrupted run.  ``--resume`` with no run-id resumes whatever
+journal matches each batch.
 """
 
 from __future__ import annotations
@@ -44,6 +52,7 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.errors import InterruptedSweepError
 from repro.harness import experiments, report
 
 __all__ = ["main"]
@@ -63,11 +72,20 @@ def _persist_sweep(args: argparse.Namespace, sweep, stem: str) -> None:
     (out / f"{stem}_sync.csv").write_text(sweep.to_csv(sync=True))
 
 
+def _per_batch_resume(resume: Optional[str], batches: int) -> Optional[str]:
+    """An explicit run-id can only match one batch; multi-batch
+    experiments resume each batch from its own journal (``"auto"``)."""
+    if resume is None or batches == 1:
+        return resume
+    return "auto"
+
+
 def _fig13_14(args: argparse.Namespace, sync: bool, executor=None) -> str:
     chunks: List[str] = []
+    resume = _per_batch_resume(args.resume, len(args.algorithms))
     for algo in args.algorithms:
         sweep = experiments.algorithm_sweep(
-            algo, step=args.step, executor=executor
+            algo, step=args.step, executor=executor, resume=resume
         )
         fig = "Fig. 14" if sync else "Fig. 13"
         title = f"{fig} ({algo})"
@@ -150,6 +168,7 @@ def _sanitize(args: argparse.Namespace, executor=None) -> "tuple[str, bool]":
 
     strategies = SANITIZE_ALL if args.strategy == "all" else [args.strategy]
     seed = DEFAULT_SEED if args.seed is None else args.seed
+    resume = _per_batch_resume(args.resume, len(strategies))
     chunks: List[str] = []
     dirty = False
     for strat in strategies:
@@ -160,6 +179,7 @@ def _sanitize(args: argparse.Namespace, executor=None) -> "tuple[str, bool]":
                 seed=seed,
                 schedules=args.schedules,
                 executor=executor,
+                resume=resume,
             )
         except (ConfigError, ValueError) as exc:
             raise SystemExit(f"sanitize: {exc}")
@@ -187,6 +207,7 @@ def _chaos(args: argparse.Namespace, executor=None) -> "tuple[str, bool]":
 
     strategies = CHAOS_ALL if args.strategy == "all" else [args.strategy]
     seed = DEFAULT_SEED if args.seed is None else args.seed
+    resume = _per_batch_resume(args.resume, len(strategies))
     chunks: List[str] = []
     dirty = False
     for strat in strategies:
@@ -197,6 +218,7 @@ def _chaos(args: argparse.Namespace, executor=None) -> "tuple[str, bool]":
                 seed=seed,
                 num_blocks=args.blocks,
                 executor=executor,
+                resume=resume,
             )
         except (ConfigError, ValueError) as exc:
             raise SystemExit(f"chaos: {exc}")
@@ -236,6 +258,16 @@ def _epilogue(want: str, started: float, cache=None) -> None:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Parse arguments and run; exits 130 on a resumable interrupt."""
+    try:
+        return _main(argv)
+    except InterruptedSweepError as exc:
+        print(f"\ninterrupted: {exc}", file=sys.stderr)
+        print(f"resume with: --resume {exc.run_id}", file=sys.stderr)
+        return 130
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-harness",
         description=(
@@ -374,6 +406,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="cache location (default benchmarks/out/cache)",
     )
     parser.add_argument(
+        "--journal",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="write-ahead journal every completed sweep cell so an "
+        "interrupted run can be resumed (docs/resilience.md)",
+    )
+    parser.add_argument(
+        "--journal-dir",
+        default=None,
+        help="journal location (default benchmarks/out/journal)",
+    )
+    parser.add_argument(
+        "--resume",
+        nargs="?",
+        const="auto",
+        default=None,
+        metavar="RUN_ID",
+        help="replay a journaled run and execute only the remainder; "
+        "pass the run-id an interrupted run printed, or no value to "
+        "resume whatever journal matches each batch (implies --journal)",
+    )
+    parser.add_argument(
         "--format",
         choices=["text", "json"],
         default="text",
@@ -410,14 +464,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     started = time.time()
     sections: List[str] = []
     want = args.experiment
+    if want == "all" and args.resume is not None:
+        # 'all' runs many batches; each resumes from its own journal.
+        args.resume = "auto"
 
-    from repro.parallel import DEFAULT_CACHE_DIR, Executor, ResultCache
+    from repro.parallel import (
+        DEFAULT_CACHE_DIR,
+        DEFAULT_JOURNAL_DIR,
+        Executor,
+        ResultCache,
+    )
 
     cache_dir = args.cache_dir or DEFAULT_CACHE_DIR
     cache = ResultCache(cache_dir) if args.cache else None
+    journaling = args.journal or args.resume is not None
+    journal_dir = (args.journal_dir or DEFAULT_JOURNAL_DIR) if journaling else None
     executor: Optional[Executor] = None
-    if args.jobs > 1 or cache is not None:
-        executor = Executor(jobs=args.jobs, cache=cache)
+    if args.jobs > 1 or cache is not None or journaling:
+        executor = Executor(
+            jobs=args.jobs, cache=cache, journal_dir=journal_dir
+        )
 
     if want == "cache":
         store = ResultCache(cache_dir)
@@ -432,10 +498,14 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if want in ("table1", "all"):
         sections.append(
-            report.render_table1(experiments.table1(executor=executor))
+            report.render_table1(
+                experiments.table1(executor=executor, resume=args.resume)
+            )
         )
     if want in ("fig11", "all"):
-        sweep = experiments.fig11(rounds=args.rounds, executor=executor)
+        sweep = experiments.fig11(
+            rounds=args.rounds, executor=executor, resume=args.resume
+        )
         sections.append(
             report.render_sweep_totals(
                 sweep, f"Fig. 11 (micro-benchmark, {args.rounds} rounds)"
@@ -453,10 +523,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if want in ("fig14", "all"):
         sections.append(_fig13_14(args, sync=True, executor=executor))
     if want in ("fig15", "all"):
-        sections.append(report.render_fig15(experiments.fig15(executor=executor)))
+        sections.append(
+            report.render_fig15(
+                experiments.fig15(executor=executor, resume=args.resume)
+            )
+        )
     if want in ("headline", "all"):
         sections.append(
-            report.render_headline(experiments.headline(executor=executor))
+            report.render_headline(
+                experiments.headline(executor=executor, resume=args.resume)
+            )
         )
     if want in ("models", "all"):
         sections.append(

@@ -11,6 +11,12 @@ Every driver takes an ``executor=`` (:class:`repro.parallel.Executor`):
 sweep cells are independent seeded simulations, so they shard across
 worker processes and memoize in the content-addressed result cache,
 with output bit-identical to the serial run (docs/parallel.md).
+
+Every driver also takes a ``resume=`` run-id: a journaled sweep that was
+interrupted (:class:`~repro.errors.InterruptedSweepError`) replays its
+completed cells from the write-ahead journal and executes only the
+remainder — the resumed result is bit-identical to an uninterrupted run
+(docs/resilience.md).
 """
 
 from __future__ import annotations
@@ -104,16 +110,38 @@ def _cell(
 
 
 def _totals(
-    executor: Optional[Executor], payloads: List[Dict[str, Any]]
+    executor: Optional[Executor],
+    payloads: List[Dict[str, Any]],
+    resume: Optional[str] = None,
 ) -> List[int]:
     """Run every cell through the (possibly parallel, cached) executor.
 
     With ``executor=None`` a throwaway inline executor runs the same
     worker functions serially in-process — the reference path parallel
-    runs must reproduce bit-for-bit.
+    runs must reproduce bit-for-bit.  ``resume`` replays a journaled
+    earlier invocation of the same batch (see
+    :meth:`repro.parallel.Executor.map`); the batch's provenance stays
+    readable on the executor's ``last_batch`` until the next call.
     """
     ex = executor if executor is not None else Executor(jobs=1)
-    return ex.map("run-total", payloads)
+    totals = ex.map("run-total", payloads, resume=resume)
+    _totals_last_batch[0] = ex.last_batch
+    return totals
+
+
+#: provenance of the most recent :func:`_totals` batch; drivers stamp it
+#: onto their sweep right after the map call returns.
+_totals_last_batch: List[Any] = [None]
+
+
+def _stamp(sweep: "SweepResult") -> "SweepResult":
+    """Copy the last batch's partial-failure provenance onto a sweep."""
+    stats = _totals_last_batch[0]
+    if stats is not None:
+        sweep.retries = stats.retries
+        sweep.quarantined = list(stats.quarantined)
+        sweep.resumed_from = stats.resumed_from
+    return sweep
 
 
 @dataclass
@@ -126,6 +154,17 @@ class SweepResult:
     totals: Dict[str, List[int]] = field(default_factory=dict)
     #: compute-only (null strategy) totals per block count.
     nulls: List[int] = field(default_factory=list)
+    # -- partial-failure provenance (supervised executor batches) --
+    #: process-level re-executions the supervisor forced (timeouts,
+    #: worker deaths) while producing these totals.
+    retries: int = 0
+    #: payload indices quarantined as poison (empty on a clean sweep;
+    #: only possible under ``on_poison="mark"`` executors).
+    quarantined: List[int] = field(default_factory=list)
+    #: run-id this sweep was resumed from, if any.  In-memory only:
+    #: excluded from serialization and equality so a resumed sweep stays
+    #: bit-identical to an uninterrupted one.
+    resumed_from: Optional[str] = field(default=None, compare=False)
 
     def sync_series(self, strategy: str) -> List[int]:
         """Per-block-count synchronization time (total − compute-only)."""
@@ -164,6 +203,8 @@ class SweepResult:
                 "blocks": list(self.blocks),
                 "nulls": list(self.nulls),
                 "totals": {k: list(v) for k, v in self.totals.items()},
+                "retries": self.retries,
+                "quarantined": list(self.quarantined),
             },
         )
 
@@ -171,12 +212,13 @@ class SweepResult:
     def from_json(cls, text: str, *, source: str = "<string>") -> "SweepResult":
         """Rebuild a sweep from :meth:`to_json` output.
 
-        Accepts schema versions 1 (the pre-protocol store format) and 2.
-        Every failure is a typed :class:`~repro.errors.ExperimentError`
-        naming ``source``.
+        Accepts schema versions 1 (the pre-protocol store format), 2
+        (pre-provenance envelope; ``retries``/``quarantined`` default to
+        a clean sweep) and 3.  Every failure is a typed
+        :class:`~repro.errors.ExperimentError` naming ``source``.
         """
         payload = parse_result(
-            text, kind="sweep", source=source, accept=(1, 2)
+            text, kind="sweep", source=source, accept=(1, 2, 3)
         )
         blocks = list(require(payload, "blocks", source))
         nulls = list(require(payload, "nulls", source))
@@ -196,6 +238,8 @@ class SweepResult:
             blocks=blocks,
             totals=totals,
             nulls=nulls,
+            retries=int(payload.get("retries", 0)),
+            quarantined=list(payload.get("quarantined", [])),
         )
 
 
@@ -208,6 +252,7 @@ def table1(
     num_blocks: int = 30,
     algorithms: Sequence[str] = ("fft", "swat", "bitonic"),
     executor: Optional[Executor] = None,
+    resume: Optional[str] = None,
 ) -> Dict[str, Breakdown]:
     """Reproduce Table 1: sync share under CPU implicit synchronization.
 
@@ -220,7 +265,7 @@ def table1(
         spec = _algorithm_spec(name)
         payloads.append(_cell(spec, "null", num_blocks, device))
         payloads.append(_cell(spec, "cpu-implicit", num_blocks, device))
-    totals = _totals(executor, payloads)
+    totals = _totals(executor, payloads, resume)
     out: Dict[str, Breakdown] = {}
     for i, name in enumerate(algorithms):
         null, total = totals[2 * i], totals[2 * i + 1]
@@ -243,6 +288,7 @@ def fig11(
     blocks: Optional[Sequence[int]] = None,
     strategies: Sequence[str] = ("cpu-explicit",) + ALL_STRATEGIES,
     executor: Optional[Executor] = None,
+    resume: Optional[str] = None,
 ) -> SweepResult:
     """Reproduce Fig. 11: micro-benchmark total time per strategy per N.
 
@@ -257,13 +303,13 @@ def fig11(
     payloads = [_cell(spec, "null", n, device) for n in xs]
     for strat in strategies:
         payloads.extend(_cell(spec, strat, n, device) for n in xs)
-    totals = _totals(executor, payloads)
+    totals = _totals(executor, payloads, resume)
     sweep = SweepResult(algorithm="micro", blocks=xs)
     sweep.nulls = totals[: len(xs)]
     for j, strat in enumerate(strategies):
         start = len(xs) * (j + 1)
         sweep.totals[strat] = totals[start : start + len(xs)]
-    return sweep
+    return _stamp(sweep)
 
 
 # ---------------------------------------------------------------------------
@@ -277,6 +323,7 @@ def algorithm_sweep(
     step: int = 3,
     strategies: Sequence[str] = ALL_STRATEGIES,
     executor: Optional[Executor] = None,
+    resume: Optional[str] = None,
 ) -> SweepResult:
     """Sweep one algorithm over block counts for Figs. 13/14.
 
@@ -292,13 +339,13 @@ def algorithm_sweep(
     payloads = [_cell(spec, "null", n, device) for n in xs]
     for strat in strategies:
         payloads.extend(_cell(spec, strat, n, device) for n in xs)
-    totals = _totals(executor, payloads)
+    totals = _totals(executor, payloads, resume)
     sweep = SweepResult(algorithm=algorithm_name, blocks=xs)
     sweep.nulls = totals[: len(xs)]
     for j, strat in enumerate(strategies):
         start = len(xs) * (j + 1)
         sweep.totals[strat] = totals[start : start + len(xs)]
-    return sweep
+    return _stamp(sweep)
 
 
 def fig13(
@@ -307,9 +354,12 @@ def fig13(
     blocks: Optional[Sequence[int]] = None,
     step: int = 3,
     executor: Optional[Executor] = None,
+    resume: Optional[str] = None,
 ) -> SweepResult:
     """Fig. 13(a/b/c): kernel execution time vs number of blocks."""
-    return algorithm_sweep(algorithm_name, config, blocks, step, executor=executor)
+    return algorithm_sweep(
+        algorithm_name, config, blocks, step, executor=executor, resume=resume
+    )
 
 
 def fig14(
@@ -318,13 +368,16 @@ def fig14(
     blocks: Optional[Sequence[int]] = None,
     step: int = 3,
     executor: Optional[Executor] = None,
+    resume: Optional[str] = None,
 ) -> SweepResult:
     """Fig. 14(a/b/c): synchronization time vs number of blocks.
 
     Same sweep as Fig. 13; read the sync series via
     :meth:`SweepResult.sync_series`.
     """
-    return algorithm_sweep(algorithm_name, config, blocks, step, executor=executor)
+    return algorithm_sweep(
+        algorithm_name, config, blocks, step, executor=executor, resume=resume
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -337,6 +390,7 @@ def fig15(
     algorithms: Sequence[str] = ("fft", "swat", "bitonic"),
     strategies: Sequence[str] = ALL_STRATEGIES,
     executor: Optional[Executor] = None,
+    resume: Optional[str] = None,
 ) -> Dict[str, Dict[str, Breakdown]]:
     """Fig. 15: per-algorithm, per-strategy compute/sync percentages at
     each algorithm's best configuration (30 blocks)."""
@@ -349,7 +403,7 @@ def fig15(
         payloads.extend(
             _cell(spec, strat, num_blocks, device) for strat in strategies
         )
-    totals = _totals(executor, payloads)
+    totals = _totals(executor, payloads, resume)
     stride = 1 + len(strategies)
     out: Dict[str, Dict[str, Breakdown]] = {}
     for i, name in enumerate(algorithms):
@@ -376,6 +430,7 @@ def headline(
     num_blocks: int = 30,
     micro_rounds: int = 200,
     executor: Optional[Executor] = None,
+    resume: Optional[str] = None,
 ) -> Dict[str, float]:
     """The abstract's numbers.
 
@@ -401,7 +456,7 @@ def headline(
         spec = _algorithm_spec(name)
         payloads.append(_cell(spec, "cpu-implicit", num_blocks, device))
         payloads.append(_cell(spec, "gpu-lockfree", num_blocks, device))
-    totals = _totals(executor, payloads)
+    totals = _totals(executor, payloads, resume)
     null = totals[0]
     sync = {
         strat: totals[1 + i] - null for i, strat in enumerate(micro_strats)

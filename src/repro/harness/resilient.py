@@ -31,6 +31,13 @@ Every action is recorded as a
 :class:`~repro.harness.runner.RecoveryEvent` on the returned result;
 if the fallback also fails (or none exists) the whole history surfaces
 in a :class:`~repro.errors.RetryExhaustedError`.
+
+This module recovers *simulated* failures — faults injected into the
+virtual device.  Its process-level sibling is the supervised executor
+(:mod:`repro.parallel.executor`): real worker-process deaths, hung
+tasks and Ctrl-C are retried, quarantined or journaled for resume
+there, with the same retry-then-contain philosophy
+(docs/resilience.md).
 """
 
 from __future__ import annotations

@@ -101,6 +101,15 @@ class RunResult:
     retry_overhead_ns: int = 0
     #: every resilience action taken, in order.
     recovery: List[RecoveryEvent] = field(default_factory=list)
+    # -- executor-provenance fields (filled by supervised batch runs) --
+    #: process-level re-executions the parallel supervisor forced for
+    #: this task (timeouts, worker deaths) — distinct from ``attempts``,
+    #: which counts *simulated* launch attempts inside one execution.
+    retries: int = 0
+    #: run-id of the journal this result was replayed from, if any.
+    #: In-memory provenance only: excluded from serialization and
+    #: equality so a resumed run stays bit-identical to a fresh one.
+    resumed_from: Optional[str] = field(default=None, compare=False)
 
     @property
     def total_ms(self) -> float:

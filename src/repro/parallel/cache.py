@@ -61,12 +61,16 @@ class CacheStats:
     root: str
     entries: int
     bytes: int
+    #: entries quarantined to ``<key>.corrupt`` after a decode failure.
+    corrupt: int = 0
 
     def render(self) -> str:
         """One-line human-readable summary."""
+        note = f", {self.corrupt} corrupt" if self.corrupt else ""
         return (
             f"cache at {self.root}: {self.entries} entr"
             f"{'y' if self.entries == 1 else 'ies'}, {self.bytes} bytes"
+            f"{note}"
         )
 
 
@@ -82,6 +86,8 @@ class ResultCache:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        #: corrupt entries this instance quarantined to ``<key>.corrupt``.
+        self.corrupt = 0
 
     def key(self, worker: str, payload: Dict[str, Any]) -> str:
         """See :func:`cache_key`."""
@@ -97,12 +103,23 @@ class ResultCache:
 
         A corrupt, unreadable or schema-mismatched entry is treated as a
         miss (and will be overwritten by the next ``put``) — the cache
-        must never turn disk rot into a wrong result.
+        must never turn disk rot into a wrong result.  An entry that
+        fails to *decode* is additionally quarantined to
+        ``<key>.corrupt`` on first sight, so it is re-parsed (and
+        logged in :class:`CacheStats`) once, not on every lookup.
         """
         path = self._path(key)
         try:
             entry = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+        except OSError:
+            self.misses += 1
+            return False, None
+        except json.JSONDecodeError:
+            try:
+                path.replace(path.with_suffix(".corrupt"))
+            except OSError:  # pragma: no cover - racing cleanup is fine
+                pass
+            self.corrupt += 1
             self.misses += 1
             return False, None
         if (
@@ -131,22 +148,29 @@ class ResultCache:
         return path
 
     def stats(self) -> CacheStats:
-        """Count entries and bytes on disk."""
+        """Count entries, bytes, and quarantined corpses on disk."""
         entries = 0
         size = 0
+        corrupt = 0
         if self.root.is_dir():
             for path in self.root.glob("*/*.json"):
                 entries += 1
                 size += path.stat().st_size
-        return CacheStats(root=str(self.root), entries=entries, bytes=size)
+            corrupt = sum(1 for _ in self.root.glob("*/*.corrupt"))
+        return CacheStats(
+            root=str(self.root), entries=entries, bytes=size, corrupt=corrupt
+        )
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (and quarantined corpse); returns the
+        number of live entries removed."""
         removed = 0
         if self.root.is_dir():
             for path in self.root.glob("*/*.json"):
                 path.unlink()
                 removed += 1
+            for path in self.root.glob("*/*.corrupt"):
+                path.unlink()
             for shard in self.root.iterdir():
                 if shard.is_dir() and not any(shard.iterdir()):
                     shard.rmdir()

@@ -1,4 +1,4 @@
-"""The deterministic fan-out executor.
+"""The deterministic, crash-safe fan-out executor.
 
 One :meth:`Executor.map` call runs one *batch*: a named worker function
 (:mod:`repro.parallel.workers`) applied to a list of payload dicts.
@@ -7,41 +7,144 @@ loops:
 
 * **Determinism** — every payload fully seeds its simulation and results
   are returned in submission order, so the output is bit-identical to a
-  serial run regardless of worker count or completion order.
+  serial run regardless of worker count, completion order, retries, or
+  how many times the batch was interrupted and resumed.
 * **Bounded in-flight work** — at most ``max_inflight`` tasks are
   submitted at once (default ``4 × jobs``), so a million-cell sweep
   never materializes a million pickled futures.
-* **Typed failure** — a task exceeding ``timeout_s`` or a worker raising
-  surfaces as an :class:`~repro.errors.ExecutorError` (with ``kind``
-  ``"timeout"`` / ``"worker"`` / ``"pool"``), never a bare pool
+* **Typed failure** — worker errors, exhausted per-task timeouts,
+  quarantined poison payloads, and signal interruptions surface as
+  :class:`~repro.errors.ExecutorError` /
+  :class:`~repro.errors.InterruptedSweepError`, never a bare pool
   traceback.
+
+On top of the PR-3 fan-out sits a **supervisor** (this module) and a
+**write-ahead journal** (:mod:`repro.parallel.journal`):
+
+* a task that exceeds ``timeout_s`` is retried under a per-task budget
+  (``retries``); only when the budget is spent does the batch fail —
+  and even then sibling in-flight tasks are drained and journaled
+  first, so one hung cell costs one cell, not the sweep;
+* a worker-process death (``BrokenProcessPool``) rebuilds the pool and
+  re-runs the in-flight suspects one at a time; a payload that kills
+  its worker ``poison_kills`` times (attributed kills, i.e. it was the
+  only task in flight) is quarantined as a typed ``poison`` failure
+  while every other task completes;
+* with a journal armed, SIGINT/SIGTERM drain in-flight tasks, flush
+  the journal, and raise :class:`~repro.errors.InterruptedSweepError`
+  carrying the run-id; ``map(..., resume=run_id)`` replays the journal
+  and executes only the remainder.
 
 ``jobs=1`` executes inline in-process (no pool, no pickling) through the
 exact same worker functions — the serial reference path every driver
-uses by default.  The optional :class:`~repro.parallel.cache.ResultCache`
-short-circuits tasks whose content-addressed key is already stored.
+uses by default.  Inline runs support journaling and interruption but
+not per-task timeouts or poison quarantine (there is no worker process
+to outlive or kill).  The optional
+:class:`~repro.parallel.cache.ResultCache` short-circuits tasks whose
+content-addressed key is already stored.
 """
 
 from __future__ import annotations
 
+import signal as _signal
+import threading
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
-from repro.errors import ConfigError, ExecutorError
+from repro.errors import ConfigError, ExecutorError, InterruptedSweepError
 from repro.parallel.cache import ResultCache
+from repro.parallel.journal import (
+    DEFAULT_JOURNAL_DIR,
+    JournalEntry,
+    RunJournal,
+    run_id_for,
+)
 
-__all__ = ["Executor"]
+__all__ = ["BatchStats", "Executor", "Quarantined"]
 
 #: a progress callback: ``progress(done, total, cached)`` after every
-#: task that completes (``cached=True`` when served from the cache).
+#: task that completes (``cached=True`` when served from the cache or
+#: replayed from a journal).
 ProgressFn = Callable[[int, int, bool], None]
+
+#: how often (s) the supervisor wakes to notice signals and deadlines.
+_SUPERVISE_TICK_S = 0.25
+
+
+@dataclass(frozen=True)
+class Quarantined:
+    """Placeholder for a poison payload's missing result.
+
+    Appears in :meth:`Executor.map` results only under
+    ``on_poison="mark"``; the default ``"raise"`` policy surfaces a
+    typed :class:`~repro.errors.ExecutorError` (``kind="poison"``)
+    after the rest of the batch has completed.
+    """
+
+    index: int
+    error: str
+
+
+@dataclass
+class BatchStats:
+    """Provenance of one :meth:`Executor.map` call.
+
+    Exposed as :attr:`Executor.last_batch` so drivers can stamp sweep
+    and campaign reports with partial-failure provenance: how many
+    re-executions the supervisor forced (``retries``), which payload
+    indices were quarantined as poison (``quarantined``), and the
+    run-id the batch was resumed from, if any (``resumed_from``).
+    """
+
+    run_id: str
+    worker: str
+    total: int
+    #: results replayed from the journal instead of executed.
+    replayed: int = 0
+    #: task re-executions forced by timeouts or worker deaths (the
+    #: culpable task and any collateral in-flight siblings).
+    retries: int = 0
+    #: payload indices quarantined as poison.
+    quarantined: List[int] = field(default_factory=list)
+    #: run-id the batch resumed from (always equals ``run_id``).
+    resumed_from: Optional[str] = None
+    journal_path: Optional[str] = None
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down without joining possibly-hung workers.
+
+    ``cancel_futures`` drops queued tasks; live worker processes are
+    then terminated so a hung task cannot outlive the batch as an
+    orphan (the stdlib offers no public kill-one-task API).
+    """
+    pool.shutdown(wait=False, cancel_futures=True)
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        try:
+            proc.terminate()
+        except Exception:  # pragma: no cover - best-effort cleanup
+            pass
 
 
 class Executor:
-    """Shard independent simulation runs across worker processes.
+    """Shard independent simulation runs across supervised workers.
 
     Parameters
     ----------
@@ -51,14 +154,40 @@ class Executor:
         Optional :class:`~repro.parallel.ResultCache`; tasks whose key
         is stored are served without running, fresh results are stored.
     timeout_s:
-        Per-task wall-clock deadline.  A task that exceeds it raises
-        :class:`~repro.errors.ExecutorError` (``kind="timeout"``) and
-        the batch is abandoned.  ``None`` (default) waits forever.
+        Per-task wall-clock deadline.  An expired task is re-run under
+        the per-task ``retries`` budget; once the budget is spent the
+        batch drains its in-flight siblings (journaling them) and
+        raises :class:`~repro.errors.ExecutorError`
+        (``kind="timeout"``) naming the payload index.  ``None``
+        (default) waits forever.
+    retries:
+        Per-task re-execution budget for timed-out or crashed tasks
+        (default 1: each task may be re-run once before its failure
+        becomes fatal / quarantining).
     max_inflight:
         Cap on concurrently submitted tasks (default ``4 × jobs``).
     progress:
         ``progress(done, total, cached)`` callback, invoked in the
         calling process after every completed task.
+    journal_dir:
+        Root directory for write-ahead run journals.  ``None``
+        (default) disables journaling — and with it signal supervision
+        — preserving plain fan-out semantics.  Passing a directory
+        arms both: every batch journals each completion under
+        ``journal_dir/<run-id>/journal.jsonl`` and SIGINT/SIGTERM
+        raise a resumable
+        :class:`~repro.errors.InterruptedSweepError`.
+    fsync_every:
+        Journal fsync batching (default 8 completions per fsync).
+    poison_kills:
+        Attributed worker-process kills before a payload is
+        quarantined as poison (default 2).
+    on_poison:
+        ``"raise"`` (default): after every other task completes, raise
+        a typed :class:`~repro.errors.ExecutorError`
+        (``kind="poison"``).  ``"mark"``: return a
+        :class:`Quarantined` placeholder at the poisoned index so
+        campaign drivers can report partial failure.
     """
 
     def __init__(
@@ -67,183 +196,589 @@ class Executor:
         *,
         cache: Optional[ResultCache] = None,
         timeout_s: Optional[float] = None,
+        retries: int = 1,
         max_inflight: Optional[int] = None,
         progress: Optional[ProgressFn] = None,
+        journal_dir: Optional[Union[str, Path]] = None,
+        fsync_every: int = 8,
+        poison_kills: int = 2,
+        on_poison: str = "raise",
     ):
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
         if timeout_s is not None and timeout_s <= 0:
             raise ConfigError(f"timeout_s must be positive, got {timeout_s}")
+        if retries < 0:
+            raise ConfigError(f"retries must be >= 0, got {retries}")
         if max_inflight is not None and max_inflight < 1:
             raise ConfigError(
                 f"max_inflight must be >= 1, got {max_inflight}"
             )
+        if fsync_every < 1:
+            raise ConfigError(f"fsync_every must be >= 1, got {fsync_every}")
+        if poison_kills < 1:
+            raise ConfigError(f"poison_kills must be >= 1, got {poison_kills}")
+        if on_poison not in ("raise", "mark"):
+            raise ConfigError(
+                f"on_poison must be 'raise' or 'mark', got {on_poison!r}"
+            )
         self.jobs = jobs
         self.cache = cache
         self.timeout_s = timeout_s
+        self.retries = retries
         self.max_inflight = max_inflight or 4 * jobs
         self.progress = progress
+        self.journal_dir = Path(journal_dir) if journal_dir is not None else None
+        self.fsync_every = fsync_every
+        self.poison_kills = poison_kills
+        self.on_poison = on_poison
         #: tasks actually executed (cache misses) across this instance.
         self.tasks_run = 0
         #: tasks served from the cache across this instance.
         self.tasks_cached = 0
+        #: provenance of the most recent :meth:`map` call.
+        self.last_batch: Optional[BatchStats] = None
 
     # -- public API ---------------------------------------------------------
 
-    def map(self, worker: str, payloads: Sequence[Dict[str, Any]]) -> List[Any]:
+    def map(
+        self,
+        worker: str,
+        payloads: Sequence[Dict[str, Any]],
+        *,
+        resume: Optional[str] = None,
+    ) -> List[Any]:
         """Run ``worker`` over every payload; results in payload order.
 
         ``worker`` names a registered function in
         :mod:`repro.parallel.workers`; each payload must be a plain
         JSON-serializable dict that fully determines the task (that is
-        what the cache keys on).
+        what the cache, the run-id and the journal key on).
+
+        ``resume`` replays a previous journaled invocation of this
+        exact batch: pass the run-id from an
+        :class:`~repro.errors.InterruptedSweepError` (it must match
+        this batch's content-derived run-id — a changed configuration
+        is a typed error, never a silent splice) or the string
+        ``"auto"`` to resume whatever journal exists for this batch
+        and start fresh when none does.  Replayed results are placed
+        by submission index, so a resumed batch is bit-identical to an
+        uninterrupted one.
         """
         from repro.parallel.workers import resolve
 
         fn = resolve(worker)
         total = len(payloads)
-        results: List[Any] = [None] * total
-        done = 0
+        run_id = run_id_for(worker, payloads)
+        stats = BatchStats(run_id=run_id, worker=worker, total=total)
+        self.last_batch = stats
 
-        # Cache pass: fill hits, queue misses.
-        pending: List[tuple] = []  # (index, key-or-None, payload)
-        for index, payload in enumerate(payloads):
-            if self.cache is not None:
-                key = self.cache.key(worker, payload)
-                hit, value = self.cache.get(key)
-                if hit:
-                    results[index] = value
-                    self.tasks_cached += 1
-                    done += 1
-                    if self.progress is not None:
-                        self.progress(done, total, True)
+        journal_root = self.journal_dir
+        if resume is not None and journal_root is None:
+            journal_root = DEFAULT_JOURNAL_DIR
+        journal: Optional[RunJournal] = None
+        replayed: Dict[int, JournalEntry] = {}
+        if journal_root is not None:
+            journal = RunJournal(journal_root, run_id)
+            journal.fsync_every = self.fsync_every
+            stats.journal_path = str(journal.path)
+            if resume is not None:
+                if resume not in ("auto", run_id):
+                    raise ExecutorError(
+                        f"cannot resume run {resume!r}: this batch's "
+                        f"run-id is {run_id!r} (the id is derived from "
+                        "the worker and payloads, so a changed "
+                        "configuration resumes nothing)",
+                        worker=worker,
+                        kind="resume",
+                    )
+                if journal.exists():
+                    _, replayed = journal.load(worker=worker, total=total)
+                    stats.resumed_from = run_id
+                elif resume != "auto":
+                    raise ExecutorError(
+                        f"no journal for run {run_id!r} under "
+                        f"{journal_root} — nothing to resume",
+                        worker=worker,
+                        kind="resume",
+                    )
+            journal.start(
+                worker=worker, total=total, fresh=stats.resumed_from is None
+            )
+
+        supervisor = _Supervisor(self, worker, fn, stats, journal, total)
+        try:
+            # Replay pass: journaled completions land by index, first.
+            for index in sorted(replayed):
+                if 0 <= index < total:
+                    supervisor.replay(replayed[index])
+
+            # Cache pass: fill hits, queue misses.
+            pending: List[Tuple[int, Optional[str], Dict[str, Any]]] = []
+            for index, payload in enumerate(payloads):
+                if index in replayed:
                     continue
-                pending.append((index, key, payload))
-            else:
-                pending.append((index, None, payload))
+                if self.cache is not None:
+                    key = self.cache.key(worker, payload)
+                    hit, value = self.cache.get(key)
+                    if hit:
+                        supervisor.complete(index, None, value, cached=True)
+                        continue
+                    pending.append((index, key, payload))
+                else:
+                    pending.append((index, None, payload))
 
-        if not pending:
-            return results
+            if pending:
+                with supervisor.signal_guard():
+                    if self.jobs == 1:
+                        supervisor.run_inline(pending)
+                    else:
+                        supervisor.run_pool(pending)
+        finally:
+            if journal is not None:
+                journal.close()
 
-        if self.jobs == 1:
-            self._run_inline(fn, worker, pending, results, done, total)
+        if stats.quarantined and self.on_poison == "raise":
+            hint = (
+                f"; journal: {stats.journal_path}" if journal is not None else ""
+            )
+            raise ExecutorError(
+                f"worker {worker!r} payload(s) "
+                f"{', '.join(map(str, stats.quarantined))} killed their "
+                f"worker process repeatedly and were quarantined as "
+                f"poison; the other "
+                f"{total - len(stats.quarantined)} task(s) completed"
+                f"{hint}",
+                worker=worker,
+                task_index=stats.quarantined[0],
+                kind="poison",
+            )
+        return supervisor.results
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        cached = "+cache" if self.cache is not None else ""
+        journaled = "+journal" if self.journal_dir is not None else ""
+        return f"Executor(jobs={self.jobs}{cached}{journaled})"
+
+
+class _Supervisor:
+    """One :meth:`Executor.map` call's mutable state and loops."""
+
+    def __init__(
+        self,
+        executor: Executor,
+        worker: str,
+        fn: Callable[[Dict[str, Any]], Any],
+        stats: BatchStats,
+        journal: Optional[RunJournal],
+        total: int,
+    ):
+        self.ex = executor
+        self.worker = worker
+        self.fn = fn
+        self.stats = stats
+        self.journal = journal
+        self.total = total
+        self.results: List[Any] = [None] * total
+        self.done = 0
+        self.interrupt: Optional[str] = None
+        self.interrupt_again = False
+        self.signals_armed = False
+        self.timeout_retries: Dict[int, int] = {}
+        self.kills: Dict[int, int] = {}
+        #: index -> (cache key, payload), filled by run_pool.
+        self._tasks: Dict[int, Tuple[Optional[str], Dict[str, Any]]] = {}
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def _attempts_of(self, index: int) -> int:
+        return self.timeout_retries.get(index, 0) + self.kills.get(index, 0)
+
+    def complete(
+        self, index: int, key: Optional[str], value: Any, *, cached: bool = False
+    ) -> None:
+        """Record one finished task: result slot, cache, journal, progress."""
+        self.results[index] = value
+        if cached:
+            self.ex.tasks_cached += 1
         else:
-            self._run_pool(worker, pending, results, done, total)
-        return results
+            self.ex.tasks_run += 1
+            if key is not None and self.ex.cache is not None:
+                self.ex.cache.put(key, value)
+        if self.journal is not None:
+            self.journal.record(
+                JournalEntry(
+                    index, "ok", value, retries=self._attempts_of(index)
+                )
+            )
+        self.done += 1
+        if self.ex.progress is not None:
+            self.ex.progress(self.done, self.total, cached)
+
+    def replay(self, entry: JournalEntry) -> None:
+        """Place one journaled completion without executing anything."""
+        if entry.status == "ok":
+            self.results[entry.index] = entry.value
+        else:
+            error = entry.error or "quarantined as poison"
+            self.results[entry.index] = Quarantined(
+                index=entry.index, error=error
+            )
+            self.stats.quarantined.append(entry.index)
+        self.stats.retries += entry.retries
+        self.stats.replayed += 1
+        self.done += 1
+        if self.ex.progress is not None:
+            self.ex.progress(self.done, self.total, True)
+
+    def quarantine(self, index: int, error: str) -> None:
+        """Mark a poison payload resolved-without-result and journal it."""
+        self.results[index] = Quarantined(index=index, error=error)
+        self.stats.quarantined.append(index)
+        if self.journal is not None:
+            self.journal.record(
+                JournalEntry(
+                    index,
+                    "poison",
+                    None,
+                    error=error,
+                    retries=self._attempts_of(index),
+                )
+            )
+        self.done += 1
+        if self.ex.progress is not None:
+            self.ex.progress(self.done, self.total, False)
+
+    def _flush_journal(self) -> None:
+        if self.journal is not None:
+            self.journal.flush()
+
+    def _raise_interrupted(self) -> None:
+        self._flush_journal()
+        raise InterruptedSweepError(
+            self.stats.run_id,
+            worker=self.worker,
+            done=self.done,
+            total=self.total,
+            signal_name=self.interrupt or "signal",
+            journal_path=self.stats.journal_path,
+        )
+
+    # -- signal supervision -------------------------------------------------
+
+    @contextmanager
+    def signal_guard(self) -> Iterator[bool]:
+        """Install SIGINT/SIGTERM capture for the batch (journaled runs).
+
+        Without a journal an interrupt has nothing durable to offer, so
+        default delivery (KeyboardInterrupt / termination) is left
+        untouched.  Handlers can only live on the main thread; anywhere
+        else supervision degrades gracefully to unarmed.
+        """
+        if (
+            self.journal is None
+            or threading.current_thread() is not threading.main_thread()
+        ):
+            yield False
+            return
+
+        def handler(signum: int, frame: Any) -> None:
+            if self.interrupt is not None:
+                self.interrupt_again = True
+            else:
+                self.interrupt = _signal.Signals(signum).name
+
+        previous: Dict[int, Any] = {}
+        try:
+            for sig in (_signal.SIGINT, _signal.SIGTERM):
+                previous[sig] = _signal.signal(sig, handler)
+        except (ValueError, OSError):  # pragma: no cover - exotic hosts
+            for sig, old in previous.items():
+                _signal.signal(sig, old)
+            yield False
+            return
+        self.signals_armed = True
+        try:
+            yield True
+        finally:
+            self.signals_armed = False
+            for sig, old in previous.items():
+                _signal.signal(sig, old)
 
     # -- serial reference path ----------------------------------------------
 
-    def _run_inline(self, fn, worker, pending, results, done, total) -> None:
+    def run_inline(
+        self, pending: List[Tuple[int, Optional[str], Dict[str, Any]]]
+    ) -> None:
         for index, key, payload in pending:
+            if self.interrupt is not None:
+                self._raise_interrupted()
             try:
-                value = fn(dict(payload))
+                value = self.fn(dict(payload))
             except ExecutorError:
+                self._flush_journal()
                 raise
             except Exception as exc:
+                self._flush_journal()
                 raise ExecutorError(
-                    f"worker {worker!r} task {index} failed: "
+                    f"worker {self.worker!r} task {index} failed: "
                     f"{type(exc).__name__}: {exc}",
-                    worker=worker,
+                    worker=self.worker,
                     task_index=index,
                     kind="worker",
                 ) from exc
-            results[index] = value
-            self.tasks_run += 1
-            if key is not None:
-                self.cache.put(key, value)
-            done += 1
-            if self.progress is not None:
-                self.progress(done, total, False)
+            self.complete(index, key, value)
 
-    # -- process-pool path --------------------------------------------------
+    # -- supervised process-pool path ----------------------------------------
 
-    def _run_pool(self, worker, pending, results, done, total) -> None:
+    def run_pool(
+        self, pending: List[Tuple[int, Optional[str], Dict[str, Any]]]
+    ) -> None:
         from repro.parallel.workers import dispatch
 
-        queue = deque(pending)
-        inflight: Dict[Any, tuple] = {}  # future -> (index, key, deadline)
-        pool = ProcessPoolExecutor(max_workers=self.jobs)
-        try:
-            while queue or inflight:
-                while queue and len(inflight) < self.max_inflight:
-                    index, key, payload = queue.popleft()
-                    future = pool.submit(dispatch, worker, dict(payload))
-                    deadline = (
-                        time.monotonic() + self.timeout_s
-                        if self.timeout_s is not None
-                        else None
-                    )
-                    inflight[future] = (index, key, deadline)
+        tasks: Dict[int, Tuple[Optional[str], Dict[str, Any]]] = {
+            index: (key, payload) for index, key, payload in pending
+        }
+        self._tasks = tasks
+        queue: deque = deque(index for index, _, _ in pending)
+        isolation: deque = deque()
+        #: future -> (index, deadline)
+        inflight: Dict[Any, Tuple[int, Optional[float]]] = {}
+        pool = ProcessPoolExecutor(max_workers=self.ex.jobs)
 
-                wait_s = None
-                if self.timeout_s is not None:
-                    now = time.monotonic()
-                    wait_s = max(
-                        0.0,
-                        min(d for _, _, d in inflight.values()) - now,
+        def rebuild() -> None:
+            nonlocal pool
+            _terminate_pool(pool)
+            try:
+                pool = ProcessPoolExecutor(max_workers=self.ex.jobs)
+            except Exception as exc:  # pragma: no cover - OS resource limits
+                raise ExecutorError(
+                    f"worker pool for {self.worker!r} could not be "
+                    f"rebuilt: {exc}",
+                    worker=self.worker,
+                    kind="pool",
+                ) from exc
+
+        def submit(index: int) -> None:
+            key, payload = tasks[index]
+            future = pool.submit(dispatch, self.worker, dict(payload))
+            deadline = (
+                time.monotonic() + self.ex.timeout_s
+                if self.ex.timeout_s is not None
+                else None
+            )
+            inflight[future] = (index, deadline)
+
+        def harvest(future: Any, index: int) -> None:
+            key, _ = tasks[index]
+            try:
+                value = future.result()
+            except ExecutorError:
+                self._flush_journal()
+                _terminate_pool(pool)
+                raise
+            except BrokenProcessPool:
+                raise
+            except Exception as exc:
+                self._flush_journal()
+                _terminate_pool(pool)
+                raise ExecutorError(
+                    f"worker {self.worker!r} task {index} failed: "
+                    f"{type(exc).__name__}: {exc}",
+                    worker=self.worker,
+                    task_index=index,
+                    kind="worker",
+                ) from exc
+            self.complete(index, key, value)
+
+        def pool_broke() -> None:
+            """Salvage finished futures, suspect the rest, rebuild."""
+            suspects: List[int] = []
+            for future, (index, _) in list(inflight.items()):
+                salvaged = False
+                if future.done():
+                    try:
+                        value = future.result()
+                    except Exception:
+                        pass
+                    else:
+                        key, _payload = tasks[index]
+                        self.complete(index, key, value)
+                        salvaged = True
+                if not salvaged:
+                    suspects.append(index)
+            inflight.clear()
+            rebuild()
+            suspects.sort()
+            if len(suspects) == 1:
+                # Alone in flight: the kill is attributed.
+                index = suspects[0]
+                self.kills[index] = self.kills.get(index, 0) + 1
+                if self.kills[index] >= self.ex.poison_kills:
+                    self.quarantine(
+                        index,
+                        f"payload {index} killed its worker process "
+                        f"{self.kills[index]} time(s); quarantined as "
+                        "poison",
                     )
+                    return
+            for index in suspects:
+                self.stats.retries += 1
+                isolation.append(index)
+
+        def check_deadlines() -> None:
+            now = time.monotonic()
+            expired = [
+                (future, index)
+                for future, (index, deadline) in inflight.items()
+                if deadline is not None
+                and deadline <= now
+                and not future.done()
+            ]
+            if not expired:
+                return
+            over_budget = sorted(
+                index
+                for _, index in expired
+                if self.timeout_retries.get(index, 0) >= self.ex.retries
+            )
+            if over_budget:
+                index = over_budget[0]
+                attempts = self.timeout_retries.get(index, 0) + 1
+                for future, _ in expired:
+                    inflight.pop(future, None)
+                self.drain(inflight)
+                self._flush_journal()
+                _terminate_pool(pool)
+                hint = (
+                    f"; completed siblings were journaled to "
+                    f"{self.stats.journal_path} — resume with "
+                    f"run-id {self.stats.run_id}"
+                    if self.journal is not None
+                    else ""
+                )
+                raise ExecutorError(
+                    f"worker {self.worker!r} task {index} exceeded the "
+                    f"{self.ex.timeout_s} s per-task deadline on all "
+                    f"{attempts} attempt(s); sibling in-flight tasks "
+                    f"were drained first, so only this payload is lost"
+                    f"{hint}",
+                    worker=self.worker,
+                    task_index=index,
+                    kind="timeout",
+                )
+            # Within budget: the hung worker is killed with the pool;
+            # expired tasks are charged a retry, collateral in-flight
+            # siblings are requeued without charge against their own
+            # timeout budget (but counted in the batch's retry tally).
+            expired_indices = {index for _, index in expired}
+            for future, (index, _) in list(inflight.items()):
+                if future.done():
+                    try:
+                        value = future.result()
+                    except Exception:
+                        expired_indices.add(index)
+                    else:
+                        key, _payload = tasks[index]
+                        self.complete(index, key, value)
+                        continue
+                if index in expired_indices:
+                    self.timeout_retries[index] = (
+                        self.timeout_retries.get(index, 0) + 1
+                    )
+                self.stats.retries += 1
+                queue.appendleft(index)
+            inflight.clear()
+            rebuild()
+
+        try:
+            while queue or isolation or inflight:
+                if self.interrupt is not None:
+                    self.drain(inflight)
+                    _terminate_pool(pool)
+                    self._raise_interrupted()
+
+                if isolation:
+                    # Suspects re-run alone so a repeat kill is
+                    # attributable to exactly one payload.
+                    if not inflight:
+                        try:
+                            submit(isolation.popleft())
+                        except BrokenProcessPool:
+                            pool_broke()
+                            continue
+                elif queue:
+                    try:
+                        while queue and len(inflight) < self.ex.max_inflight:
+                            submit(queue.popleft())
+                    except BrokenProcessPool:
+                        pool_broke()
+                        continue
+
+                if not inflight:
+                    continue
+
+                wait_s: Optional[float] = (
+                    _SUPERVISE_TICK_S if self.signals_armed else None
+                )
+                if self.ex.timeout_s is not None:
+                    now = time.monotonic()
+                    nearest = min(
+                        deadline
+                        for _, deadline in inflight.values()
+                        if deadline is not None
+                    )
+                    until = max(0.0, nearest - now)
+                    wait_s = until if wait_s is None else min(wait_s, until)
                 completed, _ = wait(
                     set(inflight), timeout=wait_s, return_when=FIRST_COMPLETED
                 )
 
                 if not completed:
-                    now = time.monotonic()
-                    expired = [
-                        index
-                        for future, (index, _, deadline) in inflight.items()
-                        if deadline is not None
-                        and deadline <= now
-                        and not future.done()
-                    ]
-                    if expired:
-                        raise ExecutorError(
-                            f"worker {worker!r} task {expired[0]} exceeded "
-                            f"the {self.timeout_s} s per-task deadline "
-                            f"({len(expired)} task(s) overdue); the batch "
-                            "was abandoned",
-                            worker=worker,
-                            task_index=expired[0],
-                            kind="timeout",
-                        )
+                    check_deadlines()
                     continue
 
+                broke = False
                 for future in completed:
-                    index, key, _ = inflight.pop(future)
+                    index, deadline = inflight.pop(future)
                     try:
-                        value = future.result()
-                    except ExecutorError:
-                        raise
-                    except BrokenProcessPool as exc:
-                        raise ExecutorError(
-                            f"worker pool broke while running {worker!r} "
-                            f"task {index}: {exc}",
-                            worker=worker,
-                            task_index=index,
-                            kind="pool",
-                        ) from exc
-                    except Exception as exc:
-                        raise ExecutorError(
-                            f"worker {worker!r} task {index} failed: "
-                            f"{type(exc).__name__}: {exc}",
-                            worker=worker,
-                            task_index=index,
-                            kind="worker",
-                        ) from exc
-                    results[index] = value
-                    self.tasks_run += 1
-                    if key is not None:
-                        self.cache.put(key, value)
-                    done += 1
-                    if self.progress is not None:
-                        self.progress(done, total, False)
+                        harvest(future, index)
+                    except BrokenProcessPool:
+                        inflight[future] = (index, deadline)
+                        broke = True
+                if broke:
+                    pool_broke()
         except BaseException:
-            # Abandon outstanding work without joining possibly-hung
-            # workers; the processes exit on their own once done.
-            pool.shutdown(wait=False, cancel_futures=True)
+            self._flush_journal()
+            _terminate_pool(pool)
             raise
         else:
             pool.shutdown(wait=True)
 
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        cached = "+cache" if self.cache is not None else ""
-        return f"Executor(jobs={self.jobs}{cached})"
+    def drain(self, inflight: Dict[Any, Tuple[int, Optional[float]]]) -> None:
+        """Let in-flight siblings finish and journal their results.
+
+        Runs before a timeout failure or an interrupt surfaces, so
+        already-spent work reaches the journal instead of evaporating.
+        Tasks past their own deadline are abandoned; a second interrupt
+        abandons everything still running.
+        """
+        while inflight:
+            if self.interrupt_again:
+                break
+            now = time.monotonic()
+            for future, (index, deadline) in list(inflight.items()):
+                if future.done():
+                    del inflight[future]
+                    try:
+                        value = future.result()
+                    except Exception:
+                        continue  # lost to the failure being surfaced
+                    key = self._tasks.get(index, (None, None))[0]
+                    self.complete(index, key, value)
+                elif deadline is not None and deadline <= now:
+                    del inflight[future]  # hung past its own deadline
+            if not inflight:
+                break
+            wait(set(inflight), timeout=_SUPERVISE_TICK_S,
+                 return_when=FIRST_COMPLETED)

@@ -1,0 +1,242 @@
+"""Write-ahead run journal: crash-safe progress for one executor batch.
+
+A batch (one :meth:`repro.parallel.Executor.map` call) is identified by
+a deterministic **run-id**: the sha256 of the canonical JSON of the
+worker name plus the full payload list.  Two invocations with the same
+configuration share a run-id; changing *anything* — one seed, one
+timing parameter — changes it, so a resume can never silently splice
+results from a different sweep.
+
+The journal is one JSONL file per run under
+``benchmarks/out/journal/<run-id>/journal.jsonl``:
+
+* line 1 is a header stamping the journal schema, run-id, worker and
+  task count (validated on load — a mismatch is a typed
+  :class:`~repro.errors.JournalError`);
+* every later line records one task's completion — index, status
+  (``"ok"`` or ``"poison"``), value, retry count — appended as a single
+  ``write`` and fsync'd in batches (``fsync_every``), so a crash loses
+  at most the torn trailing line, never a fully recorded result.
+
+Loading tolerates exactly that torn tail: parsing stops at the first
+undecodable line and everything before it is trusted — write-ahead
+semantics.  Resume (:meth:`Executor.map(..., resume=...)
+<repro.parallel.Executor.map>`) replays loaded entries by submission
+index and executes only the remainder.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, IO, Optional, Sequence, Tuple, Union
+
+from repro.errors import JournalError
+from repro.serialization import canonical_json, plain
+
+__all__ = [
+    "DEFAULT_JOURNAL_DIR",
+    "JOURNAL_SCHEMA_VERSION",
+    "JournalEntry",
+    "RunJournal",
+    "run_id_for",
+]
+
+#: bumped whenever the journal line format changes; stamped in every
+#: header so a resume against an old journal fails loudly.
+JOURNAL_SCHEMA_VERSION = 1
+
+#: default on-disk location (relative to the invocation directory,
+#: which for the CLI and CI is the repo root) — a sibling of the
+#: result cache.
+DEFAULT_JOURNAL_DIR = Path("benchmarks") / "out" / "journal"
+
+#: run-ids are the leading 16 hex chars of the sha256 — short enough to
+#: retype from a terminal, far past collision risk for any real sweep
+#: population.
+_RUN_ID_HEX_CHARS = 16
+
+
+def run_id_for(worker: str, payloads: Sequence[Dict[str, Any]]) -> str:
+    """The deterministic identity of one batch.
+
+    Canonical JSON (sorted keys, minimal separators) makes semantically
+    equal batches hash equal regardless of dict construction order —
+    the same property the result cache keys on, lifted to whole
+    batches.
+    """
+    body = {
+        "journal-schema": JOURNAL_SCHEMA_VERSION,
+        "worker": worker,
+        "payloads": list(payloads),
+    }
+    digest = hashlib.sha256(canonical_json(body).encode("utf-8")).hexdigest()
+    return digest[:_RUN_ID_HEX_CHARS]
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One journaled task completion.
+
+    ``status`` is ``"ok"`` (``value`` holds the worker's result) or
+    ``"poison"`` (the payload killed its worker repeatedly; ``error``
+    holds the quarantine reason and ``value`` is meaningless).
+    """
+
+    index: int
+    status: str
+    value: Any = None
+    error: Optional[str] = None
+    retries: int = 0
+
+
+class RunJournal:
+    """Append-only JSONL journal for one run-id.
+
+    Typical lifecycle: :meth:`load` (when resuming), :meth:`start`,
+    then :meth:`record` per completion, :meth:`flush` at drain points,
+    :meth:`close` when the batch settles.  All paths live under
+    ``root/run_id/``.
+    """
+
+    def __init__(self, root: Union[str, Path], run_id: str):
+        self.root = Path(root)
+        self.run_id = run_id
+        self.path = self.root / run_id / "journal.jsonl"
+        self.fsync_every = 8
+        self._handle: Optional[IO[str]] = None
+        self._unsynced = 0
+
+    # -- reading ------------------------------------------------------------
+
+    def exists(self) -> bool:
+        """True when a journal file for this run-id is on disk."""
+        return self.path.is_file()
+
+    def load(
+        self, *, worker: Optional[str] = None, total: Optional[int] = None
+    ) -> Tuple[Dict[str, Any], Dict[int, JournalEntry]]:
+        """Read the journal; returns ``(header, {index: entry})``.
+
+        Validates the header against this journal's run-id and, when
+        given, the expected ``worker`` and ``total`` — every mismatch
+        is a typed :class:`~repro.errors.JournalError` naming the file.
+        A torn trailing line (crash mid-append) truncates the replay,
+        it does not fail it; a later duplicate index wins (it is a
+        re-execution of the same deterministic task).
+        """
+        try:
+            lines = self.path.read_text().splitlines()
+        except OSError as exc:
+            raise JournalError(
+                f"cannot read journal {self.path}: {exc}"
+            ) from exc
+        if not lines:
+            raise JournalError(f"journal {self.path} is empty (no header)")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise JournalError(
+                f"journal {self.path} has an unreadable header: {exc}"
+            ) from exc
+        if (
+            not isinstance(header, dict)
+            or header.get("journal-schema") != JOURNAL_SCHEMA_VERSION
+        ):
+            raise JournalError(
+                f"journal {self.path} has schema "
+                f"{header.get('journal-schema') if isinstance(header, dict) else header!r}; "
+                f"this build writes version {JOURNAL_SCHEMA_VERSION}"
+            )
+        for key, want in (
+            ("run-id", self.run_id),
+            ("worker", worker),
+            ("total", total),
+        ):
+            if want is not None and header.get(key) != want:
+                raise JournalError(
+                    f"journal {self.path} records {key} "
+                    f"{header.get(key)!r} but this batch has {want!r}; "
+                    "the run-id is derived from the batch contents, so a "
+                    "changed configuration cannot resume an old journal"
+                )
+        entries: Dict[int, JournalEntry] = {}
+        for line in lines[1:]:
+            try:
+                raw = json.loads(line)
+            except json.JSONDecodeError:
+                break  # torn tail: trust everything before it
+            if (
+                not isinstance(raw, dict)
+                or not isinstance(raw.get("index"), int)
+                or raw.get("status") not in ("ok", "poison")
+            ):
+                break
+            entries[raw["index"]] = JournalEntry(
+                index=raw["index"],
+                status=raw["status"],
+                value=raw.get("value"),
+                error=raw.get("error"),
+                retries=int(raw.get("retries", 0)),
+            )
+        return header, entries
+
+    # -- writing ------------------------------------------------------------
+
+    def start(self, *, worker: str, total: int, fresh: bool) -> None:
+        """Open the journal for appending.
+
+        ``fresh=True`` truncates and writes a new header (a new batch);
+        ``fresh=False`` appends to an existing, already-validated
+        journal (a resume).
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        mode = "w" if fresh or not self.exists() else "a"
+        self._handle = open(self.path, mode, encoding="utf-8")
+        self._unsynced = 0
+        if mode == "w":
+            header = {
+                "journal-schema": JOURNAL_SCHEMA_VERSION,
+                "run-id": self.run_id,
+                "worker": worker,
+                "total": total,
+            }
+            self._handle.write(json.dumps(header, sort_keys=True) + "\n")
+            self.flush()
+
+    def record(self, entry: JournalEntry) -> None:
+        """Append one completion as a single write; fsync in batches."""
+        if self._handle is None:
+            raise JournalError(
+                f"journal {self.path} is not open for writing "
+                "(call start() first)"
+            )
+        body = asdict(entry)
+        body["value"] = plain(body["value"])
+        self._handle.write(json.dumps(body, sort_keys=True) + "\n")
+        self._handle.flush()
+        self._unsynced += 1
+        if self._unsynced >= self.fsync_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Force journaled lines to disk (flush + fsync)."""
+        if self._handle is None:
+            return
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._unsynced = 0
+
+    def close(self) -> None:
+        """Flush and release the file handle (idempotent)."""
+        if self._handle is None:
+            return
+        self.flush()
+        self._handle.close()
+        self._handle = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RunJournal(run_id={self.run_id!r}, path={str(self.path)!r})"

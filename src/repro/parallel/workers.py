@@ -19,10 +19,14 @@ Registry:
   findings and event counts as a dict.
 * ``sleep`` — diagnostic/self-test worker: sleeps then echoes a value
   (used by the executor's own timeout and cache tests).
+* ``fragile`` — diagnostic worker that kills its own process on demand
+  (used by the supervisor's crash-recovery and poison-quarantine tests;
+  pool mode only — inline it would kill the calling process).
 """
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Any, Callable, Dict, Optional
 
@@ -145,4 +149,23 @@ def _sanitize_schedule(payload: Dict[str, Any]) -> Dict[str, Any]:
 def _sleep(payload: Dict[str, Any]) -> Any:
     """Sleep ``seconds`` then echo ``value`` (timeout/cache self-tests)."""
     time.sleep(payload.get("seconds", 0.0))
+    return payload.get("value")
+
+
+@worker("fragile")
+def _fragile(payload: Dict[str, Any]) -> Any:
+    """Die on demand, then echo ``value`` (supervisor self-tests).
+
+    ``{"die": true}`` always kills the worker process (a poison
+    payload); ``{"once_marker": path}`` dies on first execution and
+    succeeds on the retry (a transient crash).  ``os._exit`` skips
+    every ``finally``/atexit hook — the closest a pure-Python worker
+    gets to a segfault.  Pool mode only.
+    """
+    if payload.get("die"):
+        os._exit(13)
+    marker = payload.get("once_marker")
+    if marker is not None and not os.path.exists(marker):
+        open(marker, "w").close()
+        os._exit(13)
     return payload.get("value")

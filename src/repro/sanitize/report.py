@@ -69,6 +69,16 @@ class SanitizeReport:
     #: total barrier / access events observed (instrumentation volume).
     barrier_events: int = 0
     access_events: int = 0
+    # -- partial-failure provenance (supervised executor campaigns) --
+    #: process-level re-executions the parallel supervisor forced.
+    retries: int = 0
+    #: schedule indices whose payload was quarantined as poison
+    #: (surfaced as ``simulation-error`` findings).
+    quarantined: List[int] = field(default_factory=list)
+    #: run-id this campaign was resumed from, if any.  In-memory only:
+    #: excluded from serialization and equality so a resumed campaign
+    #: stays bit-identical to an uninterrupted one.
+    resumed_from: Optional[str] = field(default=None, compare=False)
 
     @property
     def clean(self) -> bool:
@@ -97,6 +107,8 @@ class SanitizeReport:
             "clean": self.clean,
             "barrier_events": self.barrier_events,
             "access_events": self.access_events,
+            "retries": self.retries,
+            "quarantined": list(self.quarantined),
             "findings": [
                 {
                     "kind": f.kind,
@@ -139,6 +151,8 @@ class SanitizeReport:
             schedules_flagged=require(payload, "schedules_flagged", source),
             barrier_events=require(payload, "barrier_events", source),
             access_events=require(payload, "access_events", source),
+            retries=int(payload.get("retries", 0)),
+            quarantined=list(payload.get("quarantined", [])),
         )
         for entry in require(payload, "findings", source):
             finding = Finding(

@@ -29,6 +29,7 @@ from repro.gpu.config import DeviceConfig
 from repro.model.calibration import CalibratedTimings
 
 __all__ = [
+    "COMPATIBLE_SCHEMA_VERSIONS",
     "RESULT_SCHEMA_VERSION",
     "canonical_json",
     "check_envelope",
@@ -38,12 +39,21 @@ __all__ = [
     "parse_result",
     "plain",
     "require",
+    "run_result_from_dict",
+    "run_result_to_dict",
 ]
 
 #: current schema of every serialized batch result.  Version 1 was the
 #: pre-protocol sweep-only format of :mod:`repro.harness.store`; version
-#: 2 introduced the shared envelope across all result kinds.
-RESULT_SCHEMA_VERSION = 2
+#: 2 introduced the shared envelope across all result kinds; version 3
+#: added partial-failure provenance (``retries``, ``quarantined``) to
+#: sweep, chaos and sanitize results.
+RESULT_SCHEMA_VERSION = 3
+
+#: envelope versions this build reads by default.  Version 3 is a pure
+#: field addition over 2 (readers default the new provenance fields), so
+#: both parse.
+COMPATIBLE_SCHEMA_VERSIONS = (2, RESULT_SCHEMA_VERSION)
 
 
 def plain(value: Any) -> Any:
@@ -91,7 +101,7 @@ def check_envelope(
     *,
     kind: Union[str, Iterable[str]],
     source: str = "<string>",
-    accept: Iterable[int] = (RESULT_SCHEMA_VERSION,),
+    accept: Iterable[int] = COMPATIBLE_SCHEMA_VERSIONS,
 ) -> Dict[str, Any]:
     """Validate an envelope's kind and schema; return the payload.
 
@@ -128,7 +138,7 @@ def parse_result(
     *,
     kind: Union[str, Iterable[str]],
     source: str = "<string>",
-    accept: Iterable[int] = (RESULT_SCHEMA_VERSION,),
+    accept: Iterable[int] = COMPATIBLE_SCHEMA_VERSIONS,
 ) -> Dict[str, Any]:
     """Parse and envelope-check serialized JSON text."""
     try:
@@ -147,6 +157,36 @@ def require(payload: Dict[str, Any], key: str, source: str = "<string>") -> Any:
             f"{source}: missing required field {key!r} "
             f"(schema {payload.get('schema')!r}, kind {payload.get('kind')!r})"
         ) from None
+
+
+def run_result_to_dict(result: Any) -> Dict[str, Any]:
+    """A plain-dict form of a :class:`~repro.harness.runner.RunResult`.
+
+    Drops the (unserializable, optional) ``device`` handle and the
+    in-memory-only ``resumed_from`` provenance; everything else —
+    including recovery events — round-trips losslessly through
+    :func:`run_result_from_dict`, which is what the single-run journal
+    on the :func:`repro.run` facade replays.
+    """
+    body = {
+        k: v
+        for k, v in vars(result).items()
+        if k not in ("device", "resumed_from")
+    }
+    body["recovery"] = [asdict(event) for event in result.recovery]
+    return plain(body)
+
+
+def run_result_from_dict(payload: Dict[str, Any]) -> Any:
+    """Rebuild a :class:`~repro.harness.runner.RunResult` from
+    :func:`run_result_to_dict`."""
+    from repro.harness.runner import RecoveryEvent, RunResult
+
+    fields = dict(payload)
+    fields["recovery"] = [
+        RecoveryEvent(**event) for event in fields.get("recovery", [])
+    ]
+    return RunResult(**fields)
 
 
 def device_config_to_dict(config: DeviceConfig) -> Dict[str, Any]:

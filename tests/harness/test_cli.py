@@ -119,3 +119,64 @@ def test_chaos_command_unknown_strategy_fails(capsys):
     assert main(["chaos", "--strategy", "no-such", "--plans", "2"]) == 1
     out = capsys.readouterr().out
     assert "UNEXPLAINED" in out
+
+
+def test_journal_flag_writes_journal(tmp_path, capsys):
+    jdir = tmp_path / "journal"
+    assert (
+        main(["fig11", "--rounds", "5", "--journal",
+              "--journal-dir", str(jdir)])
+        == 0
+    )
+    journals = list(jdir.glob("*/journal.jsonl"))
+    assert len(journals) == 1
+
+
+def test_resume_flag_replays_bit_identical(tmp_path, capsys):
+    jdir = tmp_path / "journal"
+    argv = ["fig11", "--rounds", "5", "--journal", "--journal-dir", str(jdir)]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    # --resume with no run-id resumes whatever journal matches the batch.
+    assert main(argv + ["--resume"]) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_resume_wrong_run_id_is_typed(tmp_path, capsys):
+    from repro.errors import ExecutorError
+
+    jdir = tmp_path / "journal"
+    with pytest.raises(ExecutorError, match="cannot resume"):
+        main(["fig11", "--rounds", "5", "--journal-dir", str(jdir),
+              "--resume", "0" * 16])
+
+
+def test_interrupted_sweep_exits_130(tmp_path, capsys, monkeypatch):
+    import signal
+
+    from repro.parallel import Executor
+
+    jdir = tmp_path / "journal"
+    original = Executor.map
+
+    def tripping_map(self, worker, payloads, *, resume=None):
+        def tripwire(done, total, cached):
+            if done == 3:
+                signal.raise_signal(signal.SIGINT)
+
+        self.progress = tripwire
+        return original(self, worker, payloads, resume=resume)
+
+    monkeypatch.setattr(Executor, "map", tripping_map)
+    code = main(["fig11", "--rounds", "5", "--journal",
+                 "--journal-dir", str(jdir)])
+    assert code == 130
+    err = capsys.readouterr().err
+    assert "interrupted" in err
+    assert "resume with: --resume" in err
+
+    # The hint works: resuming completes the sweep cleanly.
+    monkeypatch.setattr(Executor, "map", original)
+    run_id = err.split("--resume")[-1].strip()
+    assert main(["fig11", "--rounds", "5", "--journal-dir", str(jdir),
+                 "--resume", run_id]) == 0

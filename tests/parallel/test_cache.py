@@ -53,6 +53,45 @@ def test_corrupt_entry_is_a_miss(cache):
     assert cache.get(key) == (True, 1234)
 
 
+def test_corrupt_entry_is_quarantined(cache):
+    key = cache.key("run-total", {"seed": 7})
+    path = cache.put(key, 1234)
+    path.write_text("{ not json")
+    assert cache.get(key) == (False, None)
+    # The rotten file moved aside so the decode failure cannot recur.
+    assert not path.exists()
+    corpse = path.with_suffix(".corrupt")
+    assert corpse.read_text() == "{ not json"
+    assert cache.corrupt == 1
+    assert cache.get(key) == (False, None)  # plain miss, no re-quarantine
+    assert cache.corrupt == 1
+
+
+def test_quarantine_is_counted_and_cleared(cache):
+    key = cache.key("run-total", {"seed": 7})
+    path = cache.put(key, 1234)
+    path.write_text("{ not json")
+    cache.get(key)
+    stats = cache.stats()
+    assert stats.entries == 0
+    assert stats.corrupt == 1
+    assert "1 corrupt" in stats.render()
+    assert cache.clear() == 0  # corpses are removed but not counted
+    assert cache.stats().corrupt == 0
+    assert not path.with_suffix(".corrupt").exists()
+
+
+def test_schema_mismatch_is_not_quarantined(cache):
+    key = cache.key("run-total", {"seed": 7})
+    path = cache.put(key, 1234)
+    entry = json.loads(path.read_text())
+    entry["cache-schema"] = CACHE_SCHEMA_VERSION + 1
+    path.write_text(json.dumps(entry))
+    assert cache.get(key) == (False, None)
+    assert path.exists()  # decodable files stay put, whatever they say
+    assert cache.corrupt == 0
+
+
 def test_schema_mismatch_is_a_miss(cache):
     key = cache.key("run-total", {"seed": 7})
     path = cache.put(key, 1234)

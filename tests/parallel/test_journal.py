@@ -1,0 +1,191 @@
+"""Tests for the write-ahead run journal and its run-id scheme."""
+
+import json
+
+import pytest
+
+from repro.errors import JournalError
+from repro.parallel import (
+    JOURNAL_SCHEMA_VERSION,
+    JournalEntry,
+    RunJournal,
+    run_id_for,
+)
+
+PAYLOADS = [{"seed": s, "num_blocks": 4} for s in range(3)]
+
+
+@pytest.fixture
+def journal(tmp_path):
+    rid = run_id_for("run-total", PAYLOADS)
+    return RunJournal(tmp_path, rid)
+
+
+def write_batch(journal, entries):
+    journal.start(worker="run-total", total=len(PAYLOADS), fresh=True)
+    for entry in entries:
+        journal.record(entry)
+    journal.close()
+
+
+# -- run-id -----------------------------------------------------------------
+
+
+def test_run_id_is_deterministic():
+    assert run_id_for("run-total", PAYLOADS) == run_id_for(
+        "run-total", list(PAYLOADS)
+    )
+
+
+def test_run_id_ignores_dict_construction_order():
+    flipped = [{"num_blocks": 4, "seed": s} for s in range(3)]
+    assert run_id_for("run-total", PAYLOADS) == run_id_for("run-total", flipped)
+
+
+def test_run_id_sensitive_to_every_input():
+    base = run_id_for("run-total", PAYLOADS)
+    assert run_id_for("run-result", PAYLOADS) != base
+    tweaked = [dict(p) for p in PAYLOADS]
+    tweaked[1]["seed"] = 99
+    assert run_id_for("run-total", tweaked) != base
+    assert run_id_for("run-total", PAYLOADS[:-1]) != base
+
+
+def test_run_id_shape():
+    rid = run_id_for("run-total", [])
+    assert len(rid) == 16
+    assert all(c in "0123456789abcdef" for c in rid)
+
+
+# -- roundtrip --------------------------------------------------------------
+
+
+def test_header_and_entries_roundtrip(journal):
+    write_batch(
+        journal,
+        [
+            JournalEntry(0, "ok", 1234, retries=0),
+            JournalEntry(2, "poison", None, error="killed twice", retries=2),
+        ],
+    )
+    header, entries = journal.load(worker="run-total", total=len(PAYLOADS))
+    assert header["journal-schema"] == JOURNAL_SCHEMA_VERSION
+    assert header["run-id"] == journal.run_id
+    assert set(entries) == {0, 2}
+    assert entries[0] == JournalEntry(0, "ok", 1234)
+    assert entries[2].status == "poison"
+    assert entries[2].error == "killed twice"
+    assert entries[2].retries == 2
+
+
+def test_duplicate_index_last_wins(journal):
+    write_batch(
+        journal,
+        [JournalEntry(1, "ok", 10), JournalEntry(1, "ok", 20, retries=1)],
+    )
+    _, entries = journal.load()
+    assert entries[1].value == 20
+    assert entries[1].retries == 1
+
+
+def test_resume_append_preserves_earlier_entries(journal):
+    write_batch(journal, [JournalEntry(0, "ok", 1)])
+    journal.start(worker="run-total", total=len(PAYLOADS), fresh=False)
+    journal.record(JournalEntry(1, "ok", 2))
+    journal.close()
+    _, entries = journal.load(worker="run-total", total=len(PAYLOADS))
+    assert {i: e.value for i, e in entries.items()} == {0: 1, 1: 2}
+
+
+# -- torn tails -------------------------------------------------------------
+
+
+def test_torn_trailing_line_truncates_replay(journal):
+    write_batch(journal, [JournalEntry(0, "ok", 1), JournalEntry(1, "ok", 2)])
+    with open(journal.path, "a", encoding="utf-8") as handle:
+        handle.write('{"index": 2, "status": "ok", "val')  # crash mid-append
+    _, entries = journal.load()
+    assert set(entries) == {0, 1}
+
+
+def test_garbage_mid_file_truncates_from_there(journal):
+    write_batch(journal, [JournalEntry(0, "ok", 1)])
+    with open(journal.path, "a", encoding="utf-8") as handle:
+        handle.write("not json at all\n")
+        handle.write(json.dumps({"index": 1, "status": "ok", "value": 2}) + "\n")
+    _, entries = journal.load()
+    assert set(entries) == {0}  # nothing after the tear is trusted
+
+
+def test_malformed_entry_shape_stops_replay(journal):
+    write_batch(journal, [JournalEntry(0, "ok", 1)])
+    with open(journal.path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps({"index": "one", "status": "ok"}) + "\n")
+    _, entries = journal.load()
+    assert set(entries) == {0}
+
+
+# -- typed failures ---------------------------------------------------------
+
+
+def test_missing_file_is_typed(journal):
+    assert not journal.exists()
+    with pytest.raises(JournalError, match="cannot read"):
+        journal.load()
+
+
+def test_empty_file_is_typed(journal):
+    journal.path.parent.mkdir(parents=True)
+    journal.path.write_text("")
+    with pytest.raises(JournalError, match="empty"):
+        journal.load()
+
+
+def test_unreadable_header_is_typed(journal):
+    journal.path.parent.mkdir(parents=True)
+    journal.path.write_text("{ not json\n")
+    with pytest.raises(JournalError, match="unreadable header"):
+        journal.load()
+
+
+def test_schema_mismatch_is_typed(journal):
+    write_batch(journal, [])
+    lines = journal.path.read_text().splitlines()
+    header = json.loads(lines[0])
+    header["journal-schema"] = JOURNAL_SCHEMA_VERSION + 1
+    journal.path.write_text(json.dumps(header) + "\n")
+    with pytest.raises(JournalError, match="schema"):
+        journal.load()
+
+
+@pytest.mark.parametrize(
+    "kwargs, fragment",
+    [
+        ({"worker": "run-result"}, "worker"),
+        ({"total": 99}, "total"),
+    ],
+)
+def test_header_mismatch_is_typed(journal, kwargs, fragment):
+    write_batch(journal, [])
+    with pytest.raises(JournalError, match=fragment):
+        journal.load(**kwargs)
+
+
+def test_run_id_mismatch_is_typed(journal, tmp_path):
+    write_batch(journal, [])
+    other = RunJournal(tmp_path, "0" * 16)
+    (other.path.parent).mkdir(parents=True)
+    other.path.write_text(journal.path.read_text())
+    with pytest.raises(JournalError, match="run-id"):
+        other.load()
+
+
+def test_record_before_start_is_typed(journal):
+    with pytest.raises(JournalError, match="not open"):
+        journal.record(JournalEntry(0, "ok", 1))
+
+
+def test_close_is_idempotent(journal):
+    write_batch(journal, [JournalEntry(0, "ok", 1)])
+    journal.close()
+    journal.close()

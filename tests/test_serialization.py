@@ -9,6 +9,7 @@ from repro.gpu.config import gtx280
 from repro.harness import experiments
 from repro.harness.store import load_result, load_sweep, save_sweep
 from repro.serialization import (
+    COMPATIBLE_SCHEMA_VERSIONS,
     RESULT_SCHEMA_VERSION,
     canonical_json,
     device_config_from_dict,
@@ -17,6 +18,8 @@ from repro.serialization import (
     parse_result,
     plain,
     require,
+    run_result_from_dict,
+    run_result_to_dict,
 )
 
 
@@ -127,3 +130,57 @@ def test_load_result_unknown_kind(tmp_path):
     path.write_text(json.dumps({"schema": 2, "kind": "mystery"}))
     with pytest.raises(ExperimentError, match="unknown result kind"):
         load_result(path)
+
+
+def test_schema2_envelope_still_accepted():
+    text = json.dumps({"schema": 2, "kind": "sweep", "blocks": [1]})
+    assert parse_result(text, kind="sweep")["blocks"] == [1]
+    assert COMPATIBLE_SCHEMA_VERSIONS == (2, RESULT_SCHEMA_VERSION)
+
+
+def test_sweep_provenance_fields_roundtrip(sweep):
+    sweep.retries = 3
+    sweep.quarantined = [1, 4]
+    sweep.resumed_from = "abcd" * 4
+    again = experiments.SweepResult.from_json(sweep.to_json())
+    assert again.retries == 3
+    assert again.quarantined == [1, 4]
+    # resumed_from is deliberately in-memory only: a resumed sweep must
+    # serialize byte-identically to an uninterrupted one.
+    assert again.resumed_from is None
+    assert again == sweep
+    assert '"resumed_from"' not in sweep.to_json()
+
+
+def test_sweep_json_without_provenance_fields_loads(sweep):
+    payload = json.loads(sweep.to_json())
+    del payload["retries"]
+    del payload["quarantined"]
+    again = experiments.SweepResult.from_json(json.dumps(payload))
+    assert again.retries == 0
+    assert again.quarantined == []
+
+
+def test_run_result_dict_roundtrip():
+    from repro.algorithms import MeanMicrobench
+    from repro.harness.resilient import RetryPolicy
+    from repro.faults import FaultPlan, FaultSpec
+
+    import repro
+
+    plan = FaultPlan([FaultSpec("driver-kill", block=0, round=1)])
+    result = repro.run(
+        MeanMicrobench(rounds=3, num_blocks_hint=4),
+        "gpu-lockfree",
+        num_blocks=4,
+        retry=RetryPolicy(max_attempts=2),
+        faults=plan,
+    )
+    assert result.attempts == 2 and result.recovery  # a real recovery path
+    payload = run_result_to_dict(result)
+    assert "device" not in payload and "resumed_from" not in payload
+    json.dumps(payload)  # journal-serializable
+    again = run_result_from_dict(payload)
+    assert again == result
+    assert again.recovery == result.recovery
+    assert type(again.recovery[0]) is type(result.recovery[0])

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""CI interruption smoke: interrupt a journaled sweep, resume, diff.
+
+Drives the resumed-equals-uninterrupted invariant end to end
+(docs/resilience.md):
+
+1. run the reference Fig. 11 sweep uninterrupted;
+2. run it again journaled, with a progress tripwire that raises SIGTERM
+   once half the cells are done — deterministic, unlike an external
+   ``kill`` racing the sweep — and catch the resulting
+   :class:`~repro.errors.InterruptedSweepError`;
+3. resume from the run-id the error carries and byte-compare the
+   resumed sweep's JSON against the reference;
+4. replay the same journal through the CLI (``--resume <run-id>``) and
+   require a clean exit.
+
+Exit 0 when every step holds, 1 with a diagnostic otherwise.
+"""
+
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.errors import InterruptedSweepError
+from repro.harness import experiments
+from repro.parallel import Executor
+
+ROUNDS = 50
+JOBS = 2
+
+
+def fail(message: str) -> int:
+    print(f"FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main() -> int:
+    reference = experiments.fig11(rounds=ROUNDS)
+    total_cells = len(reference.blocks) * (len(reference.totals) + 1)
+
+    with tempfile.TemporaryDirectory(prefix="resume-smoke-") as tmp:
+        journal_dir = Path(tmp)
+
+        def tripwire(done: int, total: int, cached: bool) -> None:
+            if done == total // 2:
+                signal.raise_signal(signal.SIGTERM)
+
+        tripped = Executor(
+            jobs=JOBS, journal_dir=journal_dir, progress=tripwire
+        )
+        try:
+            experiments.fig11(rounds=ROUNDS, executor=tripped)
+        except InterruptedSweepError as exc:
+            interrupted = exc
+        else:
+            return fail("SIGTERM tripwire never interrupted the sweep")
+
+        print(
+            f"interrupted at {interrupted.done}/{interrupted.total} cells "
+            f"(run {interrupted.run_id}); journal: "
+            f"{interrupted.journal_path}"
+        )
+        if interrupted.done >= interrupted.total:
+            return fail("interrupt fired after the sweep already finished")
+
+        resumed_ex = Executor(jobs=JOBS, journal_dir=journal_dir)
+        resumed = experiments.fig11(
+            rounds=ROUNDS, executor=resumed_ex, resume=interrupted.run_id
+        )
+        if resumed.to_json() != reference.to_json():
+            return fail(
+                "resumed sweep is not byte-identical to the "
+                "uninterrupted reference"
+            )
+        replayed = resumed_ex.last_batch.replayed
+        if replayed < interrupted.done:
+            return fail(
+                f"resume replayed only {replayed} of the "
+                f"{interrupted.done} journaled cells"
+            )
+        print(
+            f"resume replayed {replayed} journaled cells, executed the "
+            f"remaining {total_cells - replayed}; JSON byte-identical "
+            f"({len(reference.to_json())} bytes)"
+        )
+
+        # The CLI spelling of the same resume must replay cleanly too.
+        cli = subprocess.run(
+            [
+                sys.executable, "-m", "repro.harness", "fig11",
+                "--rounds", str(ROUNDS), "--jobs", str(JOBS),
+                "--journal-dir", str(journal_dir),
+                "--resume", interrupted.run_id,
+            ],
+            capture_output=True,
+            text=True,
+        )
+        if cli.returncode != 0:
+            print(cli.stdout)
+            print(cli.stderr, file=sys.stderr)
+            return fail(
+                f"CLI --resume exited {cli.returncode} instead of 0"
+            )
+        print("CLI --resume replayed the journal and exited 0")
+
+    print("interrupt/resume smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
