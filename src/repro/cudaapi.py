@@ -163,11 +163,8 @@ class CudaSession:
         # Run until this step's process completes; background device
         # work stays queued in the engine.
         while process.alive:
-            if not self.device.engine._heap:  # pragma: no cover - guard
+            when = self.device.engine.next_event_time()
+            if when is None:  # pragma: no cover - guard
                 raise LaunchError("host step cannot complete (device idle)")
-            self.device.engine.run(until=self._next_event_time())
+            self.device.engine.run(until=when)
         return box.get("result")
-
-    def _next_event_time(self) -> int:
-        """Virtual time of the next pending event."""
-        return self.device.engine._heap[0][0]

@@ -33,7 +33,9 @@ class GlobalArray:
         self._memory = memory
         self.name = name
         self.data = data
-        self.signal = Signal(f"mem:{name}")
+        # The backing array is the signal's observable source: declared
+        # spin waits (WaitSpec) are checked against it by the fast engine.
+        self.signal = Signal(f"mem:{name}", source=data)
         #: store/load counters for tests and diagnostics.
         self.stores = 0
         self.loads = 0

@@ -137,6 +137,7 @@ def run(
     probe=None,
     faults=None,
     barrier_deadline_ns: Optional[int] = None,
+    engine_mode: Optional[str] = None,
 ) -> RunResult:
     """Execute ``algorithm`` under ``strategy`` on a fresh device.
 
@@ -174,6 +175,12 @@ def run(
     nothing then — this function is single-attempt; recovery (retry,
     graceful degradation) lives in
     :func:`repro.harness.resilient.run_resilient`.
+
+    ``engine_mode`` selects the event core ("reference" or "fast" — see
+    ``docs/engine.md``); ``None`` defers to
+    :func:`repro.simcore.use_engine_mode` / ``REPRO_ENGINE_MODE`` and
+    defaults to the reference engine.  Both cores produce bit-identical
+    results; the fast core is just faster.
     """
     if isinstance(strategy, str):
         strategy = get_strategy(strategy)
@@ -189,7 +196,7 @@ def run(
     strategy.validate_grid(cfg, num_blocks)
 
     algorithm.reset()
-    device = Device(cfg, fuzzer=fuzzer, faults=faults)
+    device = Device(cfg, engine_mode=engine_mode, fuzzer=fuzzer, faults=faults)
     if probe is not None:
         device.probes.append(probe)
     host = Host(device)

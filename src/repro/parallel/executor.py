@@ -528,6 +528,11 @@ class _Supervisor:
                     kind="worker",
                 ) from exc
             self.complete(index, key, value)
+        if self.interrupt is not None:
+            # Signal during the last task's completion callback: the
+            # per-task check above never runs again, but the interrupt
+            # must still surface (see run_pool).
+            self._raise_interrupted()
 
     # -- supervised process-pool path ----------------------------------------
 
@@ -754,6 +759,12 @@ class _Supervisor:
             raise
         else:
             pool.shutdown(wait=True)
+            if self.interrupt is not None:
+                # The signal landed during the final harvest batch, after
+                # the loop's last top-of-iteration check.  Every task is
+                # journaled; the interrupt must still surface, or a
+                # trapped SIGINT/SIGTERM would be silently swallowed.
+                self._raise_interrupted()
 
     def drain(self, inflight: Dict[Any, Tuple[int, Optional[float]]]) -> None:
         """Let in-flight siblings finish and journal their results.

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from typing import Any, Callable, Generator, List, NoReturn, Optional, Tuple
 
 from repro.errors import DeadlockError, ProcessError, SimulationError
 from repro.simcore.effects import (
@@ -54,13 +54,18 @@ class Engine:
     ):
         #: current virtual time in nanoseconds.
         self.now: int = 0
-        self._heap: List[Tuple[int, float, int, Process, Any]] = []
+        #: pending wakeups as mutable ``[when, priority, seq, process,
+        #: value]`` entries; a cancelled entry is tombstoned in place
+        #: (process slot set to None) and dropped lazily when popped.
+        self._heap: List[List[Any]] = []
         self._tiebreak = tiebreak
         self._seq = 0
         self._pid = 0
         self._processes: List[Process] = []
         self._max_events = max_events
         self._events_dispatched = 0
+        #: count of live (non-tombstoned) pending entries.
+        self._live = 0
         self._running = False
 
     # -- public API ----------------------------------------------------------
@@ -105,18 +110,22 @@ class Engine:
         self._running = True
         try:
             while self._heap:
-                when, _pri, _seq, process, value = heapq.heappop(self._heap)
-                if process.state == ProcessState.CANCELLED:
-                    # Lazily dropped heap entry of a killed process: skip
-                    # it *before* the horizon check or advancing the
-                    # clock, so dead wakeups neither pause the run nor
-                    # inflate the final virtual time.
+                entry = heapq.heappop(self._heap)
+                process = entry[3]
+                if process is None:
+                    # Tombstoned wakeup of a cancelled process: skip it
+                    # *before* the horizon check or advancing the clock,
+                    # so dead wakeups neither pause the run nor inflate
+                    # the final virtual time.
                     continue
+                when = entry[0]
                 if until is not None and when > until:
                     # Push back and stop at the horizon.
-                    heapq.heappush(self._heap, (when, _pri, _seq, process, value))
+                    heapq.heappush(self._heap, entry)
                     self.now = until
                     return self.now
+                process._entry = None
+                self._live -= 1
                 if when < self.now:
                     raise SimulationError("time went backwards (engine bug)")
                 self.now = when
@@ -126,7 +135,7 @@ class Engine:
                         f"exceeded max_events={self._max_events}; "
                         "likely a runaway simulation"
                     )
-                self._step(process, value)
+                self._step(process, entry[4])
         finally:
             self._running = False
 
@@ -169,7 +178,13 @@ class Engine:
                 woken.holding.append(resource)
                 self._schedule(woken, self.now, self.now - enq_time)
         process.holding.clear()
-        # Mark dead; heap entries are dropped lazily by the run loop.
+        # Tombstone its pending wakeup, if any: O(1), no heap scan.  The
+        # dead entry is dropped lazily when it reaches the queue head.
+        entry = process._entry
+        if entry is not None:
+            process._entry = None
+            self._live -= 1
+            self._tombstone(entry)
         process.state = ProcessState.CANCELLED
         process.result = Cancelled(reason)
         process.finished_at = self.now
@@ -226,12 +241,24 @@ class Engine:
         on).  ``ignore`` lets a watchdog discount its own timer when it
         asks "can anyone *else* still make progress?".
         """
-        ignored = {id(p) for p in ignore}
-        return sum(
-            1
-            for _when, _pri, _seq, process, _value in self._heap
-            if process.alive and id(process) not in ignored
-        )
+        pending = self._live
+        for p in ignore:
+            if p._entry is not None:
+                pending -= 1
+        return pending
+
+    def next_event_time(self) -> Optional[int]:
+        """Timestamp of the next live scheduled wakeup, or ``None``.
+
+        The step-driver API (:mod:`repro.cudaapi`) uses this with
+        ``run(until=...)`` to advance the clock one event at a time;
+        both engine modes implement it.  Tombstoned (cancelled) entries
+        at the head are pruned as a side effect.
+        """
+        heap = self._heap
+        while heap and heap[0][3] is None:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
 
     @property
     def events_dispatched(self) -> int:
@@ -241,9 +268,23 @@ class Engine:
     # -- internals -------------------------------------------------------------
 
     def _schedule(self, process: Process, when: int, value: Any) -> None:
-        self._seq += 1
         priority = self._tiebreak() if self._tiebreak is not None else 0.0
-        heapq.heappush(self._heap, (when, priority, self._seq, process, value))
+        self._schedule_entry(process, when, priority, value)
+
+    def _schedule_entry(
+        self, process: Process, when: int, priority: float, value: Any
+    ) -> None:
+        """Insert a wakeup whose tiebreak priority was already drawn."""
+        self._seq += 1
+        entry: List[Any] = [when, priority, self._seq, process, value]
+        process._entry = entry
+        self._live += 1
+        heapq.heappush(self._heap, entry)
+
+    def _tombstone(self, entry: List[Any]) -> None:
+        """Mark a pending entry dead in place (already uncounted)."""
+        entry[3] = None
+        entry[4] = None
 
     def _step(self, process: Process, value: Any) -> None:
         """Resume ``process`` with ``value`` and dispatch its next effect."""
@@ -260,19 +301,23 @@ class Engine:
             self._finish(process, stop.value)
             return
         except BaseException as exc:
-            process.state = ProcessState.FAILED
-            process.exception = exc
-            process.finished_at = self.now
-            from repro.errors import ReproError
-
-            if isinstance(exc, ReproError):
-                # Library errors keep their type (callers catch on it);
-                # the failing process is recorded on the exception object.
-                raise
-            raise ProcessError(
-                f"process {process.name!r} raised {type(exc).__name__}: {exc}"
-            ) from exc
+            self._crash(process, exc)
         self._dispatch(process, effect)
+
+    def _crash(self, process: Process, exc: BaseException) -> NoReturn:
+        """Record a process failure and re-raise it annotated."""
+        process.state = ProcessState.FAILED
+        process.exception = exc
+        process.finished_at = self.now
+        from repro.errors import ReproError
+
+        if isinstance(exc, ReproError):
+            # Library errors keep their type (callers catch on it);
+            # the failing process is recorded on the exception object.
+            raise exc
+        raise ProcessError(
+            f"process {process.name!r} raised {type(exc).__name__}: {exc}"
+        ) from exc
 
     def _finish(self, process: Process, result: Any) -> None:
         process.state = ProcessState.DONE

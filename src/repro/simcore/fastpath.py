@@ -1,0 +1,538 @@
+"""The fast-path simulation core: calendar queue + epoch-jumping engine.
+
+The reference :class:`~repro.simcore.engine.Engine` replays every event
+through one global ``heapq`` and re-evaluates every parked spin predicate
+on every store.  Both costs are avoidable in the common case this
+repository simulates — thousands of same-priority events and thousands of
+spin polls whose outcome is analytically known:
+
+* :class:`CalendarQueue` buckets pending wakeups by timestamp.  Within a
+  bucket the common same-priority case is a plain FIFO append (scheduling
+  order *is* dispatch order), so push/pop skip the global heap entirely;
+  only distinct timestamps pay a (much smaller) heap.
+* :class:`FastEngine` adds an **epoch jump**: when a resumed process only
+  yields ``Delay`` effects and its next wakeup still precedes every other
+  pending event, the engine advances the clock and resumes it in place —
+  no queue round-trip at all.  When a process blocks, the queue head is
+  by construction the wake horizon, and the engine hops there in one
+  step.
+* :class:`FlagIndex` indexes spin waiters that declare their wait
+  predicate (:class:`~repro.simcore.effects.WaitSpec`) by cell and
+  threshold.  A store then wakes exactly the satisfied waiters via heap
+  peeks instead of evaluating every parked lambda — the quiescence rule:
+  a spinner whose threshold is unmet cannot run before the next store,
+  so it is never polled.
+
+Every observable of the reference engine is reproduced bit-for-bit:
+virtual timestamps, dispatch order (``(when, priority, seq)``), poll
+counts, trace spans, tiebreak PRNG draws, and error/deadlock behaviour.
+The reference engine stays available as the oracle
+(``engine_mode="reference"``); ``tests/simcore/test_fastpath_equiv.py``
+holds the two to byte-identical results.  See ``docs/engine.md``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigError, DeadlockError, SimulationError
+from repro.simcore.effects import Delay, Effect, Fire, WaitSpec, WaitUntil
+from repro.simcore.engine import Engine
+from repro.simcore.process import Process, ProcessState
+from repro.simcore.signal import Signal
+
+__all__ = [
+    "ENGINE_MODES",
+    "ENGINE_MODE_ENV",
+    "CalendarQueue",
+    "FastEngine",
+    "FlagIndex",
+    "make_engine",
+    "resolve_engine_mode",
+    "use_engine_mode",
+]
+
+#: the two interchangeable event cores; "reference" is the oracle.
+ENGINE_MODES = ("reference", "fast")
+
+#: environment variable consulted by :func:`resolve_engine_mode` — the
+#: way to flip mode across process boundaries (parallel sweep workers,
+#: CI jobs).
+ENGINE_MODE_ENV = "REPRO_ENGINE_MODE"
+
+_mode_override: Optional[str] = None
+
+
+def resolve_engine_mode(mode: Optional[str] = None) -> str:
+    """Resolve an engine mode: explicit arg > context override > env > default.
+
+    ``mode=None`` consults the :func:`use_engine_mode` override, then the
+    ``REPRO_ENGINE_MODE`` environment variable, then defaults to
+    ``"reference"``.  Raises :class:`repro.errors.ConfigError` on an
+    unknown mode name.
+    """
+    if mode is None:
+        mode = _mode_override
+    if mode is None:
+        mode = os.environ.get(ENGINE_MODE_ENV) or "reference"
+    if mode not in ENGINE_MODES:
+        raise ConfigError(
+            f"unknown engine_mode {mode!r}; expected one of {ENGINE_MODES}"
+        )
+    return mode
+
+
+@contextmanager
+def use_engine_mode(mode: str) -> Iterator[str]:
+    """Context manager forcing the default engine mode within its scope.
+
+    Affects engines created in *this* process with ``engine_mode=None``
+    (parallel sweep workers run in subprocesses — set
+    ``REPRO_ENGINE_MODE`` for those).  The differential test suite uses
+    this to run the same driver under both cores.
+    """
+    global _mode_override
+    resolved = resolve_engine_mode(mode)
+    previous = _mode_override
+    _mode_override = resolved
+    try:
+        yield resolved
+    finally:
+        _mode_override = previous
+
+
+def make_engine(
+    mode: Optional[str] = None,
+    *,
+    max_events: int = 200_000_000,
+    tiebreak: Optional[Callable[[], float]] = None,
+) -> Engine:
+    """Build an engine for ``mode`` (see :func:`resolve_engine_mode`)."""
+    if resolve_engine_mode(mode) == "fast":
+        return FastEngine(max_events=max_events, tiebreak=tiebreak)
+    return Engine(max_events=max_events, tiebreak=tiebreak)
+
+
+class CalendarQueue:
+    """Timestamp-bucketed event queue, bit-compatible with the global heap.
+
+    Entries are the engine's mutable ``[when, priority, seq, process,
+    value]`` lists.  Buckets are keyed by ``when``; a small heap of the
+    distinct timestamps yields the next bucket.  With ``ordered=False``
+    (no tiebreak installed) every entry in a bucket shares priority 0.0
+    and arrives in ascending ``seq``, so a deque append/popleft *is*
+    ``(when, priority, seq)`` order.  With a tiebreak active
+    (``ordered=True``) each bucket is its own priority heap.
+
+    Cancellation tombstones the entry in place (``process`` slot set to
+    ``None``); dead entries are skipped lazily at the bucket head.
+    """
+
+    __slots__ = ("_buckets", "_times", "_size", "_ordered")
+
+    def __init__(self, ordered: bool = False) -> None:
+        self._buckets: Dict[int, Any] = {}
+        self._times: List[int] = []
+        self._size = 0
+        self._ordered = ordered
+
+    def __len__(self) -> int:
+        return self._size
+
+    def push(self, entry: List[Any]) -> None:
+        """Insert an entry (appended FIFO, or heap-ranked under tiebreak)."""
+        when = entry[0]
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            heapq.heappush(self._times, when)
+            if self._ordered:
+                self._buckets[when] = [entry]
+            else:
+                fifo: deque[List[Any]] = deque()
+                fifo.append(entry)
+                self._buckets[when] = fifo
+        elif self._ordered:
+            # Same-when entries compare on (priority, seq); seq is unique
+            # so the process slot is never reached.
+            heapq.heappush(bucket, entry)
+        else:
+            bucket.append(entry)
+        self._size += 1
+
+    def pushback(self, entry: List[Any]) -> None:
+        """Re-insert an entry just popped (horizon push-back).
+
+        The entry was the queue head, so in FIFO mode it must return to
+        the *front* of its bucket (a plain append would put the oldest
+        seq behind newer ones).
+        """
+        when = entry[0]
+        bucket = self._buckets.get(when)
+        if bucket is None or self._ordered:
+            self.push(entry)
+            return
+        bucket.appendleft(entry)
+        self._size += 1
+
+    def peek(self) -> Optional[List[Any]]:
+        """The next live entry in ``(when, priority, seq)`` order, or None.
+
+        Prunes tombstones and exhausted buckets from the head as a side
+        effect (amortized O(1) per cancelled entry).
+        """
+        buckets = self._buckets
+        times = self._times
+        ordered = self._ordered
+        while times:
+            when = times[0]
+            bucket = buckets[when]
+            if ordered:
+                while bucket and bucket[0][3] is None:
+                    heapq.heappop(bucket)
+            else:
+                while bucket and bucket[0][3] is None:
+                    bucket.popleft()
+            if bucket:
+                head: List[Any] = bucket[0]
+                return head
+            del buckets[when]
+            heapq.heappop(times)
+        return None
+
+    def peek_time(self) -> Optional[int]:
+        """Timestamp of the next live entry, or None when drained."""
+        head = self.peek()
+        return None if head is None else head[0]
+
+    def pop(self) -> Optional[List[Any]]:
+        """Remove and return the next live entry, or None when drained."""
+        head = self.peek()
+        if head is None:
+            return None
+        when = head[0]
+        bucket = self._buckets[when]
+        if self._ordered:
+            heapq.heappop(bucket)
+        else:
+            bucket.popleft()
+        if not bucket:
+            del self._buckets[when]
+            heapq.heappop(self._times)
+        self._size -= 1
+        return head
+
+    def cancel(self, entry: List[Any]) -> None:
+        """Tombstone an entry in O(1); it is pruned when it reaches a head."""
+        entry[3] = None
+        entry[4] = None
+        self._size -= 1
+
+
+class FlagIndex:
+    """Threshold index over a signal's declared (:class:`WaitSpec`) waiters.
+
+    Single-cell waits are grouped per cell in a min-heap keyed by
+    ``(threshold, park_seq)``; on each fire one value read per
+    cell-with-waiters pops exactly the satisfied waiters.  Whole-array
+    and slice waits sit in a side list and are evaluated per fire (their
+    predicates read many cells anyway).  Cancelled waiters are
+    tombstoned in place, mirroring the event queue.
+    """
+
+    __slots__ = ("count", "_cells", "_ranges", "_by_proc")
+
+    def __init__(self) -> None:
+        #: number of live declared waiters.
+        self.count = 0
+        # cell -> heap of (threshold, park_seq, entry); entry is the
+        # mutable [process, spec, reason, park_seq, fire_count_at_park].
+        self._cells: Dict[int, List[Tuple[float, int, List[Any]]]] = {}
+        self._ranges: List[List[Any]] = []
+        self._by_proc: Dict[int, List[Any]] = {}
+
+    def add(
+        self,
+        process: Process,
+        spec: WaitSpec,
+        reason: str,
+        park_seq: int,
+        fire_count: int,
+    ) -> None:
+        """Park a declared waiter (predicate already evaluated false)."""
+        entry: List[Any] = [process, spec, reason, park_seq, fire_count]
+        self._by_proc[id(process)] = entry
+        self.count += 1
+        if spec.lo is not None and spec.hi is None:
+            cell = self._cells.setdefault(spec.lo, [])
+            heapq.heappush(cell, (float(spec.threshold), park_seq, entry))
+        else:
+            self._ranges.append(entry)
+
+    def discard(self, process: Process) -> bool:
+        """Detach a waiter in O(1) (cancellation); True if it was parked."""
+        entry = self._by_proc.pop(id(process), None)
+        if entry is None:
+            return False
+        entry[0] = None
+        self.count -= 1
+        return True
+
+    def collect(
+        self,
+        source: Any,
+        fire_count: int,
+        out: List[Tuple[int, Process, int]],
+    ) -> None:
+        """Pop every satisfied waiter into ``out`` as (park_seq, process, polls).
+
+        Checks each cell *with waiters* against the current value — not
+        just a stored index — because host code may mutate the backing
+        array directly between fires; the reference engine re-evaluates
+        every predicate per fire and sees such writes, so the index must
+        too.  ``polls`` is ``fire_count - fire_count_at_park``, exactly
+        the per-fire increments the reference would have counted.
+        """
+        cells = self._cells
+        for cell in list(cells):
+            heap = cells[cell]
+            # float() once: comparing Python floats against a NumPy
+            # scalar would route every probe through ufunc dispatch.
+            value = float(source[cell])
+            while heap and heap[0][0] <= value:
+                _thr, park_seq, entry = heapq.heappop(heap)
+                process = entry[0]
+                if process is None:
+                    continue
+                del self._by_proc[id(process)]
+                self.count -= 1
+                out.append((park_seq, process, fire_count - entry[4]))
+            if not heap:
+                del cells[cell]
+        if self._ranges:
+            still: List[List[Any]] = []
+            for entry in self._ranges:
+                process = entry[0]
+                if process is None:
+                    continue
+                if entry[1].holds(source):
+                    del self._by_proc[id(process)]
+                    self.count -= 1
+                    out.append((entry[3], process, fire_count - entry[4]))
+                else:
+                    still.append(entry)
+            self._ranges = still
+
+    def waiting(self) -> List[Tuple[str, str]]:
+        """``(process_name, reason)`` pairs in park order (diagnostics)."""
+        live = sorted(self._by_proc.values(), key=lambda e: e[3])
+        return [(entry[0].name, entry[2]) for entry in live]
+
+
+class FastEngine(Engine):
+    """Drop-in engine with the calendar queue, epoch jump and flag index.
+
+    Dispatch order, virtual timestamps, poll counts and tiebreak PRNG
+    draws are bit-identical to :class:`~repro.simcore.engine.Engine`;
+    only wall-clock cost differs.  Select it with
+    ``engine_mode="fast"`` (see :func:`make_engine`).
+    """
+
+    def __init__(
+        self,
+        max_events: int = 200_000_000,
+        tiebreak: Optional[Callable[[], float]] = None,
+    ):
+        super().__init__(max_events=max_events, tiebreak=tiebreak)
+        self._queue = CalendarQueue(ordered=tiebreak is not None)
+        # Global park order: lets fire() merge declared and generic
+        # waiters back into the reference engine's wake order.
+        self._park_seq = 0
+
+    # -- event queue plumbing ----------------------------------------------
+
+    def _schedule_entry(
+        self, process: Process, when: int, priority: float, value: Any
+    ) -> None:
+        self._seq += 1
+        entry: List[Any] = [when, priority, self._seq, process, value]
+        process._entry = entry
+        self._live += 1
+        self._queue.push(entry)
+
+    def _tombstone(self, entry: List[Any]) -> None:
+        self._queue.cancel(entry)
+
+    def next_event_time(self) -> Optional[int]:
+        """See :meth:`Engine.next_event_time` (calendar-queue head here)."""
+        return self._queue.peek_time()
+
+    # -- main loop ----------------------------------------------------------
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Run to quiescence (see :meth:`Engine.run` for the contract)."""
+        if self._running:
+            raise SimulationError("engine.run() is not reentrant")
+        self._running = True
+        queue = self._queue
+        try:
+            while True:
+                entry = queue.pop()
+                if entry is None:
+                    break
+                when = entry[0]
+                if until is not None and when > until:
+                    # Push back and stop at the horizon.
+                    queue.pushback(entry)
+                    self.now = until
+                    return self.now
+                process = entry[3]
+                process._entry = None
+                self._live -= 1
+                if when < self.now:
+                    raise SimulationError("time went backwards (engine bug)")
+                # Epoch jump: the queue head is by construction the wake
+                # horizon — everything runnable before `when` has already
+                # run, so hop the clock there in one step.
+                self.now = when
+                self._pump(process, entry[4], until)
+        finally:
+            self._running = False
+
+        blocked = [
+            (p.name, p.waiting_on or "unknown") for p in self._processes if p.alive
+        ]
+        if blocked:
+            raise DeadlockError(blocked)
+        return self.now
+
+    def _pump(self, process: Process, value: Any, until: Optional[int]) -> None:
+        """Resume ``process`` and keep resuming it while it only sleeps.
+
+        A ``Delay`` whose wakeup precedes every other pending event (and
+        the horizon) would be the very next dispatch anyway — so skip
+        the queue round-trip and resume in place.  A timestamp tie goes
+        to the queue head: the pending entry holds an older seq (or a
+        smaller tiebreak priority), exactly as the reference heap orders
+        it.  One tiebreak draw is burned per pumped event to keep the
+        fuzzer's PRNG stream aligned with the reference engine.
+        """
+        if not process.alive:
+            raise SimulationError(f"resumed finished process {process.name!r}")
+        if process.started_at is None:
+            process.started_at = self.now
+        process.state = ProcessState.RUNNING
+        process.waiting_on = None
+        process.blocked_on = None
+        queue = self._queue
+        times = queue._times
+        tiebreak = self._tiebreak
+        max_events = self._max_events
+        send = process.generator.send
+        while True:
+            self._events_dispatched += 1
+            if self._events_dispatched > max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; "
+                    "likely a runaway simulation"
+                )
+            try:
+                effect = send(value)
+            except StopIteration as stop:
+                self._finish(process, stop.value)
+                return
+            except BaseException as exc:
+                self._crash(process, exc)
+            etype = type(effect)
+            if etype is Delay:
+                ns = effect.ns
+                wake = self.now + (ns if type(ns) is int else int(round(ns)))
+            elif etype is Fire:
+                # A fire is a zero-delay reschedule: wake waiters first
+                # (they draw their tiebreaks and take older seqs, so the
+                # head comparison below defers to them on ties), then
+                # treat the firing process like Delay(0).
+                self.fire(effect.signal)
+                wake = self.now
+            else:
+                self._dispatch(process, effect)
+                return
+            priority = tiebreak() if tiebreak is not None else 0.0
+            if until is not None and wake > until:
+                self._schedule_entry(process, wake, priority, None)
+                return
+            # `times` empty means no pending entry at all — pump freely.
+            if times:
+                head = queue.peek()
+                if head is not None:
+                    head_when = head[0]
+                    if wake > head_when or (
+                        wake == head_when and priority >= head[1]
+                    ):
+                        # The pending entry dispatches first (older seq
+                        # wins priority ties) — fall back to the queue.
+                        self._schedule_entry(process, wake, priority, None)
+                        return
+            self.now = wake
+            value = None
+
+    # -- effects and wakeups -------------------------------------------------
+
+    def _dispatch(self, process: Process, effect: Effect) -> None:
+        if isinstance(effect, WaitUntil):
+            signal = effect.signal
+            if effect.predicate():
+                self._schedule(process, self.now, 0)
+                return
+            process.state = ProcessState.BLOCKED
+            process.waiting_on = f"{effect.reason} (signal {signal.name!r})"
+            process.blocked_on = signal
+            self._park_seq += 1
+            spec = effect.spec
+            if spec is not None and signal.source is not None:
+                index = signal._fast_index
+                if index is None:
+                    index = signal._fast_index = FlagIndex()
+                index.add(
+                    process, spec, effect.reason, self._park_seq, signal.fire_count
+                )
+            else:
+                # Generic waiter; the fifth element is the park sequence
+                # used to merge with declared wakeups in fire().
+                signal._waiters.append(
+                    [process, effect.predicate, effect.reason, 0, self._park_seq]
+                )
+            return
+        super()._dispatch(process, effect)
+
+    def fire(self, signal: Signal) -> int:
+        """Fire ``signal``, waking satisfied waiters in reference order."""
+        signal.fire_count += 1
+        index = signal._fast_index
+        waiters = signal._waiters
+        if not waiters and (index is None or not index.count):
+            return 0
+        # (park_seq, process, polls) — park_seq restores the reference
+        # engine's wake order across the generic/declared split.
+        ready: List[Tuple[int, Process, int]] = []
+        if waiters:
+            still: List[list] = []
+            for entry in waiters:
+                entry[3] += 1
+                if entry[1]():
+                    ready.append((entry[4], entry[0], entry[3]))
+                else:
+                    still.append(entry)
+            signal._waiters = still
+        if index is not None and index.count:
+            index.collect(signal.source, signal.fire_count, ready)
+        if len(ready) > 1:
+            ready.sort(key=lambda item: item[0])
+        for _park, woken, polls in ready:
+            woken.waiting_on = None
+            woken.blocked_on = None
+            self._schedule(woken, self.now, polls)
+        return len(ready)

@@ -54,6 +54,7 @@ class Process:
         "finished_at",
         "blocked_on",
         "holding",
+        "_entry",
     )
 
     def __init__(self, pid: int, name: str, generator: Generator[Effect, Any, Any]) -> None:
@@ -75,6 +76,9 @@ class Process:
         #: resources currently held (units acquired and not yet released),
         #: in acquisition order — released on cancellation.
         self.holding: List[Any] = []
+        #: the process's single pending event-queue entry, if any (engine
+        #: bookkeeping: lets Engine.cancel tombstone the wakeup in O(1)).
+        self._entry: Optional[List[Any]] = None
 
     @property
     def alive(self) -> bool:

@@ -10,8 +10,10 @@ round i").
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Iterator, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 __all__ = ["Span", "Trace"]
 
@@ -102,3 +104,31 @@ class Trace:
     def clear(self) -> None:
         """Drop all recorded spans."""
         self._spans.clear()
+
+    # -- canonical export (differential testing) ---------------------------
+
+    def to_tuples(self) -> List[Tuple[Any, ...]]:
+        """Spans as plain tuples in recording order.
+
+        ``(owner, phase, start, end, sorted_meta_items)`` — a canonical,
+        order-preserving form two traces can be compared on directly.
+        The differential engine suite asserts byte-identical traces
+        between engine modes with exactly this.
+        """
+        return [
+            (
+                s.owner,
+                s.phase,
+                s.start,
+                s.end,
+                tuple(sorted(s.meta.items())) if s.meta else (),
+            )
+            for s in self._spans
+        ]
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical span tuples (event-trace fingerprint)."""
+        payload = json.dumps(
+            self.to_tuples(), separators=(",", ":"), sort_keys=False, default=str
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()

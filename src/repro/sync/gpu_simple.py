@@ -29,6 +29,7 @@ from typing import Any, Generator, Optional, TYPE_CHECKING
 import numpy as np
 
 from repro.errors import SyncProtocolError
+from repro.simcore.effects import WaitSpec
 from repro.sync.base import SyncStrategy, register_strategy
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -82,8 +83,13 @@ class GpuSimpleSync(SyncStrategy):
         else:
             goal = (round_idx + 1) * n
             yield from ctx.atomic_add(mutex, 0, 1)
+            # The accumulating goal makes the mutex monotonic, so the wait
+            # is declarable: cell 0 reaching `goal` (fast-engine indexable).
             yield from ctx.spin_until(
-                mutex, lambda: mutex.data[0] >= goal, f"g_mutex>={goal}"
+                mutex,
+                lambda: mutex.data[0] >= goal,
+                f"g_mutex>={goal}",
+                spec=WaitSpec(goal, lo=0),
             )
         yield from ctx.syncthreads()
         ctx.record("sync", start, round=round_idx, strategy=self.name)

@@ -1,0 +1,135 @@
+"""Property-based tests: CalendarQueue against the reference heap.
+
+The fast engine's queue (docs/engine.md) must dequeue in *exactly* the
+reference engine's ``(when, priority, seq)`` order under any interleaved
+push/pop/cancel sequence — same-timestamp ties, cancelled wakeups and
+horizon push-backs included.  The model here is the reference engine's
+own structure: one global ``heapq`` of the same entry lists with lazy
+tombstone skipping.
+"""
+
+import heapq
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simcore import CalendarQueue
+
+#: stands in for the Process slot; the queue only checks it for None.
+ALIVE = object()
+
+# Operations: pushes draw from a tiny timestamp range so same-when ties
+# are the common case, not the edge case.  Priorities mimic the schedule
+# fuzzer's tiebreak draws (duplicates on purpose — seq must break them).
+_PUSH = st.tuples(
+    st.just("push"), st.integers(0, 4), st.sampled_from([0.0, 0.25, 0.5, 1.0])
+)
+_POP = st.tuples(st.just("pop"), st.just(0), st.just(0.0))
+_CANCEL = st.tuples(st.just("cancel"), st.integers(0, 10**6), st.just(0.0))
+OPS = st.lists(st.one_of(_PUSH, _POP, _CANCEL), max_size=80)
+
+
+def _heap_pop(ref):
+    """Pop the next live entry from the model heap (skip tombstones)."""
+    while ref:
+        entry = heapq.heappop(ref)
+        if entry[3] is not None:
+            return entry
+    return None
+
+
+def _drive(queue, ops, ordered):
+    """Run ``ops`` against the queue and the model heap in lockstep.
+
+    Entries are the engine's mutable ``[when, priority, seq, process,
+    value]`` lists; ``seq`` increases monotonically across pushes (the
+    engine's invariant) and is unique, so list comparison in the model
+    heap never reaches the process slot.
+    """
+    ref = []
+    live = {}  # seq -> (queue entry, model entry)
+    seq = itertools.count(1)
+
+    for kind, a, b in ops:
+        if kind == "push":
+            s = next(seq)
+            priority = b if ordered else 0.0
+            mine = [a, priority, s, ALIVE, None]
+            model = [a, priority, s, ALIVE, None]
+            queue.push(mine)
+            heapq.heappush(ref, model)
+            live[s] = (mine, model)
+        elif kind == "pop":
+            got = queue.pop()
+            expected = _heap_pop(ref)
+            assert (got is None) == (expected is None)
+            if got is not None:
+                assert got[:3] == expected[:3]
+                del live[got[2]]
+        else:  # cancel a live (still-queued) entry, O(1) tombstone
+            if live:
+                key = sorted(live)[a % len(live)]
+                mine, model = live.pop(key)
+                queue.cancel(mine)
+                model[3] = None
+                model[4] = None
+    assert len(queue) == len(live)
+    return ref, live
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=OPS, ordered=st.booleans())
+def test_dequeue_order_matches_reference_heap(ops, ordered):
+    """Any push/pop/cancel interleaving drains in reference heap order."""
+    queue = CalendarQueue(ordered=ordered)
+    ref, live = _drive(queue, ops, ordered)
+    # Drain what's left: the orders must agree to the last entry.
+    while True:
+        got = queue.pop()
+        expected = _heap_pop(ref)
+        assert (got is None) == (expected is None)
+        if got is None:
+            break
+        assert got[:3] == expected[:3]
+    assert len(queue) == 0
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops=OPS, ordered=st.booleans())
+def test_pushback_restores_head(ops, ordered):
+    """Horizon push-back: pop + pushback is a no-op on dequeue order.
+
+    In FIFO mode the popped head holds the bucket's oldest seq, so it
+    must return to the *front* — a plain append would misorder it behind
+    newer same-timestamp entries.
+    """
+    queue = CalendarQueue(ordered=ordered)
+    ref, _live = _drive(queue, ops, ordered)
+    head = queue.pop()
+    if head is None:
+        return
+    queue.pushback(head)
+    got = queue.pop()
+    assert got is head
+
+
+@settings(max_examples=60, deadline=None)
+@given(when=st.integers(0, 3), ordered=st.booleans())
+def test_cancel_then_reschedule_same_timestamp(when, ordered):
+    """A cancelled entry never shadows its replacement at the same time.
+
+    This is the queue-level face of the ``Engine.cancel`` regression:
+    cancel a wakeup, reschedule the process at the *same* timestamp, and
+    the tombstone must be skipped while the new entry dispatches.
+    """
+    queue = CalendarQueue(ordered=ordered)
+    stale = [when, 0.0, 1, ALIVE, "stale"]
+    queue.push(stale)
+    queue.cancel(stale)
+    fresh = [when, 0.0, 2, ALIVE, "fresh"]
+    queue.push(fresh)
+    assert queue.peek_time() == when
+    assert queue.pop() is fresh
+    assert queue.pop() is None
+    assert len(queue) == 0

@@ -1,6 +1,8 @@
 """Tests for process cancellation in the engine."""
 
 
+import pytest
+
 from repro.simcore import (
     Acquire,
     Cancelled,
@@ -11,7 +13,9 @@ from repro.simcore import (
     Release,
     Resource,
     Signal,
+    Spawn,
     WaitUntil,
+    make_engine,
 )
 
 
@@ -279,3 +283,100 @@ def test_cancelling_a_join_blocked_process_detaches_it():
     assert j.state == ProcessState.CANCELLED
     assert s.state == ProcessState.DONE
     assert j not in s.joiners
+
+
+# ---------------------------------------------------------------------------
+# O(1) tombstoned cancellation (both engines)
+# ---------------------------------------------------------------------------
+#
+# Engine.cancel used to leave the cancelled wakeup as a dead tuple in
+# the heap, visible to nothing but still popped and compared.  Both
+# engines now tombstone the entry in place; these regressions pin the
+# observable consequences — cancel-then-reschedule at the *same*
+# timestamp, and pending_events counting live wakeups only.
+
+@pytest.fixture(params=["reference", "fast"])
+def any_engine(request):
+    return make_engine(request.param)
+
+
+def test_cancel_then_respawn_at_same_timestamp(any_engine):
+    """The tombstone must not shadow a replacement at the same time.
+
+    Kill a sleeper mid-flight and spawn its replacement scheduled at
+    the exact timestamp the stale wakeup occupied; the replacement must
+    dispatch there, once, with no interference from the dead entry.
+    """
+    eng = any_engine
+    ran = []
+
+    def sleeper():
+        yield Delay(100)
+        ran.append(("stale", eng.now))
+
+    def replacement():
+        yield Delay(75)  # spawned at t=25 -> wakes at the stale t=100
+        ran.append(("fresh", eng.now))
+
+    victim = eng.spawn(sleeper())
+
+    def killer():
+        yield Delay(25)
+        assert eng.cancel(victim, "superseded") is True
+        yield Spawn(replacement(), "replacement")
+
+    eng.spawn(killer())
+    eng.run()
+    assert ran == [("fresh", 100)]
+    assert victim.state == ProcessState.CANCELLED
+
+
+def test_pending_events_ignores_tombstones(any_engine):
+    """pending_events counts live wakeups, not dead heap entries."""
+    eng = any_engine
+    observed = []
+
+    def sleeper():
+        yield Delay(1000)
+
+    victims = [eng.spawn(sleeper()) for _ in range(3)]
+    survivor = eng.spawn(sleeper())
+
+    def watcher():
+        yield Delay(10)
+        observed.append(eng.pending_events(ignore=(me,)))
+        for v in victims:
+            eng.cancel(v, "bulk kill")
+        observed.append(eng.pending_events(ignore=(me,)))
+        observed.append(eng.pending_events())
+
+    me = eng.spawn(watcher())
+    eng.run()
+    # Before: 4 sleepers (watcher discounted).  After: only the
+    # survivor; including the watcher itself there is still only the
+    # survivor because the watcher has no further wakeup scheduled.
+    assert observed == [4, 1, 1]
+    assert survivor.state == ProcessState.DONE
+
+
+def test_cancel_storm_then_full_drain(any_engine):
+    """Hundreds of tombstones at one timestamp never block the queue."""
+    eng = any_engine
+    ran = []
+
+    def sleeper(i):
+        yield Delay(500)
+        ran.append(i)
+
+    procs = [eng.spawn(sleeper(i)) for i in range(200)]
+
+    def killer():
+        yield Delay(1)
+        for p in procs[::2]:  # kill every other one
+            eng.cancel(p, "thin the herd")
+
+    eng.spawn(killer())
+    eng.run()
+    # Survivors dispatch at t=500 in spawn order, none of the dead run.
+    assert ran == list(range(1, 200, 2))
+    assert eng.pending_events() == 0
