@@ -25,6 +25,7 @@ __all__ = [
     "ExecutorError",
     "JournalError",
     "InterruptedSweepError",
+    "ServiceError",
 ]
 
 
@@ -219,6 +220,32 @@ class JournalError(ReproError):
     an error: write-ahead semantics mean every fully written line is
     trusted and the torn tail is simply re-run.
     """
+
+
+class ServiceError(ReproError):
+    """The sweep service refused or could not process a request.
+
+    Raised by :mod:`repro.service` — the job table, the runner
+    registry, the HTTP app and the client.  ``kind`` classifies the
+    refusal so callers can map it onto an HTTP status (and the client
+    can map it back):
+
+    * ``"spec"`` — the submitted job spec is malformed (unknown
+      experiment, bad parameter types) → 400;
+    * ``"queue-full"`` — the bounded queue is at capacity; the
+      submission was **not** enqueued and should be retried after
+      backing off → 429;
+    * ``"draining"`` — the service received SIGTERM and no longer
+      accepts submissions → 503;
+    * ``"not-found"`` — no job with the requested id → 404;
+    * ``"state"`` — the request is invalid for the job's current state
+      (e.g. fetching the result of a job that failed) → 409;
+    * ``"protocol"`` — the client got a response it cannot interpret.
+    """
+
+    def __init__(self, message: str, *, kind: str = "protocol"):
+        self.kind = kind
+        super().__init__(message)
 
 
 class InterruptedSweepError(ReproError):

@@ -30,6 +30,11 @@ Extras beyond the paper:
   ``--format text|json`` and ``--strict`` (docs/staticcheck.md); exits
   1 on error-severity findings (any finding under ``--strict``), 2 on
   unreadable/unparsable input
+* ``serve``      — run the crash-safe sweep service: an HTTP job queue
+  backed by a SQLite job table in WAL mode, with content-addressed
+  dedup, lease-based worker recovery, and graceful SIGTERM drain
+  (docs/service.md); ``--port``, ``--workers``, ``--lease-s``,
+  ``--retry-budget``, ``--max-queued``, ``--service-dir``
 
 Execution flags (docs/parallel.md): ``--jobs N`` shards sweeps and
 campaigns across N worker processes; ``--cache`` memoizes every run
@@ -295,6 +300,7 @@ def _main(argv: Optional[List[str]] = None) -> int:
             "chaos",
             "cache",
             "lint",
+            "serve",
             "all",
         ],
     )
@@ -439,6 +445,54 @@ def _main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="lint: exit 1 on any finding, not just error severity",
     )
+    service = parser.add_argument_group(
+        "serve", "the crash-safe sweep service (docs/service.md)"
+    )
+    service.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="serve: bind address (default 127.0.0.1)",
+    )
+    service.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="serve: bind port (default 8642; 0 picks a free port)",
+    )
+    service.add_argument(
+        "--service-dir",
+        default=None,
+        help="serve: job table + journals + results root "
+        "(default benchmarks/out/service)",
+    )
+    service.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="serve: worker processes pulling jobs (default 1; 0 = "
+        "workers run elsewhere against the same --service-dir)",
+    )
+    service.add_argument(
+        "--lease-s",
+        type=float,
+        default=30.0,
+        help="serve: worker lease duration in seconds (default 30); a "
+        "lease that expires is requeued by the reaper",
+    )
+    service.add_argument(
+        "--retry-budget",
+        type=int,
+        default=2,
+        help="serve: lease-expiry re-executions before a job is marked "
+        "failed (default 2)",
+    )
+    service.add_argument(
+        "--max-queued",
+        type=int,
+        default=256,
+        help="serve: bounded-queue capacity; a full queue answers 429 "
+        "(default 256)",
+    )
     parser.add_argument(
         "--save-sweeps",
         metavar="DIR",
@@ -464,6 +518,25 @@ def _main(argv: Optional[List[str]] = None) -> int:
     started = time.time()
     sections: List[str] = []
     want = args.experiment
+
+    if want == "serve":
+        from pathlib import Path
+
+        from repro.service.app import serve
+
+        service_dir = Path(args.service_dir or "benchmarks/out/service")
+        return serve(
+            service_dir,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            lease_s=args.lease_s,
+            retry_budget=args.retry_budget,
+            max_queued=args.max_queued,
+            worker_jobs=args.jobs,
+            use_cache=args.cache,
+        )
+
     if want == "all" and args.resume is not None:
         # 'all' runs many batches; each resumes from its own journal.
         args.resume = "auto"

@@ -22,6 +22,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Tuple, Union
@@ -134,7 +135,17 @@ class ResultCache:
         return True, entry["value"]
 
     def put(self, key: str, value: Any) -> Path:
-        """Store a value atomically (write-to-temp, rename)."""
+        """Store a value atomically; safe under concurrent writers.
+
+        The entry is written to a uniquely named temp file in the same
+        directory (``mkstemp``, so two workers — even two threads in
+        one process — never share a scratch file), fsync'd, and
+        renamed over the final path.  ``rename`` is atomic on POSIX:
+        when two workers complete the same key concurrently, readers
+        see one complete entry or the other, never a torn mix — and
+        since entries are content-addressed, both writers carry
+        identical bytes anyway.
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {
@@ -142,9 +153,22 @@ class ResultCache:
             "key": key,
             "value": plain(value),
         }
-        tmp = path.with_suffix(f".tmp{os.getpid()}")
-        tmp.write_text(json.dumps(entry))
-        tmp.replace(path)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f"{key}.", suffix=".tmp", dir=path.parent
+        )
+        tmp = Path(tmp_name)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(entry))
+                handle.flush()
+                os.fsync(handle.fileno())
+            tmp.replace(path)
+        except BaseException:
+            try:
+                tmp.unlink()
+            except OSError:  # pragma: no cover - already renamed/gone
+                pass
+            raise
         return path
 
     def stats(self) -> CacheStats:

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -58,6 +59,8 @@ DEFAULT_JOURNAL_DIR = Path("benchmarks") / "out" / "journal"
 #: retype from a terminal, far past collision risk for any real sweep
 #: population.
 _RUN_ID_HEX_CHARS = 16
+
+logger = logging.getLogger(__name__)
 
 
 def run_id_for(worker: str, payloads: Sequence[Dict[str, Any]]) -> str:
@@ -107,6 +110,10 @@ class RunJournal:
         self.run_id = run_id
         self.path = self.root / run_id / "journal.jsonl"
         self.fsync_every = 8
+        #: duplicate index records tolerated by the most recent
+        #: :meth:`load` (0 for a single-writer journal; positive when a
+        #: lease requeue produced overlapping writers).
+        self.last_load_duplicates = 0
         self._handle: Optional[IO[str]] = None
         self._unsynced = 0
 
@@ -125,9 +132,17 @@ class RunJournal:
         given, the expected ``worker`` and ``total`` — every mismatch
         is a typed :class:`~repro.errors.JournalError` naming the file.
         A torn trailing line (crash mid-append) truncates the replay,
-        it does not fail it; a later duplicate index wins (it is a
-        re-execution of the same deterministic task).
+        it does not fail it.
+
+        Duplicate indices are *expected* under lease-based recovery:
+        when a sweep-service lease expires and the job is requeued
+        while the original worker is merely slow (not dead), two
+        writers append completions for the same tasks.  The records
+        describe the same deterministic execution, so replay is
+        last-write-wins; the tolerated count is logged and kept on
+        :attr:`last_load_duplicates` so provenance is never silent.
         """
+        self.last_load_duplicates = 0
         try:
             lines = self.path.read_text().splitlines()
         except OSError as exc:
@@ -175,12 +190,22 @@ class RunJournal:
                 or raw.get("status") not in ("ok", "poison")
             ):
                 break
+            if raw["index"] in entries:
+                self.last_load_duplicates += 1
             entries[raw["index"]] = JournalEntry(
                 index=raw["index"],
                 status=raw["status"],
                 value=raw.get("value"),
                 error=raw.get("error"),
                 retries=int(raw.get("retries", 0)),
+            )
+        if self.last_load_duplicates:
+            logger.warning(
+                "journal %s: tolerated %d duplicate task record(s) "
+                "(lease requeue with overlapping writers); "
+                "last write wins per index",
+                self.path,
+                self.last_load_duplicates,
             )
         return header, entries
 

@@ -30,12 +30,17 @@ from repro.model.calibration import CalibratedTimings
 
 __all__ = [
     "COMPATIBLE_SCHEMA_VERSIONS",
+    "JOB_STATES",
     "RESULT_SCHEMA_VERSION",
     "canonical_json",
     "check_envelope",
     "device_config_from_dict",
     "device_config_to_dict",
+    "dump_job_failure",
+    "dump_job_status",
     "dump_result",
+    "parse_job_failure",
+    "parse_job_status",
     "parse_result",
     "plain",
     "require",
@@ -157,6 +162,101 @@ def require(payload: Dict[str, Any], key: str, source: str = "<string>") -> Any:
             f"{source}: missing required field {key!r} "
             f"(schema {payload.get('schema')!r}, kind {payload.get('kind')!r})"
         ) from None
+
+
+# ---------------------------------------------------------------------------
+# Job envelopes (the sweep service's wire protocol — docs/service.md)
+# ---------------------------------------------------------------------------
+
+#: every state a service job can be in.  ``queued`` jobs wait for a
+#: worker (possibly backed off after a lease expiry); ``leased`` jobs
+#: are owned by exactly one worker under a time-bounded lease; ``done``
+#: and ``failed`` are terminal.
+JOB_STATES = ("queued", "leased", "done", "failed")
+
+
+def dump_job_status(job: Dict[str, Any]) -> str:
+    """Render one job row as a ``kind="job-status"`` envelope.
+
+    The body is the job's public face: identity, spec, lifecycle state,
+    attempt/lease bookkeeping.  The stored result and failure envelopes
+    are *not* inlined (they have their own endpoints and kinds) — only
+    flags saying whether they exist.
+    """
+    state = job.get("state")
+    if state not in JOB_STATES:
+        raise ExperimentError(
+            f"job {job.get('id')!r} has unknown state {state!r}; "
+            f"expected one of: {', '.join(JOB_STATES)}"
+        )
+    return dump_result(
+        "job-status",
+        {
+            "id": job["id"],
+            "spec": job["spec"],
+            "state": state,
+            "attempts": job.get("attempts", 0),
+            "submitted_at": job.get("submitted_at"),
+            "eligible_at": job.get("eligible_at"),
+            "lease_owner": job.get("lease_owner"),
+            "lease_expires_at": job.get("lease_expires_at"),
+            "updated_at": job.get("updated_at"),
+            "has_result": bool(job.get("result")),
+            "has_error": bool(job.get("error")),
+        },
+    )
+
+
+def parse_job_status(text: str, *, source: str = "<string>") -> Dict[str, Any]:
+    """Parse and validate a ``job-status`` envelope."""
+    payload = parse_result(text, kind="job-status", source=source)
+    state = require(payload, "state", source)
+    if state not in JOB_STATES:
+        raise ExperimentError(
+            f"{source}: unknown job state {state!r}; "
+            f"expected one of: {', '.join(JOB_STATES)}"
+        )
+    require(payload, "id", source)
+    require(payload, "spec", source)
+    return payload
+
+
+def dump_job_failure(
+    error_type: str,
+    message: str,
+    *,
+    job_id: str,
+    attempts: int,
+) -> str:
+    """Render a terminal job failure as a ``kind="job-failure"`` envelope.
+
+    This is what the job table stores (and the result endpoint serves)
+    when a job exhausts its retry budget or its worker raises a typed
+    error — the service's analogue of the executor's typed
+    :class:`~repro.errors.ExecutorError`, serialized so the failure
+    survives service restarts byte-for-byte.
+    """
+    return dump_result(
+        "job-failure",
+        {
+            "id": job_id,
+            "error": {"type": error_type, "message": message},
+            "attempts": attempts,
+        },
+    )
+
+
+def parse_job_failure(text: str, *, source: str = "<string>") -> Dict[str, Any]:
+    """Parse and validate a ``job-failure`` envelope."""
+    payload = parse_result(text, kind="job-failure", source=source)
+    error = require(payload, "error", source)
+    if not isinstance(error, dict) or "type" not in error or "message" not in error:
+        raise ExperimentError(
+            f"{source}: job-failure 'error' must be a dict with "
+            f"'type' and 'message', got {error!r}"
+        )
+    require(payload, "id", source)
+    return payload
 
 
 def run_result_to_dict(result: Any) -> Dict[str, Any]:

@@ -1,0 +1,52 @@
+"""The crash-safe sweep service: ``repro serve`` (docs/service.md).
+
+This package wraps the execution substrate — the supervised
+:class:`~repro.parallel.Executor`, the content-addressed
+:class:`~repro.parallel.ResultCache`, and the write-ahead
+:class:`~repro.parallel.RunJournal` — in a long-running HTTP service
+with a durable, DB-backed job queue:
+
+* :mod:`repro.service.jobs` — the SQLite (WAL-mode) job table.
+  Submissions are content-addressed by the sha256 of the canonical spec
+  JSON, so duplicate sweep configs dedup to one execution; workers pull
+  jobs under **time-bounded leases** with heartbeats.
+* :mod:`repro.service.runners` — the registry mapping a job spec
+  (``{"experiment": "fig11", "params": {...}}``) to an experiment
+  driver, always executed with a journal armed and ``resume="auto"`` so
+  a requeued job replays its predecessor's completed cells and the final
+  envelope is **byte-identical** to an uninterrupted serial run.
+* :mod:`repro.service.worker` — the pull-based worker loop (one process
+  per worker, SIGKILL-able without losing work).
+* :mod:`repro.service.reaper` — requeues expired leases with
+  exponential backoff up to a retry budget, then marks the job failed
+  with a typed, serialized ``job-failure`` envelope.
+* :mod:`repro.service.app` — the HTTP front door: submit/poll/fetch
+  endpoints, ``/healthz`` / ``/readyz``, bounded-queue backpressure
+  (429), graceful SIGTERM drain, and worker-process supervision.
+* :mod:`repro.service.client` — a stdlib-only client for the wire
+  protocol (used by the smoke tool and the tests).
+
+Everything is standard library (``sqlite3``, ``http.server``,
+``urllib``): the service adds no dependencies.
+"""
+
+from repro.errors import ServiceError
+from repro.service.app import ServiceApp, serve
+from repro.service.client import ServiceClient
+from repro.service.jobs import JobTable, job_id_for
+from repro.service.reaper import Reaper
+from repro.service.runners import execute_spec, validate_spec
+from repro.service.worker import Worker
+
+__all__ = [
+    "JobTable",
+    "Reaper",
+    "ServiceApp",
+    "ServiceClient",
+    "ServiceError",
+    "Worker",
+    "execute_spec",
+    "job_id_for",
+    "serve",
+    "validate_spec",
+]

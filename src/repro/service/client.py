@@ -1,0 +1,145 @@
+"""A stdlib-only client for the service wire protocol.
+
+Thin ``urllib`` wrappers that speak the envelopes in
+:mod:`repro.serialization` and turn HTTP refusals back into the typed
+:class:`~repro.errors.ServiceError` kinds the server raised them as —
+so a test (or the smoke tool) handles backpressure and drain the same
+way the service expresses them.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ServiceError
+from repro.serialization import parse_job_status
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Talk to one service instance at ``base_url``."""
+
+    def __init__(self, base_url: str, *, timeout_s: float = 10.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- raw HTTP ------------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+    ) -> Tuple[int, str]:
+        req = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                return resp.status, resp.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read().decode("utf-8")
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {exc.reason}",
+                kind="protocol",
+            ) from exc
+
+    @staticmethod
+    def _refusal(status: int, text: str) -> ServiceError:
+        """Rebuild the typed error a non-2xx response carries."""
+        try:
+            payload = json.loads(text)
+            error = payload["error"]
+            return ServiceError(error["message"], kind=error["kind"])
+        except (json.JSONDecodeError, KeyError, TypeError):
+            return ServiceError(
+                f"service returned HTTP {status}: {text[:200]}",
+                kind="protocol",
+            )
+
+    # -- protocol ------------------------------------------------------------
+
+    def submit(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """POST a job spec; returns the ``job-status`` envelope payload.
+
+        Raises the server's typed refusal: ``kind="spec"`` (400),
+        ``"queue-full"`` (429), ``"draining"`` (503).
+        """
+        status, text = self._request(
+            "POST", "/jobs", json.dumps(spec).encode("utf-8")
+        )
+        if status in (200, 201):
+            return parse_job_status(text, source=f"{self.base_url}/jobs")
+        raise self._refusal(status, text)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """GET one job's ``job-status`` envelope payload."""
+        status, text = self._request("GET", f"/jobs/{job_id}")
+        if status == 200:
+            return parse_job_status(
+                text, source=f"{self.base_url}/jobs/{job_id}"
+            )
+        raise self._refusal(status, text)
+
+    def result_text(self, job_id: str) -> str:
+        """GET a finished job's result envelope, byte-for-byte.
+
+        A failed job raises ``kind="state"`` carrying the job-failure
+        envelope's message; a job still in flight raises
+        ``kind="not-found"`` (poll :meth:`status` first).
+        """
+        status, text = self._request("GET", f"/jobs/{job_id}/result")
+        if status == 200:
+            return text
+        if status == 409:
+            try:
+                error = json.loads(text)["error"]
+                message = f"job {job_id} failed: {error['message']}"
+            except (json.JSONDecodeError, KeyError, TypeError):
+                message = f"job {job_id} failed"
+            raise ServiceError(message, kind="state")
+        raise ServiceError(
+            f"job {job_id} has no result yet (HTTP {status})",
+            kind="not-found",
+        )
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout_s: float = 120.0,
+        poll_s: float = 0.25,
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns it."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            payload = self.status(job_id)
+            if payload["state"] in ("done", "failed"):
+                return payload
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {payload['state']!r} after "
+                    f"{timeout_s}s",
+                    kind="protocol",
+                )
+            time.sleep(poll_s)
+
+    def healthz(self) -> bool:
+        status, _ = self._request("GET", "/healthz")
+        return status == 200
+
+    def readyz(self) -> Tuple[bool, Dict[str, Any]]:
+        status, text = self._request("GET", "/readyz")
+        try:
+            return status == 200, json.loads(text)
+        except json.JSONDecodeError:
+            return status == 200, {}

@@ -1,0 +1,58 @@
+"""The reaper: the only authority over expired leases.
+
+A background thread that periodically sweeps the job table for leases
+whose deadline has passed and applies the recovery policy
+(:meth:`~repro.service.jobs.JobTable.requeue_expired`): requeue with
+exponential backoff while the retry budget lasts, then a terminal
+``failed`` with a typed ``job-failure`` envelope.
+
+Everything stateful lives in the job table; the reaper itself holds
+nothing, so running it twice (two service instances pointed at one
+database, or a restart racing a leftover) is harmless — the
+transactional requeue means each expired lease is recovered exactly
+once.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+
+from repro.service.jobs import JobTable
+
+__all__ = ["Reaper"]
+
+logger = logging.getLogger(__name__)
+
+
+class Reaper(threading.Thread):
+    """Periodically recover expired leases until stopped."""
+
+    def __init__(self, table: JobTable, *, interval_s: float = 1.0):
+        super().__init__(daemon=True, name="lease-reaper")
+        self.table = table
+        self.interval_s = interval_s
+        #: lifetime counters, surfaced by /readyz for observability.
+        self.requeued = 0
+        self.failed = 0
+        self._stop = threading.Event()
+
+    def run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.sweep()
+
+    def sweep(self) -> None:
+        """One recovery pass (also callable directly, e.g. at startup)."""
+        requeued, failed = self.table.requeue_expired()
+        self.requeued += len(requeued)
+        self.failed += len(failed)
+        for job_id in requeued:
+            logger.warning("lease expired: requeued job %s", job_id)
+        for job_id in failed:
+            logger.error(
+                "lease expired with retry budget exhausted: "
+                "job %s marked failed", job_id
+            )
+
+    def stop(self) -> None:
+        self._stop.set()

@@ -1,0 +1,12 @@
+"""Subprocess entry point for one worker: ``python -m repro.service.worker_main``.
+
+A separate module (not imported by ``repro.service.__init__``) so that
+``-m`` execution does not re-run a module that is already in
+``sys.modules`` — the stdlib's runpy warns about exactly that.  All
+behaviour lives in :func:`repro.service.worker.main`.
+"""
+
+from repro.service.worker import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

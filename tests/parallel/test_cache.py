@@ -131,3 +131,55 @@ def test_stats_and_clear(cache):
 def test_default_location_is_under_benchmarks():
     assert str(DEFAULT_CACHE_DIR).endswith("cache")
     assert str(ResultCache().root) == str(DEFAULT_CACHE_DIR)
+
+
+# -- concurrent writers -----------------------------------------------------
+
+
+def _hammer_put(root, key, value, rounds):
+    """Subprocess body: re-put the same entry as fast as possible."""
+    from repro.parallel import ResultCache
+
+    cache = ResultCache(root)
+    for _ in range(rounds):
+        cache.put(key, value)
+
+
+def test_two_process_write_race_never_tears(tmp_path):
+    """Two processes hammering the same key must never expose a torn
+    entry: every read during the race is either a clean hit with the
+    full value or a clean miss — ``put`` goes through a unique temp
+    file and an atomic rename, so a reader can't see a partial write
+    (which would decode as corrupt and be quarantined)."""
+    import multiprocessing
+
+    cache = ResultCache(tmp_path / "cache")
+    key = cache.key("run-total", {"seed": 7})
+    # A fat value widens the torn-write window a non-atomic writer
+    # would have.
+    value = {"cells": list(range(20_000))}
+
+    ctx = multiprocessing.get_context("spawn")
+    writers = [
+        ctx.Process(
+            target=_hammer_put, args=(cache.root, key, value, 60)
+        )
+        for _ in range(2)
+    ]
+    for proc in writers:
+        proc.start()
+    try:
+        while any(proc.is_alive() for proc in writers):
+            hit, got = cache.get(key)
+            if hit:
+                assert got == value
+    finally:
+        for proc in writers:
+            proc.join(timeout=60)
+    assert all(proc.exitcode == 0 for proc in writers)
+    # No reader ever saw rot, so nothing was quarantined...
+    assert cache.corrupt == 0
+    assert cache.stats().corrupt == 0
+    # ...the final entry is whole, and no temp scraps were left behind.
+    assert cache.get(key) == (True, value)
+    assert list(cache.root.glob("*/*.tmp")) == []

@@ -3,6 +3,7 @@
 import json
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import JournalError
 from repro.parallel import (
@@ -189,3 +190,51 @@ def test_close_is_idempotent(journal):
     write_batch(journal, [JournalEntry(0, "ok", 1)])
     journal.close()
     journal.close()
+
+
+# -- duplicate records (lease-requeue overlap) ------------------------------
+
+
+@given(
+    writes=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=5), st.integers()),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_duplicate_records_are_last_write_wins(tmp_path_factory, writes):
+    """Under lease-based recovery two workers can journal the same task;
+    replay must keep the *last* record per index and count (never hide)
+    the tolerated duplicates."""
+    root = tmp_path_factory.mktemp("journal")
+    journal = RunJournal(root, run_id_for("run-total", PAYLOADS))
+    journal.start(worker="run-total", total=len(PAYLOADS), fresh=True)
+    for index, value in writes:
+        journal.record(JournalEntry(index=index, status="ok", value=value))
+    journal.close()
+
+    _, entries = journal.load()
+    expected = {index: value for index, value in writes}  # dict = last wins
+    assert {i: e.value for i, e in entries.items()} == expected
+    assert journal.last_load_duplicates == len(writes) - len(expected)
+
+
+def test_duplicate_tolerance_is_logged(journal, caplog):
+    import logging
+
+    journal.start(worker="run-total", total=len(PAYLOADS), fresh=True)
+    journal.record(JournalEntry(index=0, status="ok", value=1))
+    journal.record(JournalEntry(index=0, status="ok", value=2))
+    journal.close()
+    with caplog.at_level(logging.WARNING, logger="repro.parallel.journal"):
+        _, entries = journal.load()
+    assert entries[0].value == 2
+    assert journal.last_load_duplicates == 1
+    assert any("1 duplicate task record" in r.message for r in caplog.records)
+    # A clean reload of a single-writer journal resets the counter.
+    journal.start(worker="run-total", total=len(PAYLOADS), fresh=True)
+    journal.record(JournalEntry(index=0, status="ok", value=3))
+    journal.close()
+    journal.load()
+    assert journal.last_load_duplicates == 0

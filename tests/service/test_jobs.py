@@ -1,0 +1,296 @@
+"""Lease lifecycle tests for the durable job table.
+
+Every test drives the table through an injectable fake clock, so the
+edges the lease protocol hinges on — a heartbeat arriving *exactly* at
+the expiry instant, the reaper racing a worker's late result, the
+retry budget running out — are deterministic, not timing-dependent.
+"""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.serialization import parse_job_failure
+from repro.service import JobTable, job_id_for
+
+SPEC = {"experiment": "fig11", "params": {"rounds": 5}}
+OTHER = {"experiment": "fig11", "params": {"rounds": 7}}
+
+
+class FakeClock:
+    """A settable clock the table reads on every operation."""
+
+    def __init__(self, now: float = 1000.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> float:
+        self.now += seconds
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def table(tmp_path, clock):
+    return JobTable(
+        tmp_path / "jobs.sqlite3",
+        lease_s=30.0,
+        retry_budget=2,
+        backoff_base_s=1.0,
+        backoff_cap_s=60.0,
+        clock=clock,
+    )
+
+
+# -- identity and submission ------------------------------------------------
+
+
+def test_job_id_is_deterministic_and_order_insensitive():
+    flipped = {"params": {"rounds": 5}, "experiment": "fig11"}
+    assert job_id_for(SPEC) == job_id_for(flipped)
+    assert len(job_id_for(SPEC)) == 16
+    assert job_id_for(SPEC) != job_id_for(OTHER)
+
+
+def test_submit_dedups_to_one_row(table):
+    job, created = table.submit(SPEC)
+    assert created and job["state"] == "queued" and job["attempts"] == 0
+    again, created = table.submit(dict(SPEC))
+    assert not created
+    assert again["id"] == job["id"]
+    assert len(table.list_jobs()) == 1
+
+
+def test_submit_dedups_in_every_state(table):
+    job, _ = table.submit(SPEC)
+    claimed = table.claim("w1")
+    assert claimed["id"] == job["id"]
+    _, created = table.submit(SPEC)
+    assert not created  # leased
+    assert table.complete(job["id"], "w1", "envelope-bytes")
+    done, created = table.submit(SPEC)
+    assert not created and done["state"] == "done"  # served, not re-run
+
+
+def test_full_queue_refuses_new_work_but_not_dedup(tmp_path, clock):
+    table = JobTable(tmp_path / "jobs.sqlite3", max_queued=1, clock=clock)
+    table.submit(SPEC)
+    with pytest.raises(ServiceError, match="queue is full") as err:
+        table.submit(OTHER)
+    assert err.value.kind == "queue-full"
+    _, created = table.submit(SPEC)  # dedup costs no execution: never refused
+    assert not created
+
+
+def test_schema_mismatch_fails_loudly(tmp_path, clock):
+    import sqlite3
+
+    JobTable(tmp_path / "jobs.sqlite3", clock=clock)
+    conn = sqlite3.connect(tmp_path / "jobs.sqlite3")
+    conn.execute("UPDATE meta SET value='999' WHERE key='job-schema'")
+    conn.commit()
+    conn.close()
+    with pytest.raises(ServiceError, match="schema 999"):
+        JobTable(tmp_path / "jobs.sqlite3", clock=clock)
+
+
+def test_constructor_rejects_bad_knobs(tmp_path):
+    with pytest.raises(ServiceError, match="lease_s"):
+        JobTable(tmp_path / "a.sqlite3", lease_s=0)
+    with pytest.raises(ServiceError, match="retry_budget"):
+        JobTable(tmp_path / "b.sqlite3", retry_budget=-1)
+    with pytest.raises(ServiceError, match="max_queued"):
+        JobTable(tmp_path / "c.sqlite3", max_queued=0)
+
+
+# -- claim ordering ---------------------------------------------------------
+
+
+def test_claim_takes_oldest_eligible_first(table, clock):
+    first, _ = table.submit(SPEC)
+    clock.advance(1.0)
+    table.submit(OTHER)
+    job = table.claim("w1")
+    assert job["id"] == first["id"]
+    assert job["state"] == "leased"
+    assert job["attempts"] == 1
+    assert job["lease_owner"] == "w1"
+    assert job["lease_expires_at"] == pytest.approx(clock.now + 30.0)
+
+
+def test_claim_respects_backoff_eligibility(table, clock):
+    table.submit(SPEC)
+    table.claim("w1")
+    clock.advance(30.0)  # lease expires
+    requeued, _ = table.requeue_expired()
+    # eligible_at = now + backoff_base_s * 2**0 = now + 1s
+    assert table.claim("w2") is None
+    clock.advance(1.0)
+    job = table.claim("w2")
+    assert job is not None and job["id"] == requeued[0]
+
+
+def test_claim_empty_table_returns_none(table):
+    assert table.claim("w1") is None
+
+
+# -- heartbeat edges (satellite: lease lifecycle) ---------------------------
+
+
+def test_heartbeat_extends_a_live_lease(table, clock):
+    job, _ = table.submit(SPEC)
+    table.claim("w1")
+    clock.advance(29.999)
+    assert table.heartbeat(job["id"], "w1")
+    refreshed = table.get(job["id"])
+    assert refreshed["lease_expires_at"] == pytest.approx(clock.now + 30.0)
+
+
+def test_heartbeat_exactly_at_expiry_is_refused(table, clock):
+    """Expiry is inclusive: at the deadline instant the reaper is the
+    only authority, so a heartbeat landing exactly then must lose."""
+    job, _ = table.submit(SPEC)
+    table.claim("w1")
+    clock.advance(30.0)  # now == lease_expires_at, to the tick
+    assert not table.heartbeat(job["id"], "w1")
+    # ...and the reaper agrees the lease is dead at the same instant.
+    requeued, failed = table.requeue_expired()
+    assert requeued == [job["id"]] and failed == []
+
+
+def test_heartbeat_from_wrong_owner_is_refused(table, clock):
+    job, _ = table.submit(SPEC)
+    table.claim("w1")
+    assert not table.heartbeat(job["id"], "w2")
+    assert not table.heartbeat("no-such-job", "w1")
+
+
+# -- reaper vs late result (satellite: lease lifecycle) ---------------------
+
+
+def test_late_result_before_reap_is_accepted(table, clock):
+    """A worker may complete after its deadline as long as the reaper
+    has not acted: the work is done, accepting beats re-running."""
+    job, _ = table.submit(SPEC)
+    table.claim("w1")
+    clock.advance(45.0)  # deadline long gone, reaper slow
+    assert table.complete(job["id"], "w1", "envelope-bytes")
+    done = table.get(job["id"])
+    assert done["state"] == "done" and done["result"] == "envelope-bytes"
+    # The reaper arriving now finds nothing leased: the race commuted.
+    assert table.requeue_expired() == ([], [])
+
+
+def test_late_result_after_reap_is_discarded(table, clock):
+    """Once the reaper requeued the job, the original owner's result
+    must bounce off the lease-conditional update — the rerun wins."""
+    job, _ = table.submit(SPEC)
+    table.claim("w1")
+    clock.advance(30.0)
+    assert table.requeue_expired() == ([job["id"]], [])
+    assert not table.complete(job["id"], "w1", "late-bytes")
+    assert not table.fail(job["id"], "w1", "late-error")
+    row = table.get(job["id"])
+    assert row["state"] == "queued" and row["result"] is None
+    # The second attempt owns the job outright.
+    clock.advance(1.0)
+    rerun = table.claim("w2")
+    assert rerun["attempts"] == 2
+    assert table.complete(job["id"], "w2", "rerun-bytes")
+    assert table.get(job["id"])["result"] == "rerun-bytes"
+
+
+def test_completion_requires_the_current_owner(table, clock):
+    job, _ = table.submit(SPEC)
+    table.claim("w1")
+    assert not table.complete(job["id"], "w2", "bytes")
+    assert table.get(job["id"])["state"] == "leased"
+
+
+# -- retry budget (satellite: lease lifecycle) ------------------------------
+
+
+def test_backoff_grows_exponentially_and_caps(tmp_path, clock):
+    table = JobTable(
+        tmp_path / "jobs.sqlite3",
+        lease_s=10.0,
+        retry_budget=10,
+        backoff_base_s=1.0,
+        backoff_cap_s=4.0,
+        clock=clock,
+    )
+    job, _ = table.submit(SPEC)
+    delays = []
+    for _ in range(5):
+        eligible = table.get(job["id"])["eligible_at"]
+        clock.now = max(clock.now, eligible)
+        assert table.claim("w1") is not None
+        clock.advance(10.0)
+        table.requeue_expired()
+        delays.append(table.get(job["id"])["eligible_at"] - clock.now)
+    assert delays == [1.0, 2.0, 4.0, 4.0, 4.0]  # base * 2**(n-1), capped
+
+
+def test_retry_budget_exhaustion_yields_typed_failure(table, clock):
+    """retry_budget=2 buys 3 executions total; the third expiry marks
+    the job failed with a parseable ``job-failure`` envelope."""
+    job, _ = table.submit(SPEC)
+    for attempt in (1, 2):
+        clock.now = max(clock.now, table.get(job["id"])["eligible_at"])
+        claimed = table.claim(f"w{attempt}")
+        assert claimed["attempts"] == attempt
+        clock.advance(30.0)
+        requeued, failed = table.requeue_expired()
+        assert requeued == [job["id"]] and failed == []
+    clock.now = max(clock.now, table.get(job["id"])["eligible_at"])
+    assert table.claim("w3")["attempts"] == 3
+    clock.advance(30.0)
+    requeued, failed = table.requeue_expired()
+    assert requeued == [] and failed == [job["id"]]
+
+    row = table.get(job["id"])
+    assert row["state"] == "failed"
+    payload = parse_job_failure(row["error"])
+    assert payload["id"] == job["id"]
+    assert payload["attempts"] == 3
+    assert payload["error"]["type"] == "LeaseRetryExhausted"
+    assert "retry budget 2" in payload["error"]["message"]
+    # Terminal: nothing left to claim or reap.
+    clock.advance(120.0)
+    assert table.claim("w4") is None
+    assert table.requeue_expired() == ([], [])
+
+
+def test_release_refunds_the_attempt(table, clock):
+    """Graceful preemption (SIGTERM drain) hands the job back without
+    charging the retry budget — only crashes spend attempts."""
+    job, _ = table.submit(SPEC)
+    assert table.claim("w1")["attempts"] == 1
+    assert table.release(job["id"], "w1")
+    row = table.get(job["id"])
+    assert row["state"] == "queued" and row["attempts"] == 0
+    assert row["eligible_at"] == clock.now  # no backoff either
+    assert not table.release(job["id"], "w1")  # lease is gone
+
+
+# -- inspection -------------------------------------------------------------
+
+
+def test_counts_cover_every_state(table, clock):
+    assert table.counts() == {"queued": 0, "leased": 0, "done": 0, "failed": 0}
+    table.submit(SPEC)
+    table.submit(OTHER)
+    claimed = table.claim("w1")
+    counts = table.counts()
+    assert counts["queued"] == 1 and counts["leased"] == 1
+    table.complete(claimed["id"], "w1", "bytes")
+    assert table.counts()["done"] == 1
+
+
+def test_get_unknown_job_is_none(table):
+    assert table.get("0" * 16) is None

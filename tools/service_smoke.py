@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""CI smoke: the sweep service survives the chaos menu, byte-identically.
+
+The scripted incident (docs/service.md):
+
+1. start ``repro serve`` with one worker and a short lease;
+2. submit a fig11 sweep and wait until the worker has journaled real
+   progress (cells in the write-ahead journal, job ``leased``);
+3. **SIGKILL the worker mid-sweep** — no drain, no cleanup, the
+   worst-case crash;
+4. **SIGTERM the whole service** and start a fresh instance on the same
+   service directory — the job table and the journal are the only
+   surviving state;
+5. wait for the job to finish, then assert:
+   * the job was re-attempted (the lease expired and the reaper
+     requeued it — ``attempts >= 2``);
+   * the served result envelope is **byte-identical** to an
+     uninterrupted serial run computed in this process.
+
+Exit 0 on success, 1 with a diagnostic on any violated contract.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.errors import ServiceError  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+
+ROUNDS = 30  # ~5 s serial: long enough to kill mid-run, short for CI
+LEASE_S = 3.0
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def start_service(service_dir: Path, port: int) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.harness", "serve",
+            "--port", str(port),
+            "--workers", "1",
+            "--lease-s", str(LEASE_S),
+            "--retry-budget", "3",
+            "--service-dir", str(service_dir),
+        ],
+        env=env,
+        cwd=str(REPO),
+    )
+    client = ServiceClient(f"http://127.0.0.1:{port}", timeout_s=5.0)
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        try:
+            if client.healthz():
+                return proc
+        except ServiceError:
+            pass
+        if proc.poll() is not None:
+            raise SystemExit(f"service died at startup (rc={proc.returncode})")
+        time.sleep(0.2)
+    proc.kill()
+    raise SystemExit("service never became healthy")
+
+
+def wait_for_journal_progress(service_dir: Path, min_entries: int = 5) -> None:
+    """Block until some worker has journaled ``min_entries`` completions."""
+    deadline = time.monotonic() + 60.0
+    journal_root = service_dir / "journal"
+    while time.monotonic() < deadline:
+        for path in journal_root.glob("*/journal.jsonl"):
+            try:
+                lines = path.read_text().count("\n")
+            except OSError:
+                continue
+            if lines > min_entries:  # header + min_entries completions
+                return
+        time.sleep(0.1)
+    raise SystemExit("worker never journaled any progress")
+
+
+def leased_worker_pid(client: ServiceClient, job_id: str) -> int:
+    """The pid baked into the lease owner (``worker-<pid>@host``)."""
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        status = client.status(job_id)
+        owner = status.get("lease_owner")
+        if status["state"] == "leased" and owner:
+            return int(owner.split("@", 1)[0].rsplit("-", 1)[1])
+        time.sleep(0.1)
+    raise SystemExit("job was never leased")
+
+
+def main() -> int:
+    service_dir = Path(tempfile.mkdtemp(prefix="repro-service-smoke-"))
+    port = free_port()
+    print(f"[smoke] service dir {service_dir}, port {port}")
+
+    print(f"[smoke] serial reference run (fig11, rounds={ROUNDS})...")
+    from repro.harness import experiments
+
+    reference = experiments.fig11(rounds=ROUNDS).to_json()
+
+    proc = start_service(service_dir, port)
+    client = ServiceClient(f"http://127.0.0.1:{port}", timeout_s=5.0)
+    try:
+        job = client.submit(
+            {"experiment": "fig11", "params": {"rounds": ROUNDS}}
+        )
+        job_id = job["id"]
+        print(f"[smoke] submitted job {job_id}")
+
+        pid = leased_worker_pid(client, job_id)
+        wait_for_journal_progress(service_dir)
+        print(f"[smoke] SIGKILL worker {pid} mid-sweep")
+        os.kill(pid, signal.SIGKILL)
+
+        print("[smoke] SIGTERM the whole service (restart test)")
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=60)
+    except BaseException:
+        proc.kill()
+        raise
+
+    port = free_port()
+    print(f"[smoke] restarting service on port {port}")
+    proc = start_service(service_dir, port)
+    client = ServiceClient(f"http://127.0.0.1:{port}", timeout_s=5.0)
+    try:
+        final = client.wait(job_id, timeout_s=180.0, poll_s=0.5)
+        attempts = final["attempts"]
+        print(f"[smoke] job {job_id}: {final['state']} after "
+              f"{attempts} attempt(s)")
+        if final["state"] != "done":
+            print(f"[smoke] FAIL: job ended {final['state']!r}", file=sys.stderr)
+            return 1
+        if attempts < 2:
+            print(
+                "[smoke] FAIL: job was never requeued "
+                f"(attempts={attempts}); the SIGKILL was not survived by "
+                "the lease protocol",
+                file=sys.stderr,
+            )
+            return 1
+        served = client.result_text(job_id)
+        if served != reference:
+            print(
+                "[smoke] FAIL: served envelope differs from the "
+                "uninterrupted serial run",
+                file=sys.stderr,
+            )
+            return 1
+        print("[smoke] OK: requeued after SIGKILL + restart, envelope "
+              "byte-identical to serial")
+        return 0
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
