@@ -11,7 +11,7 @@
 
 from benchmarks.conftest import save_report
 from repro.algorithms import MeanMicrobench
-from repro.gpu.config import gtx280
+from repro.gpu.presets import get_preset
 from repro.gpu.device import Device
 from repro.gpu.host import Host
 from repro.gpu.kernel import KernelSpec
@@ -32,7 +32,7 @@ def _run_with_device_wide_atomics(strategy_name: str, num_blocks: int) -> int:
     atomics all serialize through one unit."""
     micro = _micro()
     micro.reset()
-    device = Device(gtx280(), device_wide_atomics=True)
+    device = Device(get_preset("gtx280"), device_wide_atomics=True)
     host = Host(device)
     strategy = get_strategy(strategy_name)
     strategy.prepare(device, num_blocks)

@@ -16,8 +16,8 @@ expectations, which this bench asserts:
 
 from benchmarks.conftest import save_report
 from repro.algorithms import MeanMicrobench
-from repro.gpu.config import gtx280
-from repro.gpu.presets import fermi_class
+from repro.gpu.presets import get_preset
+from repro.gpu.presets import get_preset
 from repro.harness.phases import compute_only, sync_time_ns
 from repro.harness.report import format_table
 from repro.harness.runner import run
@@ -41,8 +41,8 @@ def _barrier_costs(config):
 def test_generations(benchmark):
     def measure():
         return {
-            "GTX 280 (calibrated)": _barrier_costs(gtx280()),
-            "Fermi-class (illustrative)": _barrier_costs(fermi_class()),
+            "GTX 280 (calibrated)": _barrier_costs(get_preset("gtx280")),
+            "Fermi-class (illustrative)": _barrier_costs(get_preset("fermi_class")),
         }
 
     results = benchmark.pedantic(measure, rounds=1, iterations=1)

@@ -28,7 +28,7 @@ import dataclasses
 
 import numpy as np
 
-from repro import DeadlockError, MeanMicrobench, OccupancyError, gtx280, run
+from repro import DeadlockError, MeanMicrobench, OccupancyError, get_preset, run
 from repro.gpu.device import Device
 from repro.gpu.host import Host
 from repro.gpu.kernel import KernelSpec
@@ -82,7 +82,7 @@ def main() -> None:
 
     # --- 3. display-attached device: the watchdog kills the launch --------
     cfg = dataclasses.replace(
-        gtx280(), watchdog_ns=2_000_000, watchdog_action="kill"
+        get_preset("gtx280"), watchdog_ns=2_000_000, watchdog_action="kill"
     )
     device3 = Device(cfg)
     host3 = Host(device3)

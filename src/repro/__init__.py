@@ -63,7 +63,10 @@ from repro.gpu import (
     KernelSpec,
     StageCostModel,
     Stream,
+    Topology,
+    get_preset,
     gtx280,
+    preset_names,
 )
 from repro.api import run
 from repro.errors import ExecutorError
@@ -71,7 +74,6 @@ from repro.harness import (
     DegradePolicy,
     RetryPolicy,
     RunResult,
-    run_resilient,
 )
 from repro.parallel import Executor, ResultCache
 from repro.sanitize import (
@@ -84,6 +86,7 @@ from repro.sanitize import (
 from repro.sync import (
     CpuExplicitSync,
     CpuImplicitSync,
+    GpuClusterTreeSync,
     GpuDisseminationSync,
     GpuLockFreeSync,
     GpuSenseReversalSync,
@@ -117,6 +120,7 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "Finding",
+    "GpuClusterTreeSync",
     "GpuDisseminationSync",
     "GpuLockFreeSync",
     "GpuSenseReversalSync",
@@ -146,14 +150,16 @@ __all__ = [
     "Stream",
     "SyncProtocolError",
     "SyncStrategy",
+    "Topology",
     "VerificationError",
     "__version__",
     "chaos_campaign",
     "fault_plans",
+    "get_preset",
     "get_strategy",
     "gtx280",
+    "preset_names",
     "run",
-    "run_resilient",
     "sanitize_run",
     "strategy_names",
 ]

@@ -1,10 +1,10 @@
 """The unified run facade: one keyword-only entry point for every mode.
 
 Historically the repo had two front doors — ``repro.harness.runner.run``
-for plain single-attempt simulation and ``run_resilient`` for the
-retry/degrade runtime — with positional grids that read ambiguously at
-call sites (``run(algo, "gpu-lockfree", 30)``: blocks? threads?).
-:func:`run` collapses them:
+for plain single-attempt simulation and a separate resilient entry point
+for the retry/degrade runtime — with positional grids that read
+ambiguously at call sites (``run(algo, "gpu-lockfree", 30)``: blocks?
+threads?).  :func:`run` collapses them:
 
 * ``num_blocks`` is keyword-only, so every call site names its grid;
 * ``retry=`` / ``degrade=`` switch to the resilient runtime
@@ -22,7 +22,8 @@ call sites (``run(algo, "gpu-lockfree", 30)``: blocks? threads?).
   (``threads_per_block``, ``config``, ``jitter_pct``, ``faults``, …)
   passes straight through.
 
-``run_resilient`` remains as a thin :class:`DeprecationWarning` shim.
+The old ``run_resilient`` spelling is gone (its shim was retired two
+PR cycles after deprecation); this facade is the only resilient entry.
 """
 
 from __future__ import annotations

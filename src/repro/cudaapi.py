@@ -26,7 +26,8 @@ from typing import Any, Dict, Optional
 import numpy as np
 
 from repro.errors import LaunchError
-from repro.gpu.config import DeviceConfig, gtx280
+from repro.gpu.config import DeviceConfig
+from repro.gpu.presets import get_preset
 from repro.gpu.device import Device
 from repro.gpu.host import Host, KernelHandle
 from repro.gpu.kernel import DeviceProgram, KernelSpec
@@ -49,7 +50,7 @@ class CudaSession:
     """
 
     def __init__(self, config: Optional[DeviceConfig] = None):
-        self.device = Device(config or gtx280())
+        self.device = Device(config or get_preset("gtx280"))
         self.host = Host(self.device)
         self._kernel_counter = 0
 

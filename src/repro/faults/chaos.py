@@ -2,8 +2,8 @@
 
 A campaign generates ``plans`` deterministic fault plans (seed-derived,
 like sanitizer schedules) and runs each against one barrier strategy
-under the full resilient runtime
-(:func:`repro.harness.resilient.run_resilient`).  Every run must end in
+under the full resilient runtime (:mod:`repro.harness.resilient`,
+reached through ``repro.run(..., retry=...)``).  Every run must end in
 one of four *explained* outcomes:
 
 * ``ok`` — finished verified on the first attempt (faults may have

@@ -27,7 +27,9 @@ from repro.gpu.device import Device
 from repro.gpu.host import Host, KernelHandle
 from repro.gpu.kernel import KernelSpec
 from repro.gpu.memory import GlobalArray, GlobalMemory
+from repro.gpu.presets import get_preset, preset_names, register_preset
 from repro.gpu.stream import Event, Stream
+from repro.gpu.topology import Topology
 
 __all__ = [
     "BlockCtx",
@@ -41,5 +43,9 @@ __all__ = [
     "KernelSpec",
     "StageCostModel",
     "Stream",
+    "Topology",
+    "get_preset",
     "gtx280",
+    "preset_names",
+    "register_preset",
 ]

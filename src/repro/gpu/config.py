@@ -1,11 +1,19 @@
-"""Device configuration and the GTX 280 preset (paper §2)."""
+"""Device configuration (defaults: the paper's GTX 280).
+
+Preset construction lives in :mod:`repro.gpu.presets` behind the
+``get_preset(name)`` registry; this module holds the
+:class:`DeviceConfig` dataclass itself plus the deprecated
+:func:`gtx280` spelling.
+"""
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.errors import ConfigError
+from repro.gpu.topology import Topology
 from repro.model.calibration import CalibratedTimings, default_timings
 
 __all__ = ["DeviceConfig", "gtx280"]
@@ -42,6 +50,10 @@ class DeviceConfig:
     #: and lets the host observe the failure via Host.get_last_error().
     watchdog_action: str = "raise"
     timings: CalibratedTimings = field(default_factory=default_timings)
+    #: where this device's threads live — sync domains, co-residency
+    #: policy, interconnect crossing cost (:mod:`repro.gpu.topology`).
+    #: The default is the paper's world: one device, one block per SM.
+    topology: Topology = field(default_factory=Topology)
 
     def __post_init__(self) -> None:
         for name in (
@@ -68,6 +80,11 @@ class DeviceConfig:
             raise ConfigError(
                 f"watchdog_action must be 'raise' or 'kill', "
                 f"got {self.watchdog_action!r}"
+            )
+        if self.num_sms % self.topology.num_domains != 0:
+            raise ConfigError(
+                f"num_sms ({self.num_sms}) must divide evenly into the "
+                f"topology's {self.topology.num_domains} domain(s)"
             )
 
     @property
@@ -121,7 +138,18 @@ class DeviceConfig:
 
 
 def gtx280(timings: Optional[CalibratedTimings] = None) -> DeviceConfig:
-    """The paper's testbed GPU."""
-    if timings is None:
-        return DeviceConfig()
-    return DeviceConfig(timings=timings)
+    """Deprecated spelling of the paper's testbed GPU.
+
+    Use :func:`repro.gpu.presets.get_preset`\\ ``("gtx280")`` — preset
+    construction is consolidated behind one registry.  This shim
+    forwards unchanged and emits a :class:`DeprecationWarning`.
+    """
+    warnings.warn(
+        "gtx280() is deprecated; use "
+        "repro.gpu.presets.get_preset('gtx280', timings=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.gpu.presets import get_preset
+
+    return get_preset("gtx280", timings=timings)

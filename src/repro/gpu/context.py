@@ -60,6 +60,21 @@ class BlockCtx:
         #: 2-D shapes; defaults match a 1-D launch.
         self.grid_dim = grid_dim or (num_blocks, 1)
         self.block_dim = block_dim or (block_threads, 1)
+        # Topology placement: which sync domain this block runs in, and
+        # whether cross-domain traffic costs anything.  Single-domain
+        # (the default) keeps both at the zero-cost fast path so the
+        # paper's traces stay bit-identical.
+        topo = device.config.topology
+        self.domain = (
+            topo.domain_of(block_id, num_blocks) if topo.num_domains > 1 else 0
+        )
+        self._crossing = topo if topo.crossing_ns > 0 else None
+
+    def _remote_ns(self, array: GlobalArray) -> int:
+        """Interconnect latency for touching ``array`` from this block."""
+        if self._crossing is None:
+            return 0
+        return self._crossing.crossing_latency_ns(self.domain, array.home_domain)
 
     # -- introspection -------------------------------------------------------
 
@@ -128,16 +143,18 @@ class BlockCtx:
     # -- global memory ---------------------------------------------------------
 
     def gread(self, array: GlobalArray, index: Any) -> Generator:
-        """Read one element/slice of global memory (charges read latency)."""
-        yield Delay(self.timings.global_read_ns)
+        """Read one element/slice of global memory (charges read latency,
+        plus the interconnect crossing when the array is homed in another
+        sync domain)."""
+        yield Delay(self.timings.global_read_ns + self._remote_ns(array))
         if self.device.probes:
             self.device.notify_access(self, array, index, "read")
         return array.load(index)
 
     def gwrite(self, array: GlobalArray, index: Any, value: Any) -> Generator:
         """Write global memory; visible (and waking spinners) after the
-        write latency elapses."""
-        yield Delay(self.timings.global_write_ns)
+        write latency — plus any interconnect crossing — elapses."""
+        yield Delay(self.timings.global_write_ns + self._remote_ns(array))
         if self.device.faults is not None:
             value = self.device.faults.corrupt_store(self.block_id, value)
         if self.device.probes:
@@ -155,7 +172,7 @@ class BlockCtx:
         unit = self.device.atomics.unit_for(array.name, flat)
         start = self.now
         queued = yield Acquire(unit, f"atomic on {array.name}[{flat}]")
-        yield Delay(self.timings.atomic_ns)
+        yield Delay(self.timings.atomic_ns + self._remote_ns(array))
         if self.device.probes:
             self.device.notify_access(self, array, index, "atomic")
         old = array.load(index)
@@ -203,7 +220,7 @@ class BlockCtx:
             for _ in range(extra):
                 yield Delay(self.timings.spin_read_ns)
             polls += extra
-        yield Delay(self.timings.spin_read_ns)
+        yield Delay(self.timings.spin_read_ns + self._remote_ns(array))
         if self.device.probes:
             self.device.notify_access(self, array, None, "spin")
         self.record("spin", start, on=array.name, polls=polls)

@@ -6,7 +6,7 @@ from typing import Any, Generator, List, Optional
 
 from repro.errors import KernelTimeoutError
 from repro.gpu.atomics import AtomicRegistry
-from repro.gpu.config import DeviceConfig, gtx280
+from repro.gpu.config import DeviceConfig
 from repro.gpu.context import BlockCtx
 from repro.gpu.kernel import KernelSpec
 from repro.gpu.scheduler import BlockScheduler
@@ -38,7 +38,7 @@ class Device:
         fuzzer=None,
         faults=None,
     ):
-        self.config = config or gtx280()
+        self.config = config or DeviceConfig()
         #: the simulation engine — private by default; pass a shared one
         #: to put several devices in one simulated system (multi-GPU).
         #: ``engine_mode`` selects the event core ("reference" or "fast",

@@ -29,13 +29,22 @@ Index = Union[int, Tuple[Any, ...], slice]
 class GlobalArray:
     """One named allocation in simulated global memory."""
 
-    def __init__(self, memory: "GlobalMemory", name: str, data: np.ndarray):
+    def __init__(
+        self,
+        memory: "GlobalMemory",
+        name: str,
+        data: np.ndarray,
+        home_domain: int = 0,
+    ):
         self._memory = memory
         self.name = name
         self.data = data
         # The backing array is the signal's observable source: declared
         # spin waits (WaitSpec) are checked against it by the fast engine.
         self.signal = Signal(f"mem:{name}", source=data)
+        #: which sync domain this allocation is homed in; accesses from
+        #: other domains pay the topology's crossing latency.
+        self.home_domain = home_domain
         #: store/load counters for tests and diagnostics.
         self.stores = 0
         self.loads = 0
@@ -93,12 +102,15 @@ class GlobalMemory:
         dtype: Any = np.float64,
         fill: Optional[Any] = None,
         reuse: bool = False,
+        home_domain: int = 0,
     ) -> GlobalArray:
         """Allocate a named array; raises on duplicates or exhaustion.
 
         With ``reuse=True`` an existing same-shape, same-dtype allocation
         is zeroed (or refilled) and returned instead of raising — the
         idiom for re-preparable device state like barrier mutexes.
+        ``home_domain`` places the allocation in a topology sync domain;
+        accesses from other domains pay the crossing latency.
         """
         if name in self._arrays:
             if reuse:
@@ -111,6 +123,7 @@ class GlobalMemory:
                     and existing.dtype == np.dtype(dtype)
                 ):
                     existing.data[...] = 0 if fill is None else fill
+                    existing.home_domain = home_domain
                     return existing
                 # Shape/dtype changed: replace the allocation.
                 del self._arrays[name]
@@ -124,7 +137,7 @@ class GlobalMemory:
                 f"allocating {name!r} ({data.nbytes} B) exceeds device memory "
                 f"({self.used_bytes}/{self.capacity_bytes} B used)"
             )
-        array = GlobalArray(self, name, data)
+        array = GlobalArray(self, name, data, home_domain=home_domain)
         self._arrays[name] = array
         return array
 

@@ -18,7 +18,7 @@
 from repro.harness.autotune import TuneResult, autotune, probe_barrier_cost
 from repro.harness.perf import compare_modes, load_bench, measure_workload, render_bench
 from repro.harness.phases import Breakdown, breakdown, compute_only, sync_time_ns
-from repro.harness.resilient import DegradePolicy, RetryPolicy, run_resilient
+from repro.harness.resilient import DegradePolicy, RetryPolicy
 from repro.harness.runner import RaceMonitor, RecoveryEvent, RunResult, run
 from repro.harness.stats import RunStatistics, repeat_run, summarize
 
@@ -41,7 +41,6 @@ __all__ = [
     "render_bench",
     "repeat_run",
     "run",
-    "run_resilient",
     "summarize",
     "sync_time_ns",
 ]

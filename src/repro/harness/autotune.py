@@ -21,7 +21,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.algorithms.base import RoundAlgorithm
 from repro.algorithms.microbench import MeanMicrobench
 from repro.errors import ConfigError
-from repro.gpu.config import DeviceConfig, gtx280
+from repro.gpu.config import DeviceConfig
+from repro.gpu.presets import get_preset
 from repro.harness.phases import compute_only, sync_time_ns
 from repro.harness.runner import run
 
@@ -49,7 +50,7 @@ def probe_barrier_cost(
     """
     if probe_rounds < 1:
         raise ConfigError(f"probe_rounds must be >= 1, got {probe_rounds}")
-    cfg = config or gtx280()
+    cfg = config or get_preset("gtx280")
     micro = MeanMicrobench(
         rounds=probe_rounds, num_blocks_hint=num_blocks, threads_per_block=64
     )
@@ -92,7 +93,7 @@ def autotune(
     """
     if not candidates:
         raise ConfigError("autotune needs at least one candidate")
-    cfg = config or gtx280()
+    cfg = config or get_preset("gtx280")
     rounds = algorithm.num_rounds()
     compute_total = sum(
         max(

@@ -36,6 +36,12 @@ Extras beyond the paper:
   (docs/service.md); ``--port``, ``--workers``, ``--lease-s``,
   ``--retry-budget``, ``--max-queued``, ``--service-dir``
 
+Device flag (docs/topology.md): ``--preset NAME`` runs the whole
+battery against a registered device preset (default ``gtx280``, the
+paper's card; see ``repro.gpu.presets``).  Block counts the paper pins
+at 30 clamp to the preset's co-residency limit, and ``lint`` resolves
+its SC002 occupancy limit through the preset's topology.
+
 Execution flags (docs/parallel.md): ``--jobs N`` shards sweeps and
 campaigns across N worker processes; ``--cache`` memoizes every run
 keyed on its full configuration (``--cache-dir`` relocates the store).
@@ -58,6 +64,7 @@ import time
 from typing import List, Optional
 
 from repro.errors import InterruptedSweepError
+from repro.gpu.presets import get_preset, preset_names
 from repro.harness import experiments, report
 
 __all__ = ["main"]
@@ -85,12 +92,12 @@ def _per_batch_resume(resume: Optional[str], batches: int) -> Optional[str]:
     return "auto"
 
 
-def _fig13_14(args: argparse.Namespace, sync: bool, executor=None) -> str:
+def _fig13_14(args: argparse.Namespace, sync: bool, executor=None, cfg=None) -> str:
     chunks: List[str] = []
     resume = _per_batch_resume(args.resume, len(args.algorithms))
     for algo in args.algorithms:
         sweep = experiments.algorithm_sweep(
-            algo, step=args.step, executor=executor, resume=resume
+            algo, config=cfg, step=args.step, executor=executor, resume=resume
         )
         fig = "Fig. 14" if sync else "Fig. 13"
         title = f"{fig} ({algo})"
@@ -106,15 +113,17 @@ def _fig13_14(args: argparse.Namespace, sync: bool, executor=None) -> str:
     return "\n\n".join(chunks)
 
 
-def _extensions_study(args: argparse.Namespace) -> str:
+def _extensions_study(args: argparse.Namespace, cfg=None) -> str:
     """Compare all six device barriers on the micro-benchmark."""
     from repro.algorithms import MeanMicrobench
     from repro.harness.phases import compute_only, sync_time_ns
     from repro.harness.runner import run
 
-    rounds, blocks = min(args.rounds, 200), 30
+    cfg = cfg or get_preset("gtx280")
+    limit = cfg.topology.max_co_resident_blocks(cfg)
+    rounds, blocks = min(args.rounds, 200), min(30, limit)
     micro = MeanMicrobench(rounds=rounds, num_blocks_hint=blocks)
-    null = compute_only(micro, blocks)
+    null = compute_only(micro, blocks, config=cfg)
     rows = []
     for strat in (
         "gpu-simple",
@@ -124,7 +133,7 @@ def _extensions_study(args: argparse.Namespace) -> str:
         "gpu-dissemination",
         "gpu-lockfree",
     ):
-        result = run(micro, strat, blocks)
+        result = run(micro, strat, blocks, config=cfg)
         rows.append(
             (strat, sync_time_ns(result, null) / rounds)
         )
@@ -136,14 +145,14 @@ def _extensions_study(args: argparse.Namespace) -> str:
     )
 
 
-def _trace_one(args: argparse.Namespace) -> str:
+def _trace_one(args: argparse.Namespace, cfg=None) -> str:
     """Run one configuration and dump a Chrome-tracing JSON."""
     from repro.algorithms import FFT
     from repro.harness.runner import run
     from repro.harness.traceview import write_chrome_trace
 
     result = run(
-        FFT(n=2**10), args.strategy, args.blocks, keep_device=True
+        FFT(n=2**10), args.strategy, args.blocks, config=cfg, keep_device=True
     )
     path = write_chrome_trace(result.device.trace, args.out)
     return (
@@ -166,7 +175,7 @@ SANITIZE_ALL = (
 )
 
 
-def _sanitize(args: argparse.Namespace, executor=None) -> "tuple[str, bool]":
+def _sanitize(args: argparse.Namespace, executor=None, cfg=None) -> "tuple[str, bool]":
     """Run the sanitizer; returns (rendered report, any findings)."""
     from repro.errors import ConfigError
     from repro.sanitize import DEFAULT_SEED, sanitize_run
@@ -181,6 +190,7 @@ def _sanitize(args: argparse.Namespace, executor=None) -> "tuple[str, bool]":
             rep = sanitize_run(
                 strategy=strat,
                 num_blocks=args.blocks,
+                config=cfg,
                 seed=seed,
                 schedules=args.schedules,
                 executor=executor,
@@ -204,7 +214,7 @@ CHAOS_ALL = (
 )
 
 
-def _chaos(args: argparse.Namespace, executor=None) -> "tuple[str, bool]":
+def _chaos(args: argparse.Namespace, executor=None, cfg=None) -> "tuple[str, bool]":
     """Run chaos campaigns; returns (rendered reports, any unexplained)."""
     from repro.errors import ConfigError
     from repro.faults import chaos_campaign
@@ -222,6 +232,7 @@ def _chaos(args: argparse.Namespace, executor=None) -> "tuple[str, bool]":
                 plans=args.plans,
                 seed=seed,
                 num_blocks=args.blocks,
+                config=cfg,
                 executor=executor,
                 resume=resume,
             )
@@ -234,11 +245,11 @@ def _chaos(args: argparse.Namespace, executor=None) -> "tuple[str, bool]":
 
 def _lint(args: argparse.Namespace) -> "tuple[str, int]":
     """Run the static linter; returns (rendered output, exit code)."""
-    from repro.staticcheck import LintError, lint_paths
+    from repro.staticcheck import LintError, lint_paths, sm_limit_for_preset
 
     paths = args.action or ["src/repro", "examples"]
     try:
-        rep = lint_paths(paths)
+        rep = lint_paths(paths, sm_limit=sm_limit_for_preset(args.preset))
     except LintError as exc:
         print(f"lint: {exc}", file=sys.stderr)
         return "", 2
@@ -310,6 +321,13 @@ def _main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="cache: 'stats' (default) or 'clear'; "
         "lint: files/directories to analyze (default: src/repro examples)",
+    )
+    parser.add_argument(
+        "--preset",
+        default="gtx280",
+        choices=preset_names(),
+        help="device preset to run against (default gtx280, the paper's "
+        "card); see repro.gpu.presets",
     )
     parser.add_argument(
         "--rounds",
@@ -519,6 +537,15 @@ def _main(argv: Optional[List[str]] = None) -> int:
     sections: List[str] = []
     want = args.experiment
 
+    # One config object per invocation; every experiment below sees the
+    # same preset.  Block counts that the paper pins at 30 (its GTX 280's
+    # SM count) are clamped to the preset's co-residency limit so smaller
+    # devices stay runnable — for gtx280 the clamp is the identity, which
+    # keeps output and cache keys byte-identical to the pre-preset CLI.
+    preset_cfg = get_preset(args.preset)
+    limit = preset_cfg.topology.max_co_resident_blocks(preset_cfg)
+    pinned_blocks = min(30, limit)
+
     if want == "serve":
         from pathlib import Path
 
@@ -572,12 +599,20 @@ def _main(argv: Optional[List[str]] = None) -> int:
     if want in ("table1", "all"):
         sections.append(
             report.render_table1(
-                experiments.table1(executor=executor, resume=args.resume)
+                experiments.table1(
+                    config=preset_cfg,
+                    num_blocks=pinned_blocks,
+                    executor=executor,
+                    resume=args.resume,
+                )
             )
         )
     if want in ("fig11", "all"):
         sweep = experiments.fig11(
-            rounds=args.rounds, executor=executor, resume=args.resume
+            config=preset_cfg,
+            rounds=args.rounds,
+            executor=executor,
+            resume=args.resume,
         )
         sections.append(
             report.render_sweep_totals(
@@ -592,37 +627,64 @@ def _main(argv: Optional[List[str]] = None) -> int:
                 plot_sweep(sweep, sync=True, title="Fig. 11 sync time")
             )
     if want in ("fig13", "all"):
-        sections.append(_fig13_14(args, sync=False, executor=executor))
+        sections.append(
+            _fig13_14(args, sync=False, executor=executor, cfg=preset_cfg)
+        )
     if want in ("fig14", "all"):
-        sections.append(_fig13_14(args, sync=True, executor=executor))
+        sections.append(
+            _fig13_14(args, sync=True, executor=executor, cfg=preset_cfg)
+        )
     if want in ("fig15", "all"):
         sections.append(
             report.render_fig15(
-                experiments.fig15(executor=executor, resume=args.resume)
+                experiments.fig15(
+                    config=preset_cfg,
+                    num_blocks=pinned_blocks,
+                    executor=executor,
+                    resume=args.resume,
+                )
             )
         )
     if want in ("headline", "all"):
         sections.append(
             report.render_headline(
-                experiments.headline(executor=executor, resume=args.resume)
+                experiments.headline(
+                    config=preset_cfg,
+                    num_blocks=pinned_blocks,
+                    executor=executor,
+                    resume=args.resume,
+                )
             )
         )
     if want in ("models", "all"):
+        model_xs = [n for n in (1, 2, 4, 8, 16, 24, 30) if n <= limit]
         sections.append(
-            report.render_model_validation(experiments.model_validation())
+            report.render_model_validation(
+                experiments.model_validation(
+                    config=preset_cfg, blocks=model_xs
+                )
+            )
         )
     if want in ("extensions", "all"):
-        sections.append(_extensions_study(args))
+        sections.append(_extensions_study(args, cfg=preset_cfg))
     if want in ("composition", "all"):
         from repro.harness.tracestats import composition_study, render_composition
 
-        sections.append(render_composition(composition_study()))
+        sections.append(
+            render_composition(
+                composition_study(
+                    num_blocks=pinned_blocks, config=preset_cfg
+                )
+            )
+        )
     if want == "trace":
-        sections.append(_trace_one(args))
+        sections.append(_trace_one(args, cfg=preset_cfg))
     if want == "report":
         from repro.harness.paperreport import generate_report
 
-        path = generate_report(args.report_out, micro_rounds=args.rounds)
+        path = generate_report(
+            args.report_out, config=preset_cfg, micro_rounds=args.rounds
+        )
         sections.append(f"wrote reproduction report to {path}")
     if want == "diff":
         if not args.baseline or not args.current:
@@ -643,14 +705,14 @@ def _main(argv: Optional[List[str]] = None) -> int:
             return 1
         sections.append("no drift: sweeps are identical within tolerance")
     if want == "sanitize":
-        text, dirty = _sanitize(args, executor=executor)
+        text, dirty = _sanitize(args, executor=executor, cfg=preset_cfg)
         sections.append(text)
         if dirty:
             print("\n\n".join(sections))
             _epilogue(want, started, cache)
             return 1
     if want == "chaos":
-        text, dirty = _chaos(args, executor=executor)
+        text, dirty = _chaos(args, executor=executor, cfg=preset_cfg)
         sections.append(text)
         if dirty:
             print("\n\n".join(sections))

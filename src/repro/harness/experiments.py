@@ -32,7 +32,8 @@ from repro.algorithms import (
     SmithWaterman,
 )
 from repro.errors import ExperimentError
-from repro.gpu.config import DeviceConfig, gtx280
+from repro.gpu.config import DeviceConfig
+from repro.gpu.presets import get_preset
 from repro.harness.phases import Breakdown, compute_only, sync_time_ns
 from repro.harness.runner import run
 from repro.model.barrier_costs import lockfree_cost, simple_cost, tree_cost
@@ -258,7 +259,7 @@ def table1(
 
     Paper: FFT 19.6 %, SWat 49.7 %, bitonic sort 59.6 %.
     """
-    cfg = config or gtx280()
+    cfg = config or get_preset("gtx280")
     device = device_config_to_dict(cfg)
     payloads: List[Dict[str, Any]] = []
     for name in algorithms:
@@ -296,7 +297,7 @@ def fig11(
     quantity is per-round or a ratio, so only absolute magnitudes shift —
     DESIGN.md §2).
     """
-    cfg = config or gtx280()
+    cfg = config or get_preset("gtx280")
     xs = list(blocks) if blocks is not None else list(range(1, cfg.num_sms + 1))
     device = device_config_to_dict(cfg)
     spec = {"name": "micro", "rounds": rounds, "num_blocks_hint": max(xs)}
@@ -330,7 +331,7 @@ def algorithm_sweep(
     Paper sweeps N = 9..30; the default here is the same range with
     ``step=3`` for tractability.
     """
-    cfg = config or gtx280()
+    cfg = config or get_preset("gtx280")
     xs = list(blocks) if blocks is not None else list(range(9, cfg.num_sms + 1, step))
     if not xs:
         raise ExperimentError("empty block sweep")
@@ -394,7 +395,7 @@ def fig15(
 ) -> Dict[str, Dict[str, Breakdown]]:
     """Fig. 15: per-algorithm, per-strategy compute/sync percentages at
     each algorithm's best configuration (30 blocks)."""
-    cfg = config or gtx280()
+    cfg = config or get_preset("gtx280")
     device = device_config_to_dict(cfg)
     payloads: List[Dict[str, Any]] = []
     for name in algorithms:
@@ -439,7 +440,7 @@ def headline(
     * kernel time improves by 8 % (FFT), 24 % (SWat), 39 % (bitonic)
       with lock-free vs CPU implicit.
     """
-    cfg = config or gtx280()
+    cfg = config or get_preset("gtx280")
     device = device_config_to_dict(cfg)
     micro_spec = {
         "name": "micro",
@@ -490,7 +491,7 @@ def model_validation(
     the barrier simultaneously, so measurements may fall slightly below
     predictions for unbalanced trees.
     """
-    cfg = config or gtx280()
+    cfg = config or get_preset("gtx280")
     xs = list(blocks) if blocks is not None else [1, 2, 4, 8, 16, 24, 30]
     timings = cfg.timings
     predictors = {

@@ -12,7 +12,8 @@ from __future__ import annotations
 from pathlib import Path
 from typing import List, Optional, Union
 
-from repro.gpu.config import DeviceConfig, gtx280
+from repro.gpu.config import DeviceConfig
+from repro.gpu.presets import get_preset
 from repro.harness import experiments
 from repro.harness.claims import CheckResult, check_headline, check_table1
 
@@ -119,7 +120,7 @@ def generate_report(
     use reduced ``micro_rounds``/``fig11_blocks`` and patched algorithm
     sizes.
     """
-    cfg = config or gtx280()
+    cfg = config or get_preset("gtx280")
     table1_results = experiments.table1(cfg)
     fig11_sweep = experiments.fig11(cfg, rounds=micro_rounds, blocks=fig11_blocks)
     fig15_results = experiments.fig15(cfg)

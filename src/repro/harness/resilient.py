@@ -41,8 +41,6 @@ there, with the same retry-then-contain philosophy
 """
 
 from __future__ import annotations
-
-import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Union
 
@@ -58,7 +56,7 @@ from repro.errors import (
 from repro.harness.runner import RecoveryEvent, RunResult, run
 from repro.sync.base import SyncStrategy, get_strategy
 
-__all__ = ["DegradePolicy", "RetryPolicy", "run_resilient"]
+__all__ = ["DegradePolicy", "RetryPolicy"]
 
 #: failures one relaunch can plausibly outrun.
 _RETRYABLE = (BarrierTimeoutError, KernelTimeoutError, FaultError, VerificationError)
@@ -204,37 +202,3 @@ def _run_resilient(
             history.append(f"fallback {fallback}: {exc}")
 
     raise RetryExhaustedError(strategy.name, attempt, history)
-
-
-def run_resilient(
-    algorithm: RoundAlgorithm,
-    strategy: Union[str, SyncStrategy],
-    num_blocks: int,
-    retry: Optional[RetryPolicy] = None,
-    degrade: Optional[DegradePolicy] = None,
-    faults=None,
-    barrier_deadline_ns: Optional[int] = None,
-    **run_kwargs,
-) -> RunResult:
-    """Deprecated spelling of the resilient path; use :func:`repro.run`.
-
-    ``repro.run(algorithm, strategy, num_blocks=n, retry=..., degrade=...)``
-    reaches the same retry/degrade runtime through the unified facade.
-    This shim forwards unchanged and emits a :class:`DeprecationWarning`.
-    """
-    warnings.warn(
-        "run_resilient() is deprecated; call "
-        "repro.run(..., retry=..., degrade=...) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _run_resilient(
-        algorithm,
-        strategy,
-        num_blocks,
-        retry=retry,
-        degrade=degrade,
-        faults=faults,
-        barrier_deadline_ns=barrier_deadline_ns,
-        **run_kwargs,
-    )

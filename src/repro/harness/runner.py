@@ -8,9 +8,10 @@ from typing import Generator, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.algorithms.base import RoundAlgorithm
-from repro.errors import BarrierTimeoutError, ConfigError, FaultError
+from repro.errors import BarrierTimeoutError, ConfigError, FaultError, OccupancyError
 from repro.faults.watchdog import DEFAULT_BARRIER_DEADLINE_NS, BarrierWatchdog
-from repro.gpu.config import DeviceConfig, gtx280
+from repro.gpu.config import DeviceConfig
+from repro.gpu.presets import get_preset
 from repro.gpu.context import BlockCtx
 from repro.gpu.device import Device
 from repro.gpu.host import Host
@@ -173,8 +174,8 @@ def run(
     (the ``driver-kill`` fault) raises
     :class:`~repro.errors.FaultError`.  Both default to off and cost
     nothing then — this function is single-attempt; recovery (retry,
-    graceful degradation) lives in
-    :func:`repro.harness.resilient.run_resilient`.
+    graceful degradation) lives in ``repro.harness.resilient`` (the
+    :func:`repro.run` facade's ``resilient=`` path).
 
     ``engine_mode`` selects the event core ("reference" or "fast" — see
     ``docs/engine.md``); ``None`` defers to
@@ -184,7 +185,7 @@ def run(
     """
     if isinstance(strategy, str):
         strategy = get_strategy(strategy)
-    cfg = config or gtx280()
+    cfg = config or get_preset("gtx280")
     threads = threads_per_block or algorithm.default_threads
     if threads > cfg.max_threads_per_block:
         raise ConfigError(
@@ -248,6 +249,24 @@ def run(
             block_threads=threads,
             shared_mem_per_block=strategy.shared_mem_request(cfg),
         )
+
+        # The cudaLaunchCooperativeKernel rule: under cooperative
+        # co-residency the topology's ``max_co_resident_blocks`` is only
+        # an upper bound, so validate against the *actual* capacity of
+        # this block shape (occupancy-aware).  Exclusive topologies keep
+        # the paper's behavior untouched: validate_grid above is the
+        # guard, and bypassing it still reaches the engine's own
+        # deadlock detection.  Capacity 0 (a block that cannot be
+        # placed at all) keeps the scheduler's own error.
+        if cfg.topology.co_residency == "cooperative":
+            capacity = device.scheduler.co_resident_capacity(spec)
+            if capacity and num_blocks > capacity:
+                raise OccupancyError(
+                    f"{strategy.name}: {num_blocks} blocks of {threads} "
+                    f"threads exceed the device's co-resident capacity of "
+                    f"{capacity} blocks; a device-side barrier would "
+                    "deadlock (non-preemptive blocks)"
+                )
 
         def host_program() -> Generator:
             handle = yield from host.launch(spec)

@@ -25,7 +25,8 @@ from typing import Dict, Optional, Sequence
 
 from repro.algorithms.microbench import MeanMicrobench
 from repro.errors import ExperimentError
-from repro.gpu.config import DeviceConfig, gtx280
+from repro.gpu.config import DeviceConfig
+from repro.gpu.presets import get_preset
 from repro.harness.runner import RunResult, run
 from repro.simcore.trace import Trace
 
@@ -68,7 +69,7 @@ def composition_study(
 
     Returns ``{strategy: {primitive: avg ns per block per round}}``.
     """
-    cfg = config or gtx280()
+    cfg = config or get_preset("gtx280")
     micro = MeanMicrobench(rounds=rounds, num_blocks_hint=num_blocks)
     out: Dict[str, Dict[str, float]] = {}
     for strategy in strategies:

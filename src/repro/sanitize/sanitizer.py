@@ -24,7 +24,8 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 from repro.algorithms.base import RoundAlgorithm, VerificationError
 from repro.algorithms.microbench import MeanMicrobench
 from repro.errors import DeadlockError, KernelTimeoutError, ReproError
-from repro.gpu.config import DeviceConfig, gtx280
+from repro.gpu.config import DeviceConfig
+from repro.gpu.presets import get_preset
 from repro.sanitize.analysis import (
     barrier_findings,
     check_occupancy,
@@ -168,7 +169,7 @@ def schedule_result_from_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     cfg = (
         device_config_from_dict(payload["device"])
         if payload.get("device")
-        else gtx280()
+        else get_preset("gtx280")
     )
     findings, barrier_events, access_events = _run_one_schedule(
         algorithm,
@@ -233,7 +234,7 @@ def sanitize_run(
     Never raises for bugs it detects — deadlocks, divergence, races and
     verification failures all come back as findings in the report.
     """
-    cfg = config or gtx280()
+    cfg = config or get_preset("gtx280")
     named = isinstance(strategy, str)
     resolved = get_strategy(strategy) if named else strategy
     spec: Optional[Dict[str, Any]] = None

@@ -26,6 +26,7 @@ from typing import Any, Dict, Iterable, Union
 
 from repro.errors import ExperimentError
 from repro.gpu.config import DeviceConfig
+from repro.gpu.topology import Topology
 from repro.model.calibration import CalibratedTimings
 
 __all__ = [
@@ -295,9 +296,16 @@ def device_config_to_dict(config: DeviceConfig) -> Dict[str, Any]:
 
 
 def device_config_from_dict(payload: Dict[str, Any]) -> DeviceConfig:
-    """Rebuild a :class:`DeviceConfig` from :func:`device_config_to_dict`."""
+    """Rebuild a :class:`DeviceConfig` from :func:`device_config_to_dict`.
+
+    Dicts serialized before the topology field existed (no ``topology``
+    key) rebuild with the default single-device topology.
+    """
     fields = dict(payload)
     timings = fields.pop("timings", None)
     if timings is not None:
         fields["timings"] = CalibratedTimings(**timings)
+    topology = fields.pop("topology", None)
+    if topology is not None:
+        fields["topology"] = Topology(**topology)
     return DeviceConfig(**fields)

@@ -34,6 +34,7 @@ from repro.staticcheck.engine import (
     lint_paths,
     lint_source,
     lint_strategy,
+    sm_limit_for_preset,
 )
 from repro.staticcheck.report import LintReport, StaticFinding
 from repro.staticcheck.rules import RULES
@@ -53,4 +54,5 @@ __all__ = [
     "lint_paths",
     "lint_source",
     "lint_strategy",
+    "sm_limit_for_preset",
 ]

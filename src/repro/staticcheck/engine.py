@@ -37,6 +37,7 @@ __all__ = [
     "lint_paths",
     "lint_source",
     "lint_strategy",
+    "sm_limit_for_preset",
     "suppressed_codes",
 ]
 
@@ -47,15 +48,29 @@ class LintError(ReproError):
 
 def _default_sm_limit() -> int:
     try:
-        from repro.gpu.config import gtx280
+        from repro.gpu.config import DeviceConfig
 
-        return gtx280().num_sms
+        cfg = DeviceConfig()
+        return cfg.topology.max_co_resident_blocks(cfg)
     except Exception:  # pragma: no cover - preset import must not kill lint
         return 30
 
 
 #: co-residency limit of the default (paper-calibrated GTX 280) device.
 DEFAULT_SM_LIMIT: int = _default_sm_limit()
+
+
+def sm_limit_for_preset(name: str) -> int:
+    """The co-residency limit SC002 should lint against for a preset.
+
+    Resolved through the preset's topology, so a cooperative-groups
+    device (``grid_sync``) lints against its real co-resident capacity
+    instead of the paper's one-block-per-SM rule.
+    """
+    from repro.gpu.presets import get_preset
+
+    cfg = get_preset(name)
+    return cfg.topology.max_co_resident_blocks(cfg)
 
 #: ``# repro: noqa`` / ``# repro: noqa SC001, SC005`` (case-insensitive).
 _NOQA_RE = re.compile(

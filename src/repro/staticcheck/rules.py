@@ -137,7 +137,7 @@ def rule_sc001(ctx: FileContext) -> List[StaticFinding]:
 #: strategy-name prefixes that imply a device-side (co-resident) barrier.
 _DEVICE_PREFIXES = ("gpu-", "broken-")
 #: call tails that take (algorithm, strategy, num_blocks, ...).
-_RUN_TAILS = {"run", "run_resilient", "sanitize_run"}
+_RUN_TAILS = {"run", "sanitize_run"}
 
 
 def _call_arg(
@@ -152,14 +152,19 @@ def _call_arg(
 
 
 def rule_sc002(ctx: FileContext) -> List[StaticFinding]:
-    """A grid-size literal exceeding the one-block-per-SM limit.
+    """A grid-size literal exceeding the device's co-residency limit.
 
     Paper §5: a device-side barrier deadlocks the moment blocks
-    outnumber SMs, because waiting co-resident blocks are never
-    preempted to let the rest run.  The dynamic sanitizer catches this
-    at prepare() time; this rule catches it while the file is being
-    written.  Only device strategies named by a string literal are
-    flagged — host-side barriers legitimately run arbitrarily large
+    outnumber the co-resident capacity, because waiting blocks are
+    never preempted to let the rest run.  The limit comes from the
+    target preset's topology (``ctx.sm_limit``): one block per SM under
+    the paper's exclusive policy, the per-SM block cap times ``num_sms``
+    under cooperative scheduling — so grids that are legal on a
+    ``grid_sync``-class device aren't false-flagged when linting with
+    ``sm_limit_for_preset("grid_sync")``.  The dynamic sanitizer catches
+    this at prepare() time; this rule catches it while the file is
+    being written.  Only device strategies named by a string literal
+    are flagged — host-side barriers legitimately run arbitrarily large
     grids.
     """
     findings: List[StaticFinding] = []
@@ -190,9 +195,9 @@ def rule_sc002(ctx: FileContext) -> List[StaticFinding]:
                     code="SC002",
                     message=(
                         f"num_blocks={value} exceeds the "
-                        f"{ctx.sm_limit}-SM co-residency limit of the "
-                        "default device; a device-side barrier would "
-                        "deadlock"
+                        f"{ctx.sm_limit}-block co-residency limit of the "
+                        "target device preset; a device-side barrier "
+                        "would deadlock"
                     ),
                     file=ctx.path,
                     line=node.lineno,

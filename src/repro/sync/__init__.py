@@ -11,16 +11,21 @@ name                  mode    mechanism
 ``gpu-simple``        device  one global mutex: ``atomicAdd`` + spin (Eq. 6)
 ``gpu-tree-2/3/n``    device  tree of mutexes, groups of ``ceil(sqrt(N))`` (Eq. 7/8)
 ``gpu-lockfree``      device  ``Arrayin``/``Arrayout``, no atomics (Eq. 9)
+``gpu-cluster-tree``  device  local arrive per domain, one crossing per domain
 ``null``              device  no barrier — compute-only timing runs (§7.3)
 ====================  ======  =====================================================
 
-Device strategies enforce the paper's safety rule: at most one block per
-SM (they request an SM's full shared memory and validate the grid against
-``num_sms``), because blocks are non-preemptive and an over-subscribed
-grid would spin forever (see ``examples/deadlock_demo.py``).
+Device strategies enforce the safety rule through the device topology
+(:mod:`repro.gpu.topology`): under the paper's exclusive co-residency
+they request an SM's full shared memory and validate the grid against
+``num_sms`` (at most one block per SM), because blocks are
+non-preemptive and an over-subscribed grid would spin forever (see
+``examples/deadlock_demo.py``); under cooperative co-residency the grid
+is validated against the launched shape's actual co-resident capacity.
 """
 
 from repro.sync.base import SyncStrategy, get_strategy, strategy_names
+from repro.sync.cluster import GpuClusterTreeSync
 from repro.sync.cpu import CpuExplicitSync, CpuImplicitSync
 from repro.sync.extensions import GpuDisseminationSync, GpuSenseReversalSync
 from repro.sync.gpu_lockfree import GpuLockFreeSync
@@ -31,6 +36,7 @@ from repro.sync.null import NullSync
 __all__ = [
     "CpuExplicitSync",
     "CpuImplicitSync",
+    "GpuClusterTreeSync",
     "GpuDisseminationSync",
     "GpuLockFreeSync",
     "GpuSenseReversalSync",

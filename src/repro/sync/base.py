@@ -119,17 +119,25 @@ class SyncStrategy(abc.ABC):
     def shared_mem_request(self, config: "DeviceConfig") -> int:
         """Shared memory per block to request at launch.
 
-        Device barriers claim the whole SM (paper §5) so occupancy is one
-        block per SM; host strategies claim nothing.
+        Resolved through the device topology: under exclusive
+        co-residency device barriers claim the whole SM (paper §5) so
+        occupancy is one block per SM; under cooperative co-residency
+        they claim nothing.  Host strategies claim nothing either way.
         """
         if self.mode == "device":
-            return config.shared_mem_per_sm
+            return config.topology.shared_mem_claim(config)
         return 0
 
     def max_blocks(self, config: "DeviceConfig") -> int:
-        """Largest grid this strategy can synchronize on ``config``."""
+        """Largest grid this strategy can synchronize on ``config``.
+
+        Resolved through the device topology: one block per SM under
+        exclusive co-residency (the paper's bound), up to the per-SM
+        block cap under cooperative scheduling (the runner additionally
+        validates against the launched shape's actual occupancy).
+        """
         if self.mode == "device":
-            return config.num_sms
+            return config.topology.max_co_resident_blocks(config)
         # Host barriers restart the grid each round, so any size works.
         return 2**31 - 1
 

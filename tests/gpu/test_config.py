@@ -5,12 +5,13 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import ConfigError
-from repro.gpu.config import DeviceConfig, gtx280
+from repro.gpu.config import DeviceConfig
+from repro.gpu.presets import get_preset
 from repro.model.calibration import CalibratedTimings
 
 
 def test_gtx280_preset_matches_paper_section2():
-    cfg = gtx280()
+    cfg = get_preset("gtx280")
     assert cfg.num_sms == 30
     assert cfg.sps_per_sm == 8
     assert cfg.total_sps == 240
@@ -24,24 +25,24 @@ def test_gtx280_preset_matches_paper_section2():
 
 def test_full_shared_memory_forces_one_block_per_sm():
     """The paper's co-residency trick (§5)."""
-    cfg = gtx280()
+    cfg = get_preset("gtx280")
     assert cfg.blocks_per_sm(256, shared_mem_per_block=cfg.shared_mem_per_sm) == 1
 
 
 def test_occupancy_limited_by_threads():
-    cfg = gtx280()
+    cfg = get_preset("gtx280")
     # 1024 threads/SM: two 512-thread blocks would exceed it.
     assert cfg.blocks_per_sm(512, registers_per_thread=1) == 2
     assert cfg.blocks_per_sm(256, registers_per_thread=1) == 4
 
 
 def test_occupancy_limited_by_block_cap():
-    cfg = gtx280()
+    cfg = get_preset("gtx280")
     assert cfg.blocks_per_sm(1, registers_per_thread=0) == cfg.max_blocks_per_sm
 
 
 def test_occupancy_limited_by_registers():
-    cfg = gtx280()
+    cfg = get_preset("gtx280")
     # 16 regs × 512 threads = 8192 ≤ 16384 → 2 fit; threads cap to 2 anyway.
     assert cfg.blocks_per_sm(512, registers_per_thread=16) == 2
     assert cfg.blocks_per_sm(512, registers_per_thread=32) == 1
@@ -49,14 +50,14 @@ def test_occupancy_limited_by_registers():
 
 
 def test_oversized_block_yields_zero_occupancy():
-    cfg = gtx280()
+    cfg = get_preset("gtx280")
     assert cfg.blocks_per_sm(513) == 0
     assert cfg.blocks_per_sm(64, shared_mem_per_block=cfg.shared_mem_per_sm + 1) == 0
 
 
 def test_invalid_threads_rejected():
     with pytest.raises(ConfigError):
-        gtx280().blocks_per_sm(0)
+        get_preset("gtx280").blocks_per_sm(0)
 
 
 def test_config_validation():
@@ -68,7 +69,7 @@ def test_config_validation():
 
 def test_with_timings_swaps_only_timings():
     custom = CalibratedTimings(atomic_ns=999)
-    cfg = gtx280().with_timings(custom)
+    cfg = get_preset("gtx280").with_timings(custom)
     assert cfg.timings.atomic_ns == 999
     assert cfg.num_sms == 30
 
@@ -78,7 +79,7 @@ def test_with_timings_swaps_only_timings():
     shared=st.integers(0, 16 * 1024),
 )
 def test_occupancy_never_exceeds_resources(threads, shared):
-    cfg = gtx280()
+    cfg = get_preset("gtx280")
     occ = cfg.blocks_per_sm(threads, shared_mem_per_block=shared)
     assert 0 <= occ <= cfg.max_blocks_per_sm
     assert occ * threads <= cfg.max_threads_per_sm

@@ -5,13 +5,13 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import ConfigError
-from repro.gpu.config import gtx280
+from repro.gpu.presets import get_preset
 from repro.gpu.costmodel import StageCostModel
 
 
 @pytest.fixture
 def model():
-    return StageCostModel(gtx280(), threads_per_block=256)
+    return StageCostModel(get_preset("gtx280"), threads_per_block=256)
 
 
 def test_zero_items_costs_only_overhead(model):
@@ -37,24 +37,24 @@ def test_partial_warp_rounds_up(model):
 
 
 def test_coalescing_degrades_bandwidth():
-    full = StageCostModel(gtx280(), 256, coalescing=1.0)
-    half = StageCostModel(gtx280(), 256, coalescing=0.5)
+    full = StageCostModel(get_preset("gtx280"), 256, coalescing=1.0)
+    half = StageCostModel(get_preset("gtx280"), 256, coalescing=0.5)
     assert half.stage_cost_ns(1024, 32.0) > full.stage_cost_ns(1024, 32.0)
 
 
 def test_rates_derive_from_config(model):
-    cfg = gtx280()
+    cfg = get_preset("gtx280")
     assert model.flops_per_ns == pytest.approx(8 * 1.296)
     assert model.bytes_per_ns == pytest.approx(cfg.global_bandwidth_gbps / 30)
 
 
 def test_validation():
     with pytest.raises(ConfigError):
-        StageCostModel(gtx280(), 256, coalescing=0.0)
+        StageCostModel(get_preset("gtx280"), 256, coalescing=0.0)
     with pytest.raises(ConfigError):
-        StageCostModel(gtx280(), 0)
+        StageCostModel(get_preset("gtx280"), 0)
     with pytest.raises(ConfigError):
-        StageCostModel(gtx280(), 256).stage_cost_ns(-1, 8.0)
+        StageCostModel(get_preset("gtx280"), 256).stage_cost_ns(-1, 8.0)
 
 
 @given(
@@ -63,7 +63,7 @@ def test_validation():
     fpi=st.floats(0, 1000),
 )
 def test_cost_is_monotone_and_bounded_below(items, bpi, fpi):
-    model = StageCostModel(gtx280(), 128)
+    model = StageCostModel(get_preset("gtx280"), 128)
     cost = model.stage_cost_ns(items, bpi, fpi)
     assert cost >= model.stage_overhead_ns
     assert model.stage_cost_ns(items + 64, bpi, fpi) >= cost

@@ -1,0 +1,134 @@
+"""Tests for the declarative device topology model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu.config import DeviceConfig
+from repro.gpu.topology import CO_RESIDENCY_POLICIES, TOPOLOGY_KINDS, Topology
+
+
+# -- validation --------------------------------------------------------------
+
+
+def test_default_is_the_papers_world():
+    topo = Topology()
+    assert topo.kind == "single-device"
+    assert topo.num_domains == 1
+    assert topo.co_residency == "exclusive"
+    assert topo.crossing_ns == 0
+
+
+def test_kind_and_policy_vocabularies():
+    assert "single-device" in TOPOLOGY_KINDS
+    assert "cooperative" in CO_RESIDENCY_POLICIES
+    with pytest.raises(ConfigError, match="kind"):
+        Topology(kind="many-core")
+    with pytest.raises(ConfigError, match="co-residency"):
+        Topology(co_residency="shared")
+
+
+def test_single_device_must_stay_flat():
+    with pytest.raises(ConfigError, match="exactly one domain"):
+        Topology(kind="single-device", num_domains=2)
+    with pytest.raises(ConfigError, match="crossing_ns"):
+        Topology(kind="single-device", crossing_ns=100)
+
+
+def test_multi_domain_kinds_need_at_least_two_domains():
+    for kind in ("multi-device", "cluster"):
+        with pytest.raises(ConfigError, match=">= 2 domains"):
+            Topology(kind=kind, num_domains=1)
+
+
+def test_crossing_latency_must_be_non_negative():
+    with pytest.raises(ConfigError, match="non-negative"):
+        Topology(kind="multi-device", num_domains=2, crossing_ns=-1)
+
+
+def test_num_sms_must_divide_into_domains():
+    topo = Topology(kind="multi-device", num_domains=2)
+    DeviceConfig(num_sms=30, topology=topo)  # fine
+    with pytest.raises(ConfigError, match="divide evenly"):
+        DeviceConfig(num_sms=31, topology=topo)
+
+
+def test_topology_is_frozen_and_hashable():
+    topo = Topology(kind="cluster", num_domains=4, crossing_ns=100)
+    with pytest.raises(AttributeError):
+        topo.crossing_ns = 0
+    assert hash(topo) == hash(
+        Topology(kind="cluster", num_domains=4, crossing_ns=100)
+    )
+
+
+# -- block placement ---------------------------------------------------------
+
+
+def test_single_domain_places_every_block_in_domain_zero():
+    topo = Topology()
+    assert [topo.domain_of(b, 8) for b in range(8)] == [0] * 8
+
+
+def test_contiguous_partition_covers_every_domain_near_evenly():
+    topo = Topology(kind="multi-device", num_domains=2, crossing_ns=10)
+    domains = [topo.domain_of(b, 8) for b in range(8)]
+    assert domains == [0, 0, 0, 0, 1, 1, 1, 1]
+    # An odd grid still covers both domains, near-evenly.
+    members = topo.members_by_domain(7)
+    assert sorted(members) == [0, 1]
+    sizes = sorted(len(v) for v in members.values())
+    assert sizes == [3, 4]
+
+
+def test_fewer_blocks_than_domains_occupies_a_prefix():
+    topo = Topology(kind="cluster", num_domains=16, crossing_ns=10)
+    members = topo.members_by_domain(4)
+    assert len(members) == 4
+    assert all(len(v) == 1 for v in members.values())
+
+
+def test_domain_of_rejects_out_of_range_blocks():
+    topo = Topology(kind="multi-device", num_domains=2, crossing_ns=10)
+    with pytest.raises(ConfigError):
+        topo.domain_of(8, 8)
+    with pytest.raises(ConfigError):
+        topo.domain_of(-1, 8)
+
+
+# -- costs and co-residency --------------------------------------------------
+
+
+def test_crossing_latency_is_zero_within_a_domain():
+    topo = Topology(kind="multi-device", num_domains=2, crossing_ns=1500)
+    assert topo.crossing_latency_ns(0, 0) == 0
+    assert topo.crossing_latency_ns(0, 1) == 1500
+    assert topo.crossing_latency_ns(1, 0) == 1500
+
+
+def test_exclusive_co_residency_is_one_block_per_sm():
+    cfg = DeviceConfig()
+    assert cfg.topology.max_co_resident_blocks(cfg) == cfg.num_sms
+    assert cfg.topology.shared_mem_claim(cfg) == cfg.shared_mem_per_sm
+
+
+def test_cooperative_co_residency_lifts_the_cap():
+    topo = Topology(co_residency="cooperative")
+    cfg = DeviceConfig(topology=topo)
+    assert (
+        topo.max_co_resident_blocks(cfg)
+        == cfg.num_sms * cfg.max_blocks_per_sm
+    )
+    assert topo.shared_mem_claim(cfg) == 0
+
+
+def test_sms_per_domain():
+    topo = Topology(kind="cluster", num_domains=4, crossing_ns=10)
+    cfg = DeviceConfig(num_sms=32, topology=topo)
+    assert topo.sms_per_domain(cfg) == 8
+
+
+def test_describe_is_human_readable():
+    assert "single device" in Topology().describe()
+    twin = Topology(kind="multi-device", num_domains=2, crossing_ns=1500)
+    assert "2 devices" in twin.describe()
+    assert "1500 ns" in twin.describe()

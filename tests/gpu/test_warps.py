@@ -5,7 +5,7 @@ import dataclasses
 import pytest
 
 from repro.errors import SyncProtocolError
-from repro.gpu.config import gtx280
+from repro.gpu.presets import get_preset
 from repro.gpu.context import BlockCtx
 from repro.gpu.device import Device
 from repro.gpu.warps import IntraBlockBarrier, run_warps
@@ -127,7 +127,7 @@ class TestDetailedLockfree:
         from repro.algorithms import MeanMicrobench
         from repro.harness import run
 
-        cfg = dataclasses.replace(gtx280(), warp_size=8)
+        cfg = dataclasses.replace(get_preset("gtx280"), warp_size=8)
         micro = MeanMicrobench(rounds=5, num_blocks_hint=30)
         coarse = run(micro, "gpu-lockfree", 30, config=cfg)
         detailed = run(micro, "gpu-lockfree-detailed", 30, config=cfg)

@@ -6,7 +6,8 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigError, KernelTimeoutError
-from repro.gpu.config import DeviceConfig, gtx280
+from repro.gpu.config import DeviceConfig
+from repro.gpu.presets import get_preset
 from repro.gpu.device import Device
 from repro.gpu.host import Host
 from repro.gpu.kernel import KernelSpec
@@ -24,7 +25,7 @@ def launch_and_run(device, spec):
 
 
 def test_fast_kernel_unaffected():
-    cfg = dataclasses.replace(gtx280(), watchdog_ns=1_000_000)
+    cfg = dataclasses.replace(get_preset("gtx280"), watchdog_ns=1_000_000)
     device = Device(cfg)
 
     def program(ctx):
@@ -35,7 +36,7 @@ def test_fast_kernel_unaffected():
 
 
 def test_overlong_kernel_killed():
-    cfg = dataclasses.replace(gtx280(), watchdog_ns=10_000)
+    cfg = dataclasses.replace(get_preset("gtx280"), watchdog_ns=10_000)
     device = Device(cfg)
 
     def program(ctx):
@@ -50,7 +51,7 @@ def test_overlong_kernel_killed():
 def test_deadlocked_barrier_manifests_as_launch_timeout():
     """The §5 hazard on a display-attached GPU: not a hang, a killed
     launch — exactly what a developer would have seen in 2009."""
-    cfg = dataclasses.replace(gtx280(), watchdog_ns=1_000_000)
+    cfg = dataclasses.replace(get_preset("gtx280"), watchdog_ns=1_000_000)
     device = Device(cfg)
     arrivals = device.memory.alloc("arrivals", 1, dtype=np.int64)
     n = cfg.num_sms + 1  # one block more than can be co-resident
@@ -92,7 +93,7 @@ def test_headless_device_hangs_with_deadlock_error_instead():
 
 
 def test_back_to_back_kernels_each_get_their_own_watchdog():
-    cfg = dataclasses.replace(gtx280(), watchdog_ns=20_000)
+    cfg = dataclasses.replace(get_preset("gtx280"), watchdog_ns=20_000)
     device = Device(cfg)
     host = Host(device)
 

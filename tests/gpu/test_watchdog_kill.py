@@ -8,7 +8,8 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigError
-from repro.gpu.config import DeviceConfig, gtx280
+from repro.gpu.config import DeviceConfig
+from repro.gpu.presets import get_preset
 from repro.gpu.device import Device
 from repro.gpu.host import Host
 from repro.gpu.kernel import KernelSpec
@@ -16,7 +17,7 @@ from repro.gpu.kernel import KernelSpec
 
 def kill_config(watchdog_ns=1_000_000):
     return dataclasses.replace(
-        gtx280(), watchdog_ns=watchdog_ns, watchdog_action="kill"
+        get_preset("gtx280"), watchdog_ns=watchdog_ns, watchdog_action="kill"
     )
 
 

@@ -1,0 +1,74 @@
+"""The figure drivers run unchanged against every registered preset.
+
+This is the acceptance gate for the preset API: the experiment drivers
+take a ``config`` and nothing else — no per-preset branches, no special
+cases.  Each test sweeps tiny grids so the whole matrix stays fast.
+"""
+
+import pytest
+
+from repro.gpu.presets import get_preset, preset_names
+from repro.harness import experiments
+
+#: small grids every preset can co-reside (the tightest limit is
+#: fermi_class at 15 blocks).
+BLOCKS = [2, 4]
+
+#: one host barrier, one device barrier, and the hierarchical cluster
+#: barrier — which must degenerate correctly on flat topologies.
+STRATEGIES = ("cpu-implicit", "gpu-simple", "gpu-cluster-tree")
+
+
+@pytest.mark.parametrize("name", preset_names())
+def test_fig11_runs_on_every_preset(name):
+    cfg = get_preset(name)
+    sweep = experiments.fig11(
+        config=cfg, rounds=3, blocks=BLOCKS, strategies=STRATEGIES
+    )
+    assert sweep.blocks == BLOCKS
+    for strat in STRATEGIES:
+        totals = sweep.totals[strat]
+        assert len(totals) == len(BLOCKS)
+        assert all(t > 0 for t in totals)
+
+
+@pytest.mark.parametrize("name", preset_names())
+def test_table1_runs_on_every_preset(name):
+    cfg = get_preset(name)
+    out = experiments.table1(config=cfg, num_blocks=4, algorithms=("fft",))
+    assert out["fft"].total_ns > out["fft"].compute_ns > 0
+
+
+@pytest.mark.parametrize("name", preset_names())
+def test_fig13_14_sweep_runs_on_every_preset(name):
+    cfg = get_preset(name)
+    sweep = experiments.algorithm_sweep(
+        "fft", config=cfg, blocks=BLOCKS, strategies=STRATEGIES
+    )
+    assert sweep.algorithm == "fft"
+    # Fig. 14 reads the same sweep through the sync series.
+    for strat in STRATEGIES:
+        sync = sweep.sync_series(strat)
+        assert len(sync) == len(BLOCKS)
+
+
+@pytest.mark.parametrize("name", preset_names())
+def test_fig15_runs_on_every_preset(name):
+    cfg = get_preset(name)
+    out = experiments.fig15(
+        config=cfg, num_blocks=4, algorithms=("fft",), strategies=STRATEGIES
+    )
+    for strat in STRATEGIES:
+        cell = out["fft"][strat]
+        assert cell.total_ns >= cell.compute_ns > 0
+
+
+def test_sweeps_embed_the_preset_device():
+    # The device dict rides in every cell payload, so sweeps cached under
+    # one preset can never be replayed as another's (see
+    # tests/test_topology_serialization.py for the key property).
+    cfg = get_preset("dual_gpu")
+    sweep = experiments.fig11(
+        config=cfg, rounds=2, blocks=[2], strategies=("gpu-simple",)
+    )
+    assert sweep.totals["gpu-simple"][0] > 0

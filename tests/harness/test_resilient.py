@@ -145,8 +145,8 @@ def test_facade_routes_to_resilient_path():
     assert result.strategy == "cpu-implicit"
 
 
-def test_run_resilient_shim_warns_and_forwards():
-    with pytest.warns(DeprecationWarning, match="repro.run"):
-        result = repro.run_resilient(micro(), "gpu-lockfree", 8)
-    assert result.verified is True
-    assert result.attempts == 1
+def test_run_resilient_shim_retired():
+    # The PR-3 deprecation shim was removed after its grace period: the
+    # public surface only exposes the repro.run facade now.
+    assert not hasattr(repro, "run_resilient")
+    assert not hasattr(repro.harness, "run_resilient")

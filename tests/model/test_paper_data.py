@@ -1,7 +1,7 @@
 """Tests that the paper-data module is internally consistent and that the
 simulated device matches the paper's testbed description."""
 
-from repro.gpu.config import gtx280
+from repro.gpu.presets import get_preset
 from repro.model import paper_data
 from repro.model.barrier_costs import simple_cost, tree_cost
 from repro.model.calibration import default_timings
@@ -24,7 +24,7 @@ def test_headline_ratio_consistency():
 
 
 def test_device_config_matches_paper_section2():
-    cfg = gtx280()
+    cfg = get_preset("gtx280")
     g = paper_data.GTX280
     assert cfg.num_sms == g["num_sms"].value
     assert cfg.total_sps == g["sps"].value

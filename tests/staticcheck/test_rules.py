@@ -88,6 +88,42 @@ def test_sc002_ignores_host_strategies_and_fitting_grids():
     assert codes(SC002_NEG_FITS) == []
 
 
+# A grid legal on a cooperative-launch device but fatal on the paper's
+# GTX 280: the verdict must follow the preset's co-residency policy, not
+# a hard-coded 30.
+SC002_COOPERATIVE = """
+def main():
+    run(micro, "gpu-simple", num_blocks=96)
+"""
+
+
+def test_sc002_limit_is_preset_policy_not_a_constant():
+    from repro.staticcheck import lint_source, sm_limit_for_preset
+
+    flagged = lint_source(
+        SC002_COOPERATIVE,
+        "<fixture>",
+        sm_limit=sm_limit_for_preset("gtx280"),
+    )
+    assert flagged.codes() == ["SC002"]
+    assert "co-residency limit" in flagged.findings[0].message
+
+    clean = lint_source(
+        SC002_COOPERATIVE,
+        "<fixture>",
+        sm_limit=sm_limit_for_preset("grid_sync"),
+    )
+    assert clean.codes() == []
+
+
+def test_sm_limit_for_preset_resolves_through_the_topology():
+    from repro.staticcheck import sm_limit_for_preset
+
+    assert sm_limit_for_preset("gtx280") == 30  # exclusive: one per SM
+    assert sm_limit_for_preset("fermi_class") == 15
+    assert sm_limit_for_preset("grid_sync") == 80 * 32  # cooperative
+
+
 # -- SC003: stale spin read --------------------------------------------------
 
 SC003_POS = """

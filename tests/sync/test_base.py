@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConfigError, OccupancyError
-from repro.gpu.config import gtx280
+from repro.gpu.presets import get_preset
 from repro.sync import (
     CpuImplicitSync,
     GpuLockFreeSync,
@@ -39,13 +39,13 @@ def test_unknown_strategy_rejected():
 
 
 def test_device_strategies_claim_full_shared_memory():
-    cfg = gtx280()
+    cfg = get_preset("gtx280")
     assert GpuLockFreeSync().shared_mem_request(cfg) == cfg.shared_mem_per_sm
     assert CpuImplicitSync().shared_mem_request(cfg) == 0
 
 
 def test_device_strategy_grid_limit_is_sm_count():
-    cfg = gtx280()
+    cfg = get_preset("gtx280")
     strat = GpuSimpleSync()
     assert strat.max_blocks(cfg) == cfg.num_sms
     strat.validate_grid(cfg, cfg.num_sms)  # ok
@@ -54,13 +54,13 @@ def test_device_strategy_grid_limit_is_sm_count():
 
 
 def test_host_strategy_allows_huge_grids():
-    cfg = gtx280()
+    cfg = get_preset("gtx280")
     CpuImplicitSync().validate_grid(cfg, 10_000)
 
 
 def test_grid_must_be_positive():
     with pytest.raises(ConfigError):
-        GpuSimpleSync().validate_grid(gtx280(), 0)
+        GpuSimpleSync().validate_grid(get_preset("gtx280"), 0)
 
 
 def test_host_strategy_has_no_device_hooks():

@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.errors import ExperimentError
-from repro.gpu.config import gtx280
+from repro.gpu.presets import get_preset
 from repro.harness import experiments
 from repro.harness.store import load_result, load_sweep, save_sweep
 from repro.serialization import (
@@ -75,7 +75,7 @@ def test_missing_field_is_typed_not_keyerror():
 
 
 def test_device_config_roundtrip():
-    cfg = gtx280()
+    cfg = get_preset("gtx280")
     again = device_config_from_dict(device_config_to_dict(cfg))
     assert again == cfg
 

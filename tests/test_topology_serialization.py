@@ -1,0 +1,113 @@
+"""Topology serialization: round-trips and content-address stability.
+
+The topology is part of a device config's identity, so it must survive
+the plain-dict round-trip and the schema-3 envelope, and it must be part
+of the content-addressed cache key / service job id: two runs that
+differ only in topology are different experiments and may never collide.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gpu.config import DeviceConfig
+from repro.gpu.presets import get_preset, preset_names
+from repro.gpu.topology import Topology
+from repro.parallel.cache import cache_key
+from repro.serialization import (
+    device_config_from_dict,
+    device_config_to_dict,
+    dump_result,
+    parse_result,
+)
+from repro.service.jobs import job_id_for
+
+
+# -- dict and envelope round-trips ------------------------------------------
+
+
+@pytest.mark.parametrize("name", preset_names())
+def test_every_preset_round_trips_through_plain_dicts(name):
+    cfg = get_preset(name)
+    again = device_config_from_dict(device_config_to_dict(cfg))
+    assert again == cfg
+    assert again.topology == cfg.topology
+
+
+def test_topology_dict_is_json_serializable():
+    payload = device_config_to_dict(get_preset("dual_gpu"))
+    text = json.dumps(payload)
+    assert json.loads(text)["topology"]["crossing_ns"] == 1500
+
+
+def test_pre_topology_dicts_still_load():
+    # Dicts journaled before the topology field existed have no
+    # "topology" key; they must rebuild as the paper's flat device.
+    payload = device_config_to_dict(DeviceConfig())
+    del payload["topology"]
+    cfg = device_config_from_dict(payload)
+    assert cfg == DeviceConfig()
+    assert cfg.topology == Topology()
+
+
+@pytest.mark.parametrize("name", preset_names())
+def test_every_preset_round_trips_through_the_envelope(name):
+    cfg = get_preset(name)
+    text = dump_result("sweep", {"device": device_config_to_dict(cfg)})
+    payload = parse_result(text, kind="sweep")
+    assert device_config_from_dict(payload["device"]) == cfg
+
+
+# -- content-addressed identity ---------------------------------------------
+
+
+def topologies():
+    """Every valid topology shape, as a hypothesis strategy."""
+    flat = st.just(Topology())
+    spread = st.builds(
+        Topology,
+        kind=st.sampled_from(["multi-device", "cluster"]),
+        num_domains=st.sampled_from([2, 3, 5, 6, 10, 15, 30]),
+        co_residency=st.sampled_from(["exclusive", "cooperative"]),
+        crossing_ns=st.sampled_from([0, 100, 1500]),
+    )
+    cooperative_flat = st.just(Topology(co_residency="cooperative"))
+    return st.one_of(flat, cooperative_flat, spread)
+
+
+def _payload(topology):
+    # The exact payload shape the sweep cells use: the device dict rides
+    # inside the task payload (num_sms=30 divides evenly by every domain
+    # count the strategy generates).
+    cfg = replace(DeviceConfig(), topology=topology)
+    return {
+        "spec": {"name": "micro", "rounds": 5},
+        "strategy": "gpu-simple",
+        "num_blocks": 8,
+        "device": device_config_to_dict(cfg),
+    }
+
+
+@given(a=topologies(), b=topologies())
+def test_cache_key_and_job_id_change_iff_topology_changes(a, b):
+    key_a = cache_key("run_total", _payload(a))
+    key_b = cache_key("run_total", _payload(b))
+    id_a = job_id_for(_payload(a))
+    id_b = job_id_for(_payload(b))
+    if a == b:
+        assert key_a == key_b
+        assert id_a == id_b
+    else:
+        assert key_a != key_b
+        assert id_a != id_b
+
+
+@given(topo=topologies())
+def test_content_addresses_are_deterministic(topo):
+    assert cache_key("run_total", _payload(topo)) == cache_key(
+        "run_total", _payload(topo)
+    )
+    assert job_id_for(_payload(topo)) == job_id_for(_payload(topo))

@@ -1,0 +1,73 @@
+"""CI preset-matrix smoke: every preset, both engines, identical sweeps.
+
+Runs a tiny Fig. 11 sweep on every registered device preset under the
+fast engine and again under the reference oracle, and fails if the two
+serialized sweeps differ by a single byte.  This is the cross-product
+guard the per-preset test files can't give: a preset whose topology
+costs (interconnect crossings, cooperative co-residency, hierarchical
+arrivals) take a code path the fast engine indexes differently shows up
+here as a byte diff, before it shows up as a wrong figure.
+
+Grid sizes are small (every preset co-resides 4 blocks) and the strategy
+list covers each barrier family: host, atomic-counter, tree, lock-free,
+and the hierarchical cluster barrier — which must also degenerate
+correctly on flat single-domain presets.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.gpu.presets import get_preset, preset_names
+from repro.harness import experiments
+from repro.simcore.fastpath import use_engine_mode
+
+#: the tightest co-residency limit in the registry is fermi_class (15),
+#: and gpu-lockfree needs block_threads >= num_blocks (micro uses 256).
+BLOCKS = [2, 4]
+ROUNDS = 3
+
+STRATEGIES = (
+    "cpu-implicit",
+    "gpu-simple",
+    "gpu-tree-2",
+    "gpu-lockfree",
+    "gpu-cluster-tree",
+)
+
+
+def sweep_json(preset: str, mode: str) -> str:
+    cfg = get_preset(preset)
+    with use_engine_mode(mode):
+        sweep = experiments.fig11(
+            config=cfg, rounds=ROUNDS, blocks=BLOCKS, strategies=STRATEGIES
+        )
+    return sweep.to_json()
+
+
+def main() -> int:
+    failures = []
+    for preset in preset_names():
+        fast = sweep_json(preset, "fast")
+        reference = sweep_json(preset, "reference")
+        if fast == reference:
+            print(f"{preset:20s} OK ({len(fast)} bytes, byte-identical)")
+        else:
+            print(
+                f"{preset}: DIVERGED - fast and reference engines "
+                "serialize different sweeps",
+                file=sys.stderr,
+            )
+            failures.append(preset)
+    if failures:
+        print(
+            f"preset matrix smoke FAILED: {', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"preset matrix smoke OK ({len(preset_names())} presets)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
