@@ -7,6 +7,12 @@ holds if a full pass over the shipped tree (all of ``src/repro`` plus
 finishes in interactive time.  This bench measures it and pins the
 budget at 2 seconds; the per-file cost is written to
 ``benchmarks/out/lint_walltime.txt``.
+
+The repair engine rides on the same budget: ``repro lint --fix
+--check`` is the CI gate, and a dry-run ``fix_paths`` pass over the
+whole tree (lint + fixed-point repair + verification re-lint per file)
+must also finish under the same 2 seconds, or the gate stops being
+free to run on every commit.
 """
 
 from pathlib import Path
@@ -15,6 +21,7 @@ from time import perf_counter
 from benchmarks.conftest import save_report
 from repro.harness.report import format_table
 from repro.staticcheck import lint_paths
+from repro.staticcheck.repair import fix_paths
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 LINT_ROOTS = [REPO_ROOT / "src" / "repro", REPO_ROOT / "examples"]
@@ -55,4 +62,38 @@ def test_lint_walltime(benchmark):
 
     assert elapsed_s < BUDGET_S, (
         f"full-tree lint took {elapsed_s:.2f}s, budget {BUDGET_S:.1f}s"
+    )
+
+
+def test_fix_walltime(benchmark):
+    """The full-tree repair dry-run (the `--fix --check` CI gate)."""
+
+    def measure():
+        t0 = perf_counter()
+        results = fix_paths(LINT_ROOTS)
+        return perf_counter() - t0, results
+
+    elapsed_s, results = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    n_files = len(results)
+    assert n_files >= 50, f"only {n_files} files checked — wrong roots?"
+    # The shipped tree is fix-clean: a dry-run pass applies nothing.
+    changed = [r for r in results if r.changed]
+    assert not changed, [r.path for r in changed]
+
+    table = format_table(
+        ["quantity", "value"],
+        [
+            ["files checked", str(n_files)],
+            ["files needing repair", str(len(changed))],
+            ["wall time (s)", f"{elapsed_s:.3f}"],
+            ["per file (ms)", f"{1e3 * elapsed_s / n_files:.2f}"],
+            ["budget (s)", f"{BUDGET_S:.1f}"],
+        ],
+        title="Repair engine wall-time — full-tree `lint --fix --check` dry-run",
+    )
+    save_report("fix_walltime", table)
+
+    assert elapsed_s < BUDGET_S, (
+        f"full-tree fix pass took {elapsed_s:.2f}s, budget {BUDGET_S:.1f}s"
     )

@@ -183,6 +183,39 @@ _STATIC = (
         origin="static",
         related=("DYN002",),
     ),
+    FindingCode(
+        code="SC009",
+        name="undeclared-wait-spec",
+        severity="advice",
+        paper_ref="§5.3",
+        summary=(
+            "a spin site whose predicate is a mechanical threshold "
+            "check carries no WaitSpec declaration, so the fast "
+            "engine's indexed-waiter path silently degrades to "
+            "predicate re-evaluation"
+        ),
+        remedy=(
+            "declare the awaited condition with "
+            "spec=WaitSpec(threshold, lo=...) at the spin site"
+        ),
+        origin="static",
+    ),
+    FindingCode(
+        code="SC100",
+        name="suboptimal-strategy",
+        severity="advice",
+        paper_ref="§7",
+        summary=(
+            "the configured barrier strategy diverges from the Eq. 3-9 "
+            "cost model's recommendation for the workload under the "
+            "preset's calibrated, topology-resolved timings"
+        ),
+        remedy=(
+            "switch to the recommended strategy, or validate the "
+            "configured one with a measured sweep (repro tune --measure)"
+        ),
+        origin="static",
+    ),
 )
 
 _DYNAMIC = (

@@ -29,7 +29,19 @@ Extras beyond the paper:
   (``lint [paths...]``, default ``src/repro examples``); supports
   ``--format text|json`` and ``--strict`` (docs/staticcheck.md); exits
   1 on error-severity findings (any finding under ``--strict``), 2 on
-  unreadable/unparsable input
+  unreadable/unparsable input.  ``--fix`` applies every
+  machine-applicable repair in place (docs/staticcheck.md's repair
+  catalog), re-linting after each patch to prove the findings are
+  gone; ``--fix --diff`` prints the pending repairs as a unified diff
+  without writing, and ``--fix --check`` writes nothing and exits 1
+  when any repair is pending (the CI "fix-clean" gate)
+* ``tune``       — cost-model-backed strategy advice (docs/tuning.md):
+  predict every strategy's total time for a workload (``--rounds``,
+  ``--compute-ns``, ``--blocks``) under ``--preset``'s calibrated,
+  topology-resolved timings and emit an ``SC100 suboptimal-strategy``
+  advisory when ``--strategy`` diverges from the recommendation;
+  ``--measure`` validates the model against a measured sweep through
+  the (cacheable) executor; exits 0 unless ``--strict`` and suboptimal
 * ``serve``      — run the crash-safe sweep service: an HTTP job queue
   backed by a SQLite job table in WAL mode, with content-addressed
   dedup, lease-based worker recovery, and graceful SIGTERM drain
@@ -247,6 +259,8 @@ def _lint(args: argparse.Namespace) -> "tuple[str, int]":
     """Run the static linter; returns (rendered output, exit code)."""
     from repro.staticcheck import LintError, lint_paths, sm_limit_for_preset
 
+    if args.fix:
+        return _lint_fix(args)
     paths = args.action or ["src/repro", "examples"]
     try:
         rep = lint_paths(paths, sm_limit=sm_limit_for_preset(args.preset))
@@ -255,6 +269,65 @@ def _lint(args: argparse.Namespace) -> "tuple[str, int]":
         return "", 2
     text = rep.to_json() if args.format == "json" else rep.render()
     return text, rep.exit_code(strict=args.strict)
+
+
+def _lint_fix(args: argparse.Namespace) -> "tuple[str, int]":
+    """Run the auto-repair engine; returns (rendered output, exit code).
+
+    ``--fix`` rewrites files in place; ``--diff`` and ``--check`` are
+    dry runs (print the unified diff / gate on pending repairs).
+    """
+    from repro.staticcheck import LintError, sm_limit_for_preset
+    from repro.staticcheck.repair import fix_paths
+
+    paths = args.action or ["src/repro", "examples"]
+    write = not (args.diff or args.check)
+    try:
+        results = fix_paths(
+            paths, sm_limit=sm_limit_for_preset(args.preset), write=write
+        )
+    except LintError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return "", 2
+    changed = [r for r in results if r.changed]
+    applied = sum(len(r.applied) for r in results)
+    remaining = sum(len(r.remaining) for r in results)
+    if args.format == "json":
+        from repro.serialization import dump_result
+
+        text = dump_result(
+            "fix-report",
+            {
+                "files_checked": len(results),
+                "files_changed": len(changed),
+                "fixes_applied": applied,
+                "findings_remaining": remaining,
+                "written": write,
+                "results": [
+                    r.to_dict()
+                    for r in results
+                    if r.changed or r.remaining
+                ],
+            },
+        )
+    elif args.diff:
+        text = "".join(r.diff() for r in changed) or (
+            "lint --fix: nothing to repair"
+        )
+    else:
+        verb = "fixed" if write else "would fix"
+        lines = [
+            f"lint --fix: {len(results)} file(s) checked, "
+            f"{verb} {applied} finding(s) in {len(changed)} file(s), "
+            f"{remaining} finding(s) not auto-fixable"
+        ]
+        for r in changed:
+            lines.append(f"  {r.path}:")
+            lines.extend(f"    {a.render()}" for a in r.applied)
+        text = "\n".join(lines)
+    if args.check and changed:
+        return text, 1
+    return text, 0
 
 
 def _epilogue(want: str, started: float, cache=None) -> None:
@@ -311,6 +384,7 @@ def _main(argv: Optional[List[str]] = None) -> int:
             "chaos",
             "cache",
             "lint",
+            "tune",
             "serve",
             "all",
         ],
@@ -461,7 +535,41 @@ def _main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--strict",
         action="store_true",
-        help="lint: exit 1 on any finding, not just error severity",
+        help="lint: exit 1 on any finding, not just error severity; "
+        "tune: exit 1 when the configured strategy is suboptimal",
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="lint: apply every machine-applicable repair in place, "
+        "re-linting after each patch to prove the findings are gone "
+        "(docs/staticcheck.md)",
+    )
+    parser.add_argument(
+        "--diff",
+        action="store_true",
+        help="lint --fix: print pending repairs as a unified diff "
+        "instead of writing files",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="lint --fix: write nothing and exit 1 when any repair is "
+        "pending (the CI fix-clean gate)",
+    )
+    parser.add_argument(
+        "--compute-ns",
+        type=float,
+        default=5_000.0,
+        help="tune: per-round computation time of the workload in ns "
+        "(default 5000)",
+    )
+    parser.add_argument(
+        "--measure",
+        action="store_true",
+        help="tune: validate the model with a measured sweep — run the "
+        "workload's microbenchmark under every modeled strategy plus a "
+        "compute-only baseline through the executor",
     )
     service = parser.add_argument_group(
         "serve", "the crash-safe sweep service (docs/service.md)"
@@ -522,6 +630,12 @@ def _main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     args = parser.parse_args(argv)
+    if (args.diff or args.check) and not args.fix:
+        parser.error("--diff and --check require --fix")
+    if args.diff and args.check:
+        parser.error("--diff and --check are mutually exclusive")
+    if args.fix and args.experiment != "lint":
+        parser.error("--fix only applies to the lint experiment")
     if args.action and args.experiment == "cache":
         if len(args.action) > 1 or args.action[0] not in ("stats", "clear"):
             parser.error(
@@ -725,6 +839,30 @@ def _main(argv: Optional[List[str]] = None) -> int:
         if code:
             if sections:
                 print("\n\n".join(sections))
+            _epilogue(want, started, cache)
+            return code
+    if want == "tune":
+        from repro.errors import ConfigError
+        from repro.model.tune import tune_workload
+
+        try:
+            tune_rep = tune_workload(
+                args.rounds,
+                args.compute_ns,
+                args.blocks,
+                args.strategy,
+                args.preset,
+                measure=args.measure,
+                executor=executor,
+            )
+        except ConfigError as exc:
+            raise SystemExit(f"tune: {exc}")
+        sections.append(
+            tune_rep.to_json() if args.format == "json" else tune_rep.render()
+        )
+        code = tune_rep.exit_code(strict=args.strict)
+        if code:
+            print("\n\n".join(sections))
             _epilogue(want, started, cache)
             return code
 

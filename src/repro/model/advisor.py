@@ -11,9 +11,10 @@ strategy and recommend the fastest.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
 from repro.errors import ConfigError
+from repro.gpu.topology import Topology
 from repro.model.barrier_costs import lockfree_cost, simple_cost, tree_cost
 from repro.model.calibration import CalibratedTimings, default_timings
 from repro.model.kernel_time import (
@@ -21,6 +22,9 @@ from repro.model.kernel_time import (
     cpu_implicit_time,
     gpu_sync_time,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.gpu.config import DeviceConfig
 
 __all__ = ["Recommendation", "predict_all", "recommend"]
 
@@ -37,30 +41,49 @@ class Recommendation:
     rho: float  #: compute fraction under the CPU-implicit baseline
 
 
+def _resolve(
+    timings: Optional[CalibratedTimings],
+    config: Optional["DeviceConfig"],
+) -> tuple:
+    """(timings, topology) for a prediction — explicit args win."""
+    if timings is None and config is not None:
+        timings = config.timings
+    topology: Optional[Topology] = config.topology if config else None
+    return timings or default_timings(), topology
+
+
 def predict_all(
     rounds: int,
     compute_ns: Union[Number, Sequence[Number]],
     num_blocks: int,
     timings: Optional[CalibratedTimings] = None,
+    *,
+    config: Optional["DeviceConfig"] = None,
 ) -> Dict[str, float]:
-    """Predicted total time (ns) for every strategy at this configuration."""
+    """Predicted total time (ns) for every strategy at this configuration.
+
+    ``config`` predicts for a concrete device: its calibrated timings
+    (unless ``timings`` is given explicitly) *and* its topology, so
+    multi-domain presets (``dual_gpu``, ``riscv_cluster_1024``) charge
+    the interconnect crossings their barriers would really pay.
+    """
     if num_blocks < 1:
         raise ConfigError(f"num_blocks must be >= 1, got {num_blocks}")
-    t = timings or default_timings()
+    t, topo = _resolve(timings, config)
     return {
         "cpu-explicit": cpu_explicit_time(rounds, compute_ns, t),
         "cpu-implicit": cpu_implicit_time(rounds, compute_ns, t),
         "gpu-simple": gpu_sync_time(
-            rounds, compute_ns, simple_cost(num_blocks, t), t
+            rounds, compute_ns, simple_cost(num_blocks, t, topology=topo), t
         ),
         "gpu-tree-2": gpu_sync_time(
-            rounds, compute_ns, tree_cost(num_blocks, 2, t), t
+            rounds, compute_ns, tree_cost(num_blocks, 2, t, topology=topo), t
         ),
         "gpu-tree-3": gpu_sync_time(
-            rounds, compute_ns, tree_cost(num_blocks, 3, t), t
+            rounds, compute_ns, tree_cost(num_blocks, 3, t, topology=topo), t
         ),
         "gpu-lockfree": gpu_sync_time(
-            rounds, compute_ns, lockfree_cost(num_blocks, t), t
+            rounds, compute_ns, lockfree_cost(num_blocks, t, topology=topo), t
         ),
     }
 
@@ -70,10 +93,16 @@ def recommend(
     compute_ns: Union[Number, Sequence[Number]],
     num_blocks: int,
     timings: Optional[CalibratedTimings] = None,
+    *,
+    config: Optional["DeviceConfig"] = None,
 ) -> Recommendation:
-    """Recommend the predicted-fastest synchronization strategy."""
-    t = timings or default_timings()
-    predictions = predict_all(rounds, compute_ns, num_blocks, t)
+    """Recommend the predicted-fastest synchronization strategy.
+
+    ``config`` resolves timings and topology from a concrete device,
+    exactly as in :func:`predict_all`.
+    """
+    t, _ = _resolve(timings, config)
+    predictions = predict_all(rounds, compute_ns, num_blocks, t, config=config)
     ranking = sorted(predictions.items(), key=lambda kv: kv[1])
     baseline = predictions["cpu-implicit"]
     total_compute = (

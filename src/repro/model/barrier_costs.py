@@ -4,6 +4,14 @@ These are the *predictions*; the simulator produces *measurements*.
 ``benchmarks/bench_models.py`` and ``tests/model/test_barrier_costs.py``
 check that the two agree (paper §5.4: "the time needed for each GPU
 synchronization approach matches the time consumption model well").
+
+Each cost accepts an optional ``topology``
+(:class:`~repro.gpu.topology.Topology`): on multi-domain devices, the
+synchronization state (mutex, ``Arrayin``/``Arrayout``) is homed in
+domain 0 and every remote arrival or observation pays the interconnect
+crossing latency, per strategy's actual traffic pattern (see
+``docs/tuning.md`` for the derivations).  A single-device topology (or
+``None``) reproduces the paper's equations exactly.
 """
 
 from __future__ import annotations
@@ -12,6 +20,7 @@ import math
 from typing import List, Optional
 
 from repro.errors import ConfigError
+from repro.gpu.topology import Topology
 from repro.model.calibration import CalibratedTimings, default_timings
 
 __all__ = [
@@ -29,17 +38,48 @@ def _check_blocks(num_blocks: int) -> None:
         raise ConfigError(f"num_blocks must be >= 1, got {num_blocks}")
 
 
+def _remote_blocks(num_blocks: int, topology: Optional[Topology]) -> int:
+    """Blocks homed outside domain 0 (where the sync state lives)."""
+    if topology is None or topology.num_domains == 1:
+        return 0
+    return sum(
+        1
+        for block_id in range(num_blocks)
+        if topology.domain_of(block_id, num_blocks) != 0
+    )
+
+
+def _occupied_domains(num_blocks: int, topology: Optional[Topology]) -> int:
+    if topology is None or topology.num_domains == 1:
+        return 1
+    return len(topology.members_by_domain(num_blocks))
+
+
 def simple_cost(
-    num_blocks: int, timings: Optional[CalibratedTimings] = None
+    num_blocks: int,
+    timings: Optional[CalibratedTimings] = None,
+    *,
+    topology: Optional[Topology] = None,
 ) -> int:
     """Eq. 6: GPU simple synchronization cost ``t = N·t_a + t_c``.
 
     ``t_c`` here is the fixed tail: one successful spin observation plus
     the closing ``__syncthreads()``.
+
+    On a multi-domain topology the mutex is homed in domain 0: every
+    remote block's ``atomicAdd`` serializes through the interconnect
+    (``remote · crossing_ns``) and, when any block is remote, the
+    critical path ends with a remote spin observation (one more
+    crossing).  The simple barrier degrades worst under partitioning —
+    all of its traffic converges on one cell.
     """
     _check_blocks(num_blocks)
     t = timings or default_timings()
-    return num_blocks * t.atomic_ns + t.spin_read_ns + t.syncthreads_ns
+    cost = num_blocks * t.atomic_ns + t.spin_read_ns + t.syncthreads_ns
+    remote = _remote_blocks(num_blocks, topology)
+    if remote and topology is not None:
+        cost += remote * topology.crossing_ns + topology.crossing_ns
+    return cost
 
 
 def tree_num_groups(num_participants: int, levels_remaining: int) -> int:
@@ -117,6 +157,8 @@ def tree_cost(
     num_blocks: int,
     levels: int = 2,
     timings: Optional[CalibratedTimings] = None,
+    *,
+    topology: Optional[Topology] = None,
 ) -> int:
     """Eq. 7 generalized to ``levels`` levels.
 
@@ -124,6 +166,11 @@ def tree_cost(
     ``n̂ = max_i n_i``.  Each level contributes its largest group's
     serialized atomics plus a spin observation and the per-level
     bookkeeping overhead; the closing ``__syncthreads()`` is charged once.
+
+    On a multi-domain topology groups align with domains, so the leaf
+    levels stay interconnect-free; only the representatives cross: one
+    arrival per occupied remote domain at the combining level, plus one
+    remote observation of the top-level release.
     """
     t = timings or default_timings()
     plan = tree_level_plan(num_blocks, levels)
@@ -132,11 +179,17 @@ def tree_cost(
         n_hat = max(sizes)
         total += n_hat * t.atomic_ns + t.spin_read_ns + t.tree_level_overhead_ns
     total += t.syncthreads_ns
+    occupied = _occupied_domains(num_blocks, topology)
+    if occupied > 1 and topology is not None:
+        total += (occupied - 1) * topology.crossing_ns + topology.crossing_ns
     return total
 
 
 def lockfree_cost(
-    num_blocks: int, timings: Optional[CalibratedTimings] = None
+    num_blocks: int,
+    timings: Optional[CalibratedTimings] = None,
+    *,
+    topology: Optional[Topology] = None,
 ) -> int:
     """Eq. 9: ``t = t_SI + t_CI + t_Sync + t_SO + t_CO`` — independent of N.
 
@@ -144,10 +197,17 @@ def lockfree_cost(
     ``__syncthreads()`` in the checking block → store into ``Arrayout`` →
     leader observes → closing ``__syncthreads()`` — plus a fixed
     bookkeeping term.
+
+    On a multi-domain topology the arrays are homed with the checker in
+    domain 0, so the critical path gains exactly two crossings when any
+    block is remote: the slowest remote ``Arrayin`` store and that
+    block's ``Arrayout`` observation.  Per-block stores are parallel
+    (no ``N``-proportional term), which is why lock-free degrades most
+    gracefully under partitioning.
     """
     _check_blocks(num_blocks)
     t = timings or default_timings()
-    return (
+    cost = (
         t.lockfree_overhead_ns
         + t.global_write_ns  # t_SI
         + t.spin_read_ns  # t_CI
@@ -156,3 +216,6 @@ def lockfree_cost(
         + t.spin_read_ns  # t_CO
         + t.syncthreads_ns  # closing barrier in every block
     )
+    if _remote_blocks(num_blocks, topology) and topology is not None:
+        cost += 2 * topology.crossing_ns
+    return cost

@@ -1,0 +1,258 @@
+"""Workload tuning: cost-model-backed strategy advice (``repro tune``).
+
+The advisor (:mod:`repro.model.advisor`) answers "which strategy is
+fastest for this workload?"; this module turns the answer into an
+*auditable report* against the strategy a user actually configured.
+:func:`tune_workload` predicts every strategy's total time under a
+preset's calibrated, topology-resolved timings and — when the
+configured strategy diverges from the recommendation — emits an
+``SC100 suboptimal-strategy`` advisory as a regular
+:class:`~repro.staticcheck.report.StaticFinding`, so CI surfaces tuning
+drift through the same finding pipeline as the linter.
+
+With ``measure=True`` the report also validates the model against the
+simulator: every modeled strategy runs the workload's microbenchmark
+through the cached parallel executor alongside a ``null`` (compute-only)
+baseline, and the measured per-round synchronization overheads
+(``total - null``) ride along for comparison with the predictions —
+the paper's §5.4 model-vs-measurement check, per workload.
+
+Serialization uses the shared schema-3 envelope under the
+``tune-report`` kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.gpu.presets import get_preset, resolve_timing_context
+from repro.model.advisor import Recommendation, recommend
+from repro.staticcheck.report import StaticFinding
+
+__all__ = ["MODELED_STRATEGIES", "TuneReport", "tune_workload"]
+
+#: every strategy the cost model predicts (Eqs. 3–9); all are
+#: registered under the same names, so the measured sweep can run each.
+MODELED_STRATEGIES = (
+    "cpu-explicit",
+    "cpu-implicit",
+    "gpu-simple",
+    "gpu-tree-2",
+    "gpu-tree-3",
+    "gpu-lockfree",
+)
+
+
+@dataclass
+class TuneReport:
+    """One workload tuned against one device preset."""
+
+    rounds: int
+    compute_ns: float  #: per-round computation time the model assumes
+    num_blocks: int
+    preset: str
+    configured: str  #: the strategy the user runs today
+    recommended: str  #: the model's pick
+    predictions: Dict[str, float]  #: strategy → predicted total ns
+    rho: float  #: compute fraction under the CPU-implicit baseline
+    #: the ``SC100`` advisory; ``None`` when the configuration is optimal.
+    advisory: Optional[StaticFinding] = None
+    #: measured sync overhead (ns, ``total - null``) per strategy, when
+    #: the report was built with ``measure=True``.
+    measured_sync_ns: Dict[str, int] = field(default_factory=dict)
+    #: compute-only baseline total (ns) of the measured sweep.
+    measured_null_ns: Optional[int] = None
+
+    @property
+    def optimal(self) -> bool:
+        """True when the configured strategy is the model's pick."""
+        return self.configured == self.recommended
+
+    @property
+    def predicted_speedup(self) -> float:
+        """Predicted time ratio configured/recommended (1.0 = optimal)."""
+        return self.predictions[self.configured] / self.predictions[self.recommended]
+
+    @property
+    def measured_best(self) -> Optional[str]:
+        """Strategy with the lowest measured sync overhead, if measured."""
+        if not self.measured_sync_ns:
+            return None
+        return min(self.measured_sync_ns, key=lambda s: self.measured_sync_ns[s])
+
+    def exit_code(self, strict: bool = False) -> int:
+        """CLI exit status — advisory by default, gating under strict."""
+        if strict and not self.optimal:
+            return 1
+        return 0
+
+    def ranking(self) -> List[Any]:
+        """All ``(strategy, predicted_ns)`` sorted fastest-first."""
+        return sorted(self.predictions.items(), key=lambda kv: kv[1])
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rounds": self.rounds,
+            "compute_ns": self.compute_ns,
+            "num_blocks": self.num_blocks,
+            "preset": self.preset,
+            "configured": self.configured,
+            "recommended": self.recommended,
+            "optimal": self.optimal,
+            "predicted_speedup": self.predicted_speedup,
+            "rho": self.rho,
+            "predictions": {
+                s: self.predictions[s] for s in sorted(self.predictions)
+            },
+            "advisory": self.advisory.to_dict() if self.advisory else None,
+            "measured_sync_ns": {
+                s: self.measured_sync_ns[s]
+                for s in sorted(self.measured_sync_ns)
+            },
+            "measured_null_ns": self.measured_null_ns,
+            "measured_best": self.measured_best,
+        }
+
+    def to_json(self) -> str:
+        """Deterministic JSON in the shared schema-3 envelope."""
+        from repro.serialization import dump_result
+
+        return dump_result("tune-report", self.to_dict())
+
+    def render(self) -> str:
+        """Deterministic plain-text report."""
+        lines = [
+            f"tune: preset={self.preset}, {self.rounds} round(s) x "
+            f"{self.compute_ns:g} ns compute, {self.num_blocks} block(s) "
+            f"(rho={self.rho:.3f})",
+            f"  configured:  {self.configured} "
+            f"(predicted {self.predictions[self.configured]:.0f} ns)",
+            f"  recommended: {self.recommended} "
+            f"(predicted {self.predictions[self.recommended]:.0f} ns)",
+        ]
+        for strategy, predicted in self.ranking():
+            marker = " <- configured" if strategy == self.configured else ""
+            lines.append(f"    {strategy:13s} {predicted:>14.0f} ns{marker}")
+        if self.measured_sync_ns:
+            lines.append(
+                f"  measured sync overhead (null baseline "
+                f"{self.measured_null_ns} ns):"
+            )
+            for strategy in sorted(
+                self.measured_sync_ns, key=lambda s: self.measured_sync_ns[s]
+            ):
+                lines.append(
+                    f"    {strategy:13s} "
+                    f"{self.measured_sync_ns[strategy]:>14d} ns"
+                )
+        if self.advisory is not None:
+            lines.append("  " + self.advisory.render())
+        else:
+            lines.append(
+                "  configured strategy matches the cost-model recommendation"
+            )
+        return "\n".join(lines)
+
+
+def _measure(
+    rounds: int, num_blocks: int, preset: str, executor=None
+) -> Dict[str, int]:
+    """Measured totals: ``null`` baseline plus every modeled strategy.
+
+    Mirrors the Fig. 11 sweep's payload shape so results share the
+    executor's content-addressed cache with the benchmarks.
+    """
+    from repro.parallel import Executor
+    from repro.serialization import device_config_to_dict
+
+    device = device_config_to_dict(get_preset(preset))
+    spec = {
+        "name": "micro",
+        "rounds": rounds,
+        "num_blocks_hint": num_blocks,
+        "threads_per_block": 64,
+    }
+    names = ["null", *MODELED_STRATEGIES]
+    payloads = [
+        {
+            "algorithm": spec,
+            "strategy": name,
+            "num_blocks": num_blocks,
+            "device": device,
+            "threads_per_block": 64,
+        }
+        for name in names
+    ]
+    ex = executor if executor is not None else Executor(jobs=1)
+    totals = ex.map("run-total", payloads)
+    return dict(zip(names, (int(t) for t in totals)))
+
+
+def tune_workload(
+    rounds: int,
+    compute_ns: float,
+    num_blocks: int,
+    configured: str,
+    preset: str = "gtx280",
+    *,
+    measure: bool = False,
+    measure_rounds: Optional[int] = None,
+    executor=None,
+) -> TuneReport:
+    """Tune one workload: predictions, recommendation, SC100 advisory.
+
+    ``configured`` is the strategy the workload runs today; it must be
+    one of :data:`MODELED_STRATEGIES`.  ``measure=True`` additionally
+    runs the workload's microbenchmark under every modeled strategy
+    (``measure_rounds`` caps the simulated rounds; default
+    ``min(rounds, 50)``) through ``executor`` — or a throwaway inline
+    executor — and reports measured sync overheads next to the
+    predictions.
+    """
+    if configured not in MODELED_STRATEGIES:
+        raise ConfigError(
+            f"cannot tune unmodeled strategy {configured!r}; "
+            f"modeled: {', '.join(MODELED_STRATEGIES)}"
+        )
+    timings, _ = resolve_timing_context(preset)
+    config = get_preset(preset)
+    rec: Recommendation = recommend(
+        rounds, compute_ns, num_blocks, timings, config=config
+    )
+    predictions = dict(rec.ranking)
+    advisory: Optional[StaticFinding] = None
+    if configured != rec.strategy:
+        ratio = predictions[configured] / predictions[rec.strategy]
+        advisory = StaticFinding(
+            code="SC100",
+            message=(
+                f"configured strategy '{configured}' is predicted "
+                f"{ratio:.2f}x slower than '{rec.strategy}' for this "
+                f"workload on preset '{preset}'"
+            ),
+            file=f"<workload:{preset}>",
+            line=0,
+            unit=configured,
+        )
+    report = TuneReport(
+        rounds=rounds,
+        compute_ns=compute_ns,
+        num_blocks=num_blocks,
+        preset=preset,
+        configured=configured,
+        recommended=rec.strategy,
+        predictions=predictions,
+        rho=rec.rho,
+        advisory=advisory,
+    )
+    if measure:
+        capped = measure_rounds or min(rounds, 50)
+        totals = _measure(capped, num_blocks, preset, executor)
+        null = totals.pop("null")
+        report.measured_null_ns = null
+        report.measured_sync_ns = {
+            name: total - null for name, total in totals.items()
+        }
+    return report

@@ -8,6 +8,14 @@ cycle**, and that the two taxonomies agree: each mutant's expected
 ``SC`` code must be registry-linked (:mod:`repro.findings`) to the
 dynamic bug class the sanitizer reports for it.
 
+Since the repair engine (:mod:`repro.staticcheck.repair`), the harness
+also closes the loop in the other direction: :func:`repair_mutant`
+drives each seeded mutant through ``fix_source`` and
+:func:`verify_repairs` proves the repaired classes are lint-clean,
+sanitizer-clean, and produce verified results under both the
+``reference`` and ``fast`` engines — every ``broken-*`` mutant must be
+*repairable back to passing*, not merely detectable.
+
 This is the linter's ground truth: if a future rule change stops
 flagging a mutant — or starts flagging a clean shipped strategy — the
 cross-validation tests fail before the rule ships.
@@ -15,19 +23,27 @@ cross-validation tests fail before the rule ships.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Set
 
 from repro.findings import FINDING_CODES
-from repro.staticcheck.engine import lint_strategy
-from repro.staticcheck.report import LintReport
+from repro.staticcheck.engine import LintError, lint_source, lint_strategy
+from repro.staticcheck.repair import FixResult, fix_source
+from repro.staticcheck.report import LintReport, StaticFinding
 
 __all__ = [
     "MUTANT_EXPECTATIONS",
     "MutantExpectation",
+    "MutantRepair",
+    "SC009_FIXTURE",
     "crossval_mutant",
     "crossval_all",
     "expectation_links_ok",
+    "repair_mutant",
+    "repaired_findings",
+    "verify_repairs",
 ]
 
 
@@ -121,5 +137,176 @@ def verify_expectations() -> List[str]:
             problems.append(
                 f"{name}: static codes {sorted(exp.static)} are not "
                 f"registry-linked to dynamic classes {sorted(exp.dynamic)}"
+            )
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Repair cross-validation: every mutant must be fixable back to passing
+# ---------------------------------------------------------------------------
+
+#: a kernel-shaped spin with no ``WaitSpec`` — the SC009 fixture.  The
+#: repair tests drive it through :func:`fix_source` and assert the
+#: engine inserts both the ``spec=`` argument and the import.
+SC009_FIXTURE = '''\
+"""SC009 crossval fixture: a spin site without a WaitSpec."""
+
+from repro.sync.base import SyncStrategy
+
+
+class FixtureBarrier(SyncStrategy):
+    name = "crossval-sc009-fixture"
+
+    def barrier(self, ctx, round_idx):
+        goal = round_idx + 1
+        yield from ctx.atomic_add(self._mutex, 0, 1)
+        yield from ctx.spin_until(
+            self._mutex,
+            lambda: self._mutex.data[0] >= goal,
+            f"g_mutex>={goal}",
+        )
+        yield from ctx.syncthreads()
+'''
+
+
+@dataclass(frozen=True)
+class MutantRepair:
+    """One seeded mutant driven through the auto-repair engine."""
+
+    mutant: str  #: registry name (``broken-*``)
+    cls_name: str  #: the mutant class the repair targets
+    fix: FixResult  #: full-file repair result (class-scoped ``within``)
+    repaired_cls: type  #: the class rebuilt from the repaired source
+
+
+def repair_mutant(name: str) -> MutantRepair:
+    """Auto-repair one registered mutant and rebuild its class.
+
+    Runs :func:`fix_source` over the mutant's defining file with
+    ``respect_noqa=False`` (the seeded bugs are annotated) and the fix
+    scope restricted to the mutant class's own line span, then executes
+    the repaired source in a scratch namespace to recover a runnable
+    class.  Executing the module re-runs its ``register_strategy``
+    calls, so the strategy registry is snapshotted and restored — a
+    repair experiment must never swap the registered mutants out from
+    under the sanitizer's ground truth.
+    """
+    from repro.sync.base import _REGISTRY, get_strategy
+
+    cls = type(get_strategy(name))
+    source_file = inspect.getsourcefile(cls)
+    if source_file is None:  # pragma: no cover - mutants ship as files
+        raise LintError(f"cannot locate source for mutant {name}")
+    lines, start = inspect.getsourcelines(cls)
+    file_source = Path(source_file).read_text(encoding="utf-8")
+    result = fix_source(
+        file_source,
+        source_file,
+        respect_noqa=False,
+        within=(start, start + len(lines) - 1),
+    )
+    snapshot = dict(_REGISTRY)
+    namespace: Dict[str, object] = {"__name__": f"<repaired:{name}>"}
+    try:
+        code = compile(result.fixed, f"<repaired:{name}>", "exec")
+        exec(code, namespace)  # noqa: S102 - our own repaired source
+    finally:
+        _REGISTRY.clear()
+        _REGISTRY.update(snapshot)
+    repaired = namespace[cls.__name__]
+    assert isinstance(repaired, type)
+    return MutantRepair(
+        mutant=name, cls_name=cls.__name__, fix=result, repaired_cls=repaired
+    )
+
+
+def repaired_findings(repair: MutantRepair) -> List[StaticFinding]:
+    """Findings the linter still attributes to the repaired class.
+
+    Re-lints the repaired *source text* (the exec'd class has no file
+    for ``lint_strategy`` to read) and keeps findings whose unit sits
+    inside the mutant class — robust to the line drift repairs cause.
+    """
+    report = lint_source(
+        repair.fix.fixed, f"<repaired:{repair.mutant}>", respect_noqa=False
+    )
+    return [
+        f
+        for f in report.findings
+        if f.unit == repair.cls_name
+        or f.unit.startswith(repair.cls_name + ".")
+    ]
+
+
+def verify_repairs(
+    *, schedules: int = 10, rounds: int = 4, num_blocks: int = 8
+) -> List[str]:
+    """Prove every seeded mutant is repairable back to passing.
+
+    For each ``broken-*`` mutant: the engine must apply at least one fix
+    for the expected SC code, the repaired class must lint clean, the
+    dynamic sanitizer (PR 1) must find nothing across ``schedules``
+    fuzzed interleavings, and the repaired barrier must produce verified
+    results under both the ``reference`` and ``fast`` engines with
+    bit-identical virtual time (PR 6's differential guarantee).  Returns
+    human-readable problems; empty ⇒ the repair loop is closed.
+    """
+    from repro.algorithms.microbench import MeanMicrobench
+    from repro.harness.runner import run
+    from repro.sanitize.sanitizer import sanitize_run
+
+    import repro.sanitize.mutants  # noqa: F401  (registration side effect)
+
+    problems: List[str] = []
+    for name, exp in MUTANT_EXPECTATIONS.items():
+        repair = repair_mutant(name)
+        applied_codes = {a.code for a in repair.fix.applied}
+        if not exp.static <= applied_codes:
+            problems.append(
+                f"{name}: expected fixes for {sorted(exp.static)}, "
+                f"engine applied {sorted(applied_codes)}"
+            )
+            continue
+        leftover = repaired_findings(repair)
+        if leftover:
+            problems.append(
+                f"{name}: repaired class still lints dirty: "
+                + ", ".join(f.code for f in leftover)
+            )
+            continue
+        sanitized = sanitize_run(
+            strategy=repair.repaired_cls(),
+            num_blocks=num_blocks,
+            schedules=schedules,
+        )
+        if not sanitized.clean:
+            problems.append(
+                f"{name}: repaired strategy still flagged by the "
+                "sanitizer: "
+                + ", ".join(sorted({f.kind for f in sanitized.findings}))
+            )
+            continue
+        totals = {}
+        for mode in ("reference", "fast"):
+            algo = MeanMicrobench(rounds=rounds, num_blocks_hint=num_blocks)
+            outcome = run(
+                algo,
+                repair.repaired_cls(),
+                num_blocks,
+                engine_mode=mode,
+            )
+            if outcome.verified is not True:
+                problems.append(
+                    f"{name}: repaired strategy fails verification "
+                    f"under the {mode} engine"
+                )
+            totals[mode] = outcome.total_ns
+        if (
+            len(totals) == 2
+            and totals["reference"] != totals["fast"]
+        ):
+            problems.append(
+                f"{name}: repaired strategy diverges across engines "
+                f"({totals['reference']} != {totals['fast']} ns)"
             )
     return problems

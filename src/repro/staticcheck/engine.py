@@ -97,15 +97,15 @@ def suppressed_codes(source: str) -> Dict[int, Set[str]]:
 
 def _apply_suppressions(
     findings: List[StaticFinding], table: Dict[int, Set[str]]
-) -> Tuple[List[StaticFinding], int]:
+) -> Tuple[List[StaticFinding], Dict[str, int]]:
     if not table:
-        return findings, 0
+        return findings, {}
     kept: List[StaticFinding] = []
-    suppressed = 0
+    suppressed: Dict[str, int] = {}
     for finding in findings:
         codes = table.get(finding.line)
         if codes is not None and (not codes or finding.code in codes):
-            suppressed += 1
+            suppressed[finding.code] = suppressed.get(finding.code, 0) + 1
             continue
         kept.append(finding)
     return kept, suppressed
@@ -137,18 +137,20 @@ def lint_source(
         sm_limit=sm_limit,
         units=units,
         classes=classes,
+        source=source,
     )
     findings = run_rules(ctx)
-    suppressed = 0
+    per_code: Dict[str, int] = {}
     if respect_noqa:
-        findings, suppressed = _apply_suppressions(
+        findings, per_code = _apply_suppressions(
             findings, suppressed_codes(source)
         )
     return LintReport(
         files=[path],
         units_checked=len(units),
         findings=findings,
-        suppressed=suppressed,
+        suppressed=sum(per_code.values()),
+        suppressed_codes=per_code,
     ).normalize()
 
 

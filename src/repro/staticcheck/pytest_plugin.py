@@ -79,7 +79,12 @@ def pytest_collection_finish(session: "pytest.Session") -> None:
             # outside the linter's remit.
             continue
         linted += 1
-        failures.extend(f.render() for f in report.findings)
+        # Advice-severity findings (SC009, SC100) flag performance
+        # hazards, not bugs — they gate ``repro lint --strict`` and
+        # ``--fix --check``, never the test session.
+        failures.extend(
+            f.render() for f in report.findings if f.severity != "advice"
+        )
     if failures:
         raise pytest.UsageError(
             "--staticcheck: %d finding(s) in registered strategies:\n%s"

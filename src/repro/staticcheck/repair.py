@@ -1,0 +1,399 @@
+"""Typed auto-repair: structured edit plans over source spans.
+
+Each :class:`~repro.staticcheck.report.StaticFinding` may carry zero or
+more :class:`Fix` objects — machine-applicable edit plans built by the
+rule that produced the finding (see the fix factories in
+:mod:`repro.staticcheck.rules`).  This module is the patcher and the
+driver:
+
+* :func:`apply_edits` / :func:`apply_fixes` — the span patcher.  It is
+  **idempotent** (re-applying a fix whose replacement text is already in
+  place is a no-op), it **refuses overlapping edits** with a typed
+  :class:`FixConflictError` instead of corrupting source, and it applies
+  strictly bottom-up so earlier edits never invalidate later spans.
+* :func:`fix_source` — the fixed-point driver.  It lints, applies every
+  non-conflicting fix, **re-lints the patched source to prove the fixed
+  findings are gone and no new finding appeared** (anything else raises
+  :class:`FixVerificationError`), and repeats until no fixable finding
+  remains.
+* :func:`fix_paths` — the tree-level entry point behind
+  ``repro lint --fix [--diff|--check]``.
+
+Spans are half-open ``(line, column)`` intervals over the *current*
+source text (1-based lines, 0-based columns, like :mod:`ast` end
+positions).  An edit records the ``original`` text it expects at its
+span; a span whose text matches neither the original nor the
+replacement is *stale* and conflicts rather than being force-applied.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ReproError
+from repro.staticcheck.report import LintReport, StaticFinding
+
+__all__ = [
+    "AppliedFix",
+    "Fix",
+    "FixConflictError",
+    "FixResult",
+    "FixVerificationError",
+    "SpanEdit",
+    "apply_edits",
+    "apply_fixes",
+    "fix_paths",
+    "fix_source",
+]
+
+
+class FixConflictError(ReproError):
+    """Two edits claim overlapping spans, or a span no longer matches."""
+
+
+class FixVerificationError(ReproError):
+    """A fix was applied but re-linting disproved the repair.
+
+    Raised when the targeted finding survives the patch or the patch
+    introduces a finding that was not there before — the engine never
+    reports source as repaired without the linter's own proof.
+    """
+
+
+@dataclass(frozen=True)
+class SpanEdit:
+    """One atomic text replacement over a half-open source span.
+
+    ``start``/``end`` are ``(line, column)`` pairs — 1-based line,
+    0-based column, end exclusive.  A zero-width span (``start == end``)
+    is a pure insertion.  ``original`` is the text the edit expects to
+    find at the span; recording it is what makes staleness detectable.
+    """
+
+    start: Tuple[int, int]
+    end: Tuple[int, int]
+    original: str
+    replacement: str
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"edit span ends before it starts: {self}")
+        if self.original == self.replacement:
+            raise ValueError(f"edit replaces text with itself: {self}")
+
+
+@dataclass(frozen=True)
+class Fix:
+    """A machine-applicable repair plan attached to one finding."""
+
+    code: str  #: the ``SC00x`` code this fix repairs
+    description: str  #: one-line human summary of the edit
+    edits: Tuple[SpanEdit, ...]
+
+    def __post_init__(self) -> None:
+        if not self.edits:
+            raise ValueError(f"fix for {self.code} carries no edits")
+
+
+@dataclass(frozen=True)
+class AppliedFix:
+    """Provenance of one fix the driver actually applied."""
+
+    code: str
+    unit: str
+    line: int
+    description: str
+
+    def render(self) -> str:
+        return f"line {self.line}: [{self.code}] {self.description}"
+
+
+@dataclass
+class FixResult:
+    """Outcome of driving one file to its repair fixed point."""
+
+    path: str
+    original: str
+    fixed: str
+    applied: List[AppliedFix] = field(default_factory=list)
+    iterations: int = 0
+    #: findings still present after the fixed point (no fix available).
+    remaining: List[StaticFinding] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return self.fixed != self.original
+
+    def diff(self) -> str:
+        """Unified diff from the original to the repaired source."""
+        if not self.changed:
+            return ""
+        return "".join(
+            difflib.unified_diff(
+                self.original.splitlines(keepends=True),
+                self.fixed.splitlines(keepends=True),
+                fromfile=f"a/{self.path}",
+                tofile=f"b/{self.path}",
+            )
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "changed": self.changed,
+            "iterations": self.iterations,
+            "applied": [
+                {
+                    "code": a.code,
+                    "unit": a.unit,
+                    "line": a.line,
+                    "description": a.description,
+                }
+                for a in self.applied
+            ],
+            "remaining": [f.to_dict() for f in self.remaining],
+        }
+
+
+# ---------------------------------------------------------------------------
+# The span patcher
+# ---------------------------------------------------------------------------
+
+def _line_starts(source: str) -> List[int]:
+    """Byte offset of the start of every 1-based line."""
+    starts = [0]
+    for i, ch in enumerate(source):
+        if ch == "\n":
+            starts.append(i + 1)
+    return starts
+
+
+def _offset(source: str, starts: List[int], pos: Tuple[int, int]) -> int:
+    line, col = pos
+    if line < 1 or line > len(starts) + 1:
+        raise FixConflictError(
+            f"edit position {pos} is outside the source ({len(starts)} lines)"
+        )
+    if line == len(starts) + 1:
+        # One-past-the-last-line with column 0: appending at EOF.
+        if col != 0:
+            raise FixConflictError(f"edit position {pos} is past end of file")
+        return len(source)
+    offset = starts[line - 1] + col
+    if offset > len(source):
+        raise FixConflictError(f"edit position {pos} is past end of file")
+    return offset
+
+
+@dataclass(frozen=True)
+class _Resolved:
+    """A SpanEdit with its span resolved to absolute offsets."""
+
+    start: int
+    end: int
+    edit: SpanEdit
+
+
+def _resolve(source: str, edits: Sequence[SpanEdit]) -> List[_Resolved]:
+    """Dedupe, skip-already-applied, offset-resolve and overlap-check.
+
+    Exact duplicates collapse to one application (several fixes in a
+    file may share e.g. the same import insertion).  An edit whose
+    non-empty ``replacement`` already sits at its start position is
+    dropped — that is the idempotency guarantee, and it is decided
+    before the *end* position is resolved, because an applied edit's
+    end may lie past EOF of the (shorter) patched text.  Distinct
+    remaining edits whose spans overlap — including two different
+    insertions at the same point, whose order would be ambiguous —
+    raise :class:`FixConflictError`.
+    """
+    starts = _line_starts(source)
+    resolved: List[_Resolved] = []
+    for e in dict.fromkeys(edits):
+        start = _offset(source, starts, e.start)
+        if (
+            e.replacement
+            and source[start : start + len(e.replacement)] == e.replacement
+        ):
+            continue  # already applied: idempotent no-op
+        resolved.append(_Resolved(start, _offset(source, starts, e.end), e))
+    resolved.sort(key=lambda r: (r.start, r.end))
+    for prev, cur in zip(resolved, resolved[1:]):
+        if cur.start < prev.end or cur.start == prev.start:
+            raise FixConflictError(
+                f"overlapping edits: {prev.edit} and {cur.edit}"
+            )
+    return resolved
+
+
+def apply_edits(source: str, edits: Sequence[SpanEdit]) -> str:
+    """Apply a batch of span edits to ``source``.
+
+    Per edit, exactly one of three things happens (checked in order):
+
+    * the text *starting* at the span already equals a non-empty
+      ``replacement`` → the edit is skipped (already applied:
+      idempotency — re-applying a batch is a no-op);
+    * the text at the span equals ``original`` → the edit applies;
+    * anything else → the span is stale and :class:`FixConflictError`
+      is raised rather than patching the wrong text.
+
+    Pure deletions (empty ``replacement``) have no already-applied
+    signature, so re-applying one reports its span as stale instead of
+    silently deleting different text.
+
+    Overlapping distinct edits raise :class:`FixConflictError` before
+    anything is modified; on any failure the source is untouched.
+    """
+    pieces: List[str] = []
+    cursor = 0
+    for r in _resolve(source, edits):
+        found = source[r.start : r.end]
+        if found != r.edit.original:
+            raise FixConflictError(
+                f"stale edit at {r.edit.start}: expected "
+                f"{r.edit.original!r}, found {found!r}"
+            )
+        pieces.append(source[cursor : r.start])
+        pieces.append(r.edit.replacement)
+        cursor = r.end
+    pieces.append(source[cursor:])
+    return "".join(pieces)
+
+
+def apply_fixes(source: str, fixes: Sequence[Fix]) -> str:
+    """Apply every edit of every fix as one batch (same guarantees)."""
+    return apply_edits(source, [e for fx in fixes for e in fx.edits])
+
+
+# ---------------------------------------------------------------------------
+# The fixed-point driver
+# ---------------------------------------------------------------------------
+
+def _counts(findings: Sequence[StaticFinding]) -> Dict[Tuple[str, str], int]:
+    counts: Dict[Tuple[str, str], int] = {}
+    for f in findings:
+        key = (f.code, f.unit)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def fix_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    sm_limit: Optional[int] = None,
+    respect_noqa: bool = True,
+    within: Optional[Tuple[int, int]] = None,
+    max_iterations: int = 8,
+) -> FixResult:
+    """Drive one source string to its repair fixed point.
+
+    Each iteration lints, gathers the findings that carry fixes
+    (optionally only those whose line falls in the inclusive ``within``
+    span), applies the largest non-conflicting batch, then re-lints:
+    every targeted ``(code, unit)`` count must strictly drop and no
+    count may rise, else :class:`FixVerificationError`.  Fixes that
+    conflicted with the batch are retried on the next iteration against
+    the freshly patched source.
+    """
+    from repro.staticcheck.engine import DEFAULT_SM_LIMIT, lint_source
+
+    limit = DEFAULT_SM_LIMIT if sm_limit is None else sm_limit
+
+    def lint(text: str) -> LintReport:
+        return lint_source(text, path, sm_limit=limit, respect_noqa=respect_noqa)
+
+    def in_scope(f: StaticFinding) -> bool:
+        return within is None or within[0] <= f.line <= within[1]
+
+    current = source
+    applied: List[AppliedFix] = []
+    iterations = 0
+    report = lint(current)
+    while iterations < max_iterations:
+        fixable = [f for f in report.findings if f.fixes and in_scope(f)]
+        if not fixable:
+            break
+        iterations += 1
+        batch: List[Tuple[StaticFinding, Fix]] = []
+        batch_edits: List[SpanEdit] = []
+        for finding in sorted(fixable, key=lambda f: f.sort_key):
+            fix = finding.fixes[0]
+            try:
+                apply_edits(current, batch_edits + list(fix.edits))
+            except FixConflictError:
+                continue  # retried next iteration on fresh source
+            batch.append((finding, fix))
+            batch_edits.extend(fix.edits)
+        if not batch:
+            break  # every candidate conflicts; nothing safe to do
+        patched = apply_edits(current, batch_edits)
+        if patched == current:
+            break  # all edits were already in place; avoid looping
+        after = lint(patched)
+        before_counts = _counts(report.findings)
+        after_counts = _counts(after.findings)
+        for key, count in after_counts.items():
+            if count > before_counts.get(key, 0):
+                raise FixVerificationError(
+                    f"{path}: fix introduced new finding "
+                    f"{key[0]} in {key[1]}"
+                )
+        for finding, fix in batch:
+            key = (finding.code, finding.unit)
+            if after_counts.get(key, 0) >= before_counts[key]:
+                raise FixVerificationError(
+                    f"{path}: fix for {finding.code} at line "
+                    f"{finding.line} did not remove the finding"
+                )
+        applied.extend(
+            AppliedFix(f.code, f.unit, f.line, fx.description)
+            for f, fx in batch
+        )
+        current = patched
+        report = after
+    return FixResult(
+        path=path,
+        original=source,
+        fixed=current,
+        applied=applied,
+        iterations=iterations,
+        remaining=[f for f in report.findings if in_scope(f)],
+    )
+
+
+def fix_paths(
+    paths: Sequence[Union[str, Path]],
+    *,
+    sm_limit: Optional[int] = None,
+    respect_noqa: bool = True,
+    write: bool = False,
+) -> List[FixResult]:
+    """Run :func:`fix_source` over files and trees (CLI entry point).
+
+    With ``write=True`` changed files are rewritten in place; otherwise
+    the results only describe what *would* change (``--diff`` /
+    ``--check``).
+    """
+    from repro.staticcheck.engine import LintError, _collect_files
+
+    results: List[FixResult] = []
+    for file_path in _collect_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintError(f"cannot read {file_path}: {exc}") from exc
+        result = fix_source(
+            source,
+            str(file_path),
+            sm_limit=sm_limit,
+            respect_noqa=respect_noqa,
+        )
+        if write and result.changed:
+            file_path.write_text(result.fixed, encoding="utf-8")
+        results.append(result)
+    return results

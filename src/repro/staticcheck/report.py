@@ -16,9 +16,12 @@ how the paths were given.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import TYPE_CHECKING, Any, Dict, List, Tuple
 
 from repro.findings import FINDING_CODES, FindingCode, format_finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.staticcheck.repair import Fix
 
 __all__ = ["LintReport", "StaticFinding"]
 
@@ -32,6 +35,9 @@ class StaticFinding:
     file: str  #: path as recorded by the lint run
     line: int  #: 1-based source line of the offending node
     unit: str = "<module>"  #: qualname of the analyzed function/class
+    #: machine-applicable repairs (``repro lint --fix``); excluded from
+    #: equality so loaded reports compare equal to freshly-linted ones.
+    fixes: Tuple["Fix", ...] = field(default=(), compare=False, repr=False)
 
     def __post_init__(self) -> None:
         meta = FINDING_CODES.get(self.code)
@@ -68,6 +74,7 @@ class StaticFinding:
             "file": self.file,
             "line": self.line,
             "unit": self.unit,
+            "fixable": bool(self.fixes),
         }
 
 
@@ -82,6 +89,10 @@ class LintReport:
     findings: List[StaticFinding] = field(default_factory=list)
     #: findings silenced by ``# repro: noqa`` comments.
     suppressed: int = 0
+    #: per-code breakdown of the suppressed findings — kept separate
+    #: from the summary totals so CI logs never read suppressed noise
+    #: as outstanding findings.
+    suppressed_codes: Dict[str, int] = field(default_factory=dict)
 
     @property
     def clean(self) -> bool:
@@ -115,6 +126,10 @@ class LintReport:
             "files_checked": len(self.files),
             "units_checked": self.units_checked,
             "suppressed": self.suppressed,
+            "suppressed_codes": {
+                code: self.suppressed_codes[code]
+                for code in sorted(self.suppressed_codes)
+            },
             "clean": self.clean,
             "findings": [f.to_dict() for f in self.findings],
         }
@@ -135,6 +150,8 @@ class LintReport:
             files=list(require(payload, "files", source)),
             units_checked=require(payload, "units_checked", source),
             suppressed=require(payload, "suppressed", source),
+            # Older stored reports predate the per-code breakdown.
+            suppressed_codes=dict(payload.get("suppressed_codes", {})),
         )
         for entry in require(payload, "findings", source):
             report.findings.append(
@@ -157,9 +174,16 @@ class LintReport:
             f"unit(s) — {verdict}",
         ]
         if self.suppressed:
+            breakdown = ""
+            if self.suppressed_codes:
+                per_code = ", ".join(
+                    f"{code} x{self.suppressed_codes[code]}"
+                    for code in sorted(self.suppressed_codes)
+                )
+                breakdown = f" ({per_code})"
             lines.append(
                 f"  {self.suppressed} finding(s) suppressed by "
-                "'# repro: noqa' comments"
+                f"'# repro: noqa' comments{breakdown}"
             )
         for finding in self.findings:
             lines.append("  " + finding.render())
@@ -176,4 +200,8 @@ class LintReport:
         self.units_checked += other.units_checked
         self.findings.extend(other.findings)
         self.suppressed += other.suppressed
+        for code, count in other.suppressed_codes.items():
+            self.suppressed_codes[code] = (
+                self.suppressed_codes.get(code, 0) + count
+            )
         return self.normalize()

@@ -1,4 +1,4 @@
-"""The paper-grounded rule catalog (SC001–SC008).
+"""The paper-grounded rule catalog (SC001–SC009).
 
 Each rule is a function over a :class:`FileContext` returning
 :class:`~repro.staticcheck.report.StaticFinding` objects.  Rules are
@@ -8,6 +8,14 @@ device DSL (``ctx.atomic_add``, ``ctx.spin_until``, ``ctx.gwrite``,
 exactly the misuse patterns the paper's barriers are one typo away
 from.  See ``docs/staticcheck.md`` for the catalog with citations and
 the per-rule false-positive discussion.
+
+Rules whose defect admits a mechanical repair attach typed
+:class:`~repro.staticcheck.repair.Fix` plans to their findings (the
+*fix factories*); ``repro lint --fix`` applies them through
+:mod:`repro.staticcheck.repair`.  A factory only emits a fix when it
+can prove the edit is exactly the canonical protocol shape — anything
+ambiguous stays advisory-only (see the repair catalog in
+``docs/staticcheck.md``).
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ from repro.staticcheck.discover import (
     KernelUnit,
     StrategyClass,
     block_identity_names,
+    call_receiver,
     call_tail,
     expr_names,
     is_block_dependent,
@@ -30,6 +39,7 @@ from repro.staticcheck.discover import (
     self_attr_aliases,
     yielded_calls,
 )
+from repro.staticcheck.repair import Fix, SpanEdit
 from repro.staticcheck.report import StaticFinding
 
 __all__ = ["FileContext", "RULES", "run_rules"]
@@ -45,6 +55,10 @@ class FileContext:
     sm_limit: int
     units: List[KernelUnit]
     classes: List[StrategyClass]
+    #: raw source text; fix factories need it to record the original
+    #: span contents (empty when a caller only has the AST — rules
+    #: still report, they just attach fewer fixes).
+    source: str = ""
     _cfgs: Dict[int, CFG] = field(default_factory=dict)
 
     def cfg(self, unit: KernelUnit) -> CFG:
@@ -68,6 +82,202 @@ def _walk_scoped(node: ast.AST) -> Iterator[ast.AST]:
 def _unparse(node: ast.AST, limit: int = 60) -> str:
     text = ast.unparse(node)
     return text if len(text) <= limit else text[: limit - 1] + "…"
+
+
+# -- fix-factory plumbing ----------------------------------------------------
+#
+# Factories build SpanEdits from exact node positions plus the raw file
+# source (for the ``original`` text that makes staleness detectable).
+# Pure insertions work without source; replacements and deletions
+# require ``ctx.source`` and silently stay advisory without it.
+
+
+def _source_lines(ctx: FileContext) -> List[str]:
+    return ctx.source.splitlines(keepends=True)
+
+
+def _line_indent(ctx: FileContext, lineno: int) -> Optional[str]:
+    lines = _source_lines(ctx)
+    if not 1 <= lineno <= len(lines):
+        return None
+    text = lines[lineno - 1]
+    return text[: len(text) - len(text.lstrip())]
+
+
+def _insert_at(lineno: int, col: int, text: str) -> SpanEdit:
+    return SpanEdit((lineno, col), (lineno, col), "", text)
+
+
+def _node_span(node: ast.AST) -> Optional[Tuple[Tuple[int, int], Tuple[int, int]]]:
+    end_line = getattr(node, "end_lineno", None)
+    end_col = getattr(node, "end_col_offset", None)
+    lineno = getattr(node, "lineno", None)
+    col = getattr(node, "col_offset", None)
+    if None in (lineno, col, end_line, end_col):
+        return None
+    return (lineno, col), (end_line, end_col)
+
+
+def _node_text(ctx: FileContext, node: ast.AST) -> Optional[str]:
+    if not ctx.source:
+        return None
+    text = ast.get_source_segment(ctx.source, node)
+    return text
+
+
+def _node_edit(
+    ctx: FileContext, node: ast.AST, replacement: str
+) -> Optional[SpanEdit]:
+    """Replace one expression/statement node with new source text."""
+    span = _node_span(node)
+    original = _node_text(ctx, node)
+    if span is None or original is None or original == replacement:
+        return None
+    return SpanEdit(span[0], span[1], original, replacement)
+
+
+def _delete_lines_edit(
+    ctx: FileContext, first: int, last: int
+) -> Optional[SpanEdit]:
+    """Delete whole source lines ``first``..``last`` (1-based, inclusive)."""
+    lines = _source_lines(ctx)
+    if not ctx.source or not 1 <= first <= last <= len(lines):
+        return None
+    return SpanEdit(
+        (first, 0), (last + 1, 0), "".join(lines[first - 1 : last]), ""
+    )
+
+
+# -- spin-predicate shape analysis (shared by SC008's scatter fix and
+#    SC009) -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _SpinShape:
+    """A mechanical threshold spin, resolved to enclosing-scope source."""
+
+    array_src: str  #: the spun array, as written at the call site
+    threshold_src: str  #: the awaited threshold expression
+    lo_src: Optional[str]  #: watched cell / slice start (None = whole)
+    hi_src: Optional[str]  #: slice end (None = single cell / open)
+    whole_array: bool  #: an ``(arr.data >= t).all()`` gather shape
+
+    def wait_spec_src(self) -> str:
+        parts = [self.threshold_src]
+        if self.lo_src is not None:
+            parts.append(f"lo={self.lo_src}")
+        if self.hi_src is not None:
+            parts.append(f"hi={self.hi_src}")
+        return f"WaitSpec({', '.join(parts)})"
+
+
+def _lambda_bindings(lam: ast.Lambda) -> Optional[Dict[str, ast.expr]]:
+    """Param → default-expression map; None for unpollable lambdas."""
+    args = lam.args
+    if args.posonlyargs or args.kwonlyargs or args.vararg or args.kwarg:
+        return None
+    params = [a.arg for a in args.args]
+    defaults = args.defaults
+    if len(defaults) != len(params):
+        return None  # a default-less param could never be polled with ()
+    return dict(zip(params, defaults))
+
+
+def _resolve_in_scope(
+    expr: ast.expr, bound: Dict[str, ast.expr]
+) -> Optional[str]:
+    """Source for ``expr`` valid in the enclosing scope (via defaults)."""
+    if isinstance(expr, ast.Name) and expr.id in bound:
+        return ast.unparse(bound[expr.id])
+    if expr_names(expr) & set(bound):
+        return None  # a param buried inside a larger expression
+    return ast.unparse(expr)
+
+
+def _spin_wait_shape(call: ast.Call) -> Optional[_SpinShape]:
+    """Parse a ``spin_until`` whose predicate is a threshold check.
+
+    Recognized shapes (``X`` must be the spun array itself)::
+
+        lambda ...: X.data[i] >= t            → (t, lo=i)
+        lambda ...: (X.data >= t).all()       → (t,) whole-array
+        lambda ...: bool((X.data >= t).all()) → (t,) whole-array
+        lambda ...: (X.data[lo:hi] >= t).all()→ (t, lo, hi)
+
+    Anything else — compound predicates, inverted comparisons, tuple
+    indices — returns None: the spin is not mechanically declarable.
+    """
+    array_arg = _call_arg(call, 0, "array")
+    predicate = _call_arg(call, 1, "predicate")
+    if array_arg is None or not isinstance(predicate, ast.Lambda):
+        return None
+    bound = _lambda_bindings(predicate)
+    if bound is None:
+        return None
+    body: ast.expr = predicate.body
+    if (
+        isinstance(body, ast.Call)
+        and isinstance(body.func, ast.Name)
+        and body.func.id == "bool"
+        and len(body.args) == 1
+        and not body.keywords
+    ):
+        body = body.args[0]
+    whole = False
+    if (
+        isinstance(body, ast.Call)
+        and isinstance(body.func, ast.Attribute)
+        and body.func.attr == "all"
+        and not body.args
+        and not body.keywords
+    ):
+        whole = True
+        body = body.func.value
+    if not (
+        isinstance(body, ast.Compare)
+        and len(body.ops) == 1
+        and isinstance(body.ops[0], ast.GtE)
+        and len(body.comparators) == 1
+    ):
+        return None
+    left, threshold = body.left, body.comparators[0]
+    threshold_src = _resolve_in_scope(threshold, bound)
+    if threshold_src is None:
+        return None
+    index: Optional[ast.expr] = None
+    if isinstance(left, ast.Subscript):
+        index = left.slice
+        left = left.value
+    if not (isinstance(left, ast.Attribute) and left.attr == "data"):
+        return None
+    array_src = _resolve_in_scope(left.value, bound)
+    if array_src is None or array_src != ast.unparse(array_arg):
+        return None
+    lo_src: Optional[str] = None
+    hi_src: Optional[str] = None
+    if index is None:
+        if not whole:
+            return None  # bare array truthiness — not a threshold spin
+    elif isinstance(index, ast.Slice):
+        if not whole or index.step is not None:
+            return None
+        if index.lower is not None:
+            lo_src = _resolve_in_scope(index.lower, bound)
+            if lo_src is None:
+                return None
+        if index.upper is not None:
+            hi_src = _resolve_in_scope(index.upper, bound)
+            if hi_src is None:
+                return None
+    elif isinstance(index, ast.Tuple):
+        return None  # multi-dimensional flags — WaitSpec is 1-D
+    else:
+        if whole:
+            return None
+        lo_src = _resolve_in_scope(index, bound)
+        if lo_src is None:
+            return None
+    return _SpinShape(array_src, threshold_src, lo_src, hi_src, whole)
 
 
 # -- SC001: barrier divergence ----------------------------------------------
@@ -127,9 +337,47 @@ def rule_sc001(ctx: FileContext) -> List[StaticFinding]:
                     file=ctx.path,
                     line=node.line,
                     unit=unit.qualname,
+                    fixes=_sc001_fix(ctx, unit, stmt),
                 )
             )
     return findings
+
+
+def _sc001_fix(
+    ctx: FileContext, unit: KernelUnit, stmt: ast.AST
+) -> Tuple[Fix, ...]:
+    """Delete a pure early-return bypass branch.
+
+    Only the provably-safe shape is repaired: ``if <identity test>:
+    return`` with no else and no other effect, sitting directly in the
+    function body next to the barrier statements it skips.  Deleting it
+    makes every block fall through to the same barrier sequence (the
+    SC001 remedy).  Branches that *do* work before returning are left
+    for a human.
+    """
+    func_body = getattr(unit.func, "body", [])
+    if not (
+        isinstance(stmt, ast.If)
+        and not stmt.orelse
+        and len(stmt.body) == 1
+        and isinstance(stmt.body[0], ast.Return)
+        and stmt.body[0].value is None
+        and stmt in func_body
+        and len(func_body) > 1
+    ):
+        return ()
+    end = stmt.end_lineno or stmt.lineno
+    edit = _delete_lines_edit(ctx, stmt.lineno, end)
+    if edit is None:
+        return ()
+    return (
+        Fix(
+            "SC001",
+            "delete the block-dependent early return so every block "
+            "runs the same barrier sequence",
+            (edit,),
+        ),
+    )
 
 
 # -- SC002: static occupancy violation --------------------------------------
@@ -503,9 +751,54 @@ def rule_sc005(ctx: FileContext) -> List[StaticFinding]:
                             file=ctx.path,
                             line=node.lineno,
                             unit=qual,
+                            fixes=_sc005_goal_fix(ctx, node.value),
                         )
                     )
     return findings
+
+
+def _looks_like_grid_size(expr: ast.expr) -> bool:
+    """Heuristic: the factor that is the grid size, not the round."""
+    src = ast.unparse(expr)
+    tail = src.rsplit(".", 1)[-1].rsplit("_", 1)[-1]
+    return tail in ("n", "num_blocks", "blocks", "nblocks")
+
+
+def _sc005_goal_fix(ctx: FileContext, value: ast.expr) -> Tuple[Fix, ...]:
+    """Rewrite ``round·N + k`` to the canonical ``(round + 1) · N``.
+
+    Emitted only when exactly one factor of the product is recognizably
+    the grid size — otherwise which factor accumulates per round is
+    ambiguous and the finding stays advisory.
+    """
+    if not (isinstance(value, ast.BinOp) and isinstance(value.op, ast.Add)):
+        return ()
+    product = value.left if isinstance(value.left, ast.BinOp) else value.right
+    if not (
+        isinstance(product, ast.BinOp) and isinstance(product.op, ast.Mult)
+    ):
+        return ()
+    left_src = ast.unparse(product.left)
+    right_src = ast.unparse(product.right)
+    left_grid = _looks_like_grid_size(product.left)
+    right_grid = _looks_like_grid_size(product.right)
+    if left_grid == right_grid:
+        return ()
+    if right_grid:
+        replacement = f"({left_src} + 1) * {right_src}"
+    else:
+        replacement = f"{left_src} * ({right_src} + 1)"
+    edit = _node_edit(ctx, value, replacement)
+    if edit is None:
+        return ()
+    return (
+        Fix(
+            "SC005",
+            f"accumulate the arrival goal as a whole multiple of the "
+            f"grid size: {replacement}",
+            (edit,),
+        ),
+    )
 
 
 def _spin_goal_names(
@@ -565,13 +858,13 @@ def rule_sc006(ctx: FileContext) -> List[StaticFinding]:
     for unit in ctx.units:
         if unit.kind not in ("barrier-method", "kernel"):
             continue
-        events: List[Tuple[int, str, str, str]] = []
+        events: List[Tuple[int, str, str, str, ast.Call]] = []
         for node in _walk_scoped(unit.func):
             if not isinstance(node, ast.Call):
                 continue
             tail = call_tail(node)
             if tail in BARRIER_CALLS:
-                events.append((node.lineno, "barrier", "", ""))
+                events.append((node.lineno, "barrier", "", "", node))
             elif tail in shared_ops and len(node.args) >= 2:
                 events.append(
                     (
@@ -579,11 +872,12 @@ def rule_sc006(ctx: FileContext) -> List[StaticFinding]:
                         tail,
                         ast.dump(node.args[0]),
                         ast.dump(node.args[1]),
+                        node,
                     )
                 )
         events.sort(key=lambda e: e[0])
         pending: Dict[str, Tuple[str, int]] = {}
-        for line, kind, array, index in events:
+        for line, kind, array, index, call in events:
             if kind == "barrier":
                 pending.clear()
                 continue
@@ -600,11 +894,37 @@ def rule_sc006(ctx: FileContext) -> List[StaticFinding]:
                         file=ctx.path,
                         line=line,
                         unit=unit.qualname,
+                        fixes=_sc006_fix(ctx, call),
                     )
                 )
             if kind == "swrite":
                 pending[array] = (index, line)
     return findings
+
+
+def _sc006_fix(ctx: FileContext, call: ast.Call) -> Tuple[Fix, ...]:
+    """Insert ``yield from <recv>.syncthreads()`` before the access.
+
+    Only when the conflicting access opens its own ``yield``(-from)
+    statement line — inserting a full line inside a bracketed
+    continuation would not parse, so those stay advisory.
+    """
+    receiver = call_receiver(call)
+    indent = _line_indent(ctx, call.lineno)
+    if receiver is None or indent is None:
+        return ()
+    lines = _source_lines(ctx)
+    if not lines[call.lineno - 1].lstrip().startswith("yield"):
+        return ()
+    text = f"{indent}yield from {receiver}.syncthreads()\n"
+    return (
+        Fix(
+            "SC006",
+            "insert __syncthreads() before the conflicting shared "
+            "access",
+            (_insert_at(call.lineno, 0, text),),
+        ),
+    )
 
 
 # -- SC007: under-sized lock-free flag array ---------------------------------
@@ -744,9 +1064,42 @@ def rule_sc007(ctx: FileContext) -> List[StaticFinding]:
                     file=ctx.path,
                     line=alloc_line,
                     unit=f"{cls.name}.prepare",
+                    fixes=_sc007_fix(ctx, prepare, size_expr),
                 )
             )
     return findings
+
+
+def _sc007_fix(
+    ctx: FileContext, prepare: ast.AST, size_expr: ast.expr
+) -> Tuple[Fix, ...]:
+    """Resize a literal flag-array allocation to the grid size.
+
+    Only constant sizes are rewritten (a wrong *expression* needs a
+    human to decide what it meant); the replacement is ``prepare``'s
+    own num_blocks parameter, so the repaired allocation scales.
+    """
+    if not isinstance(size_expr, ast.Constant):
+        return ()
+    args = getattr(prepare, "args", None)
+    params = [a.arg for a in args.args] if args else []
+    if "num_blocks" in params:
+        grid = "num_blocks"
+    elif len(params) >= 3:
+        grid = params[2]  # (self, device, <grid size>)
+    else:
+        return ()
+    edit = _node_edit(ctx, size_expr, grid)
+    if edit is None:
+        return ()
+    return (
+        Fix(
+            "SC007",
+            f"allocate one flag per block: size '{grid}' instead of "
+            f"'{_unparse(size_expr)}'",
+            (edit,),
+        ),
+    )
 
 
 # -- SC008: unreleased synchronization path ----------------------------------
@@ -809,7 +1162,7 @@ def rule_sc008(ctx: FileContext) -> List[StaticFinding]:
     # (b) class-level: spun flag arrays nobody stores to.
     for cls in ctx.classes:
         written: Set[str] = set()
-        spins: List[Tuple[str, int, str]] = []
+        spins: List[Tuple[str, int, str, ast.AST, ast.Call]] = []
         for name, func in _generator_methods(cls):
             aliases = self_attr_aliases(func)
             for node in ast.walk(func):
@@ -823,8 +1176,8 @@ def rule_sc008(ctx: FileContext) -> List[StaticFinding]:
                 elif tail == "spin_until" and node.args:
                     root = resolve_attr_root(node.args[0], aliases)
                     if root is not None:
-                        spins.append((root, node.lineno, name))
-        for root, line, method in spins:
+                        spins.append((root, node.lineno, name, func, node))
+        for root, line, method, func, spin_call in spins:
             if root in written:
                 continue
             findings.append(
@@ -839,6 +1192,216 @@ def rule_sc008(ctx: FileContext) -> List[StaticFinding]:
                     file=ctx.path,
                     line=line,
                     unit=f"{cls.name}.{method}",
+                    fixes=_sc008_scatter_fix(ctx, func, spin_call),
+                )
+            )
+    return findings
+
+
+def _is_syncthreads_stmt(stmt: ast.stmt) -> bool:
+    return (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.YieldFrom)
+        and isinstance(stmt.value.value, ast.Call)
+        and call_tail(stmt.value.value) == "syncthreads"
+    )
+
+
+def _sc008_scatter_fix(
+    ctx: FileContext, func: ast.AST, spin_call: ast.Call
+) -> Tuple[Fix, ...]:
+    """Insert the missing Fig. 9 step-2 release scatter.
+
+    Recognizes the lock-free checker shape: a block-identity branch
+    containing a whole-array gather spin followed by a
+    ``syncthreads()``, while the flagged spin awaits a threshold on the
+    never-written array.  The fix stores the awaited threshold to every
+    cell (``gwrite(arr, slice(None), goal)``) right after the checker's
+    last ``syncthreads`` — exactly the store the paper's Fig. 9
+    performs.  Any deviation from that shape stays advisory.
+    """
+    shape = _spin_wait_shape(spin_call)
+    receiver = call_receiver(spin_call)
+    if shape is None or shape.whole_array or receiver is None:
+        return ()
+    if not spin_call.args:
+        return ()
+    arr_src = ast.unparse(spin_call.args[0])
+    identity = block_identity_names(func)
+    for node in _walk_scoped(func):
+        if not (
+            isinstance(node, ast.If)
+            and is_block_dependent(node.test, identity)
+        ):
+            continue
+        gather = any(
+            (gather_shape := _spin_wait_shape(sub)) is not None
+            and gather_shape.whole_array
+            for stmt in node.body
+            for sub in ast.walk(stmt)
+            if isinstance(sub, ast.Call) and call_tail(sub) == "spin_until"
+        )
+        syncs = [stmt for stmt in node.body if _is_syncthreads_stmt(stmt)]
+        if not gather or not syncs:
+            continue
+        anchor = syncs[-1]
+        indent = _line_indent(ctx, anchor.lineno)
+        if indent is None:
+            return ()
+        insert_line = (anchor.end_lineno or anchor.lineno) + 1
+        text = (
+            f"{indent}yield from {receiver}.gwrite("
+            f"{arr_src}, slice(None), {shape.threshold_src})\n"
+        )
+        return (
+            Fix(
+                "SC008",
+                f"insert the missing release scatter: every cell of "
+                f"{arr_src} set to {shape.threshold_src}",
+                (_insert_at(insert_line, 0, text),),
+            ),
+        )
+    return ()
+
+
+# -- SC009: spin site without a WaitSpec declaration -------------------------
+
+
+def _has_wait_spec(call: ast.Call) -> bool:
+    """True when the spin already declares a spec (kw or positional)."""
+    if any(kw.arg == "spec" for kw in call.keywords):
+        return True
+    return len(call.args) >= 4  # (array, predicate, reason, spec)
+
+
+def _binds_wait_spec(module: ast.Module) -> bool:
+    """Is the name ``WaitSpec`` already bound at module level?"""
+    for node in ast.walk(module):
+        if isinstance(node, ast.ImportFrom):
+            if any((a.asname or a.name) == "WaitSpec" for a in node.names):
+                return True
+        elif isinstance(node, ast.Import):
+            if any(
+                (a.asname or a.name.split(".")[0]) == "WaitSpec"
+                for a in node.names
+            ):
+                return True
+    return False
+
+
+_WAIT_SPEC_IMPORT = "from repro.simcore.effects import WaitSpec\n"
+
+
+def _wait_spec_import_edit(ctx: FileContext) -> SpanEdit:
+    """Insert the WaitSpec import in isort-compatible position.
+
+    Sorted into the first-party ``repro`` from-import block when one
+    exists (so ruff's import sorting stays clean), else appended after
+    the last import, else after the module docstring.
+    """
+    target = "repro.simcore.effects"
+    insert_before: Optional[int] = None
+    last_repro_end: Optional[int] = None
+    last_import_end: Optional[int] = None
+    for stmt in ctx.module.body:
+        if not isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            continue
+        last_import_end = stmt.end_lineno or stmt.lineno
+        if not (
+            isinstance(stmt, ast.ImportFrom)
+            and stmt.level == 0
+            and stmt.module is not None
+            and (stmt.module == "repro" or stmt.module.startswith("repro."))
+        ):
+            continue
+        last_repro_end = stmt.end_lineno or stmt.lineno
+        if insert_before is None and stmt.module > target:
+            insert_before = stmt.lineno
+    if insert_before is not None:
+        line = insert_before
+    elif last_repro_end is not None:
+        line = last_repro_end + 1
+    elif last_import_end is not None:
+        line = last_import_end + 1
+    else:
+        first = ctx.module.body[0] if ctx.module.body else None
+        docstring = (
+            isinstance(first, ast.Expr)
+            and isinstance(first.value, ast.Constant)
+            and isinstance(first.value.value, str)
+        )
+        if docstring and first is not None:
+            line = (first.end_lineno or first.lineno) + 1
+        else:
+            line = 1
+    return _insert_at(line, 0, _WAIT_SPEC_IMPORT)
+
+
+def _sc009_fix(
+    ctx: FileContext, call: ast.Call, shape: _SpinShape
+) -> Tuple[Fix, ...]:
+    """Append ``spec=WaitSpec(...)`` to the spin call (plus import)."""
+    ends = [
+        _node_span(arg) for arg in call.args
+    ] + [_node_span(kw.value) for kw in call.keywords]
+    spans = [s for s in ends if s is not None]
+    if not spans:
+        return ()
+    last = max(span[1] for span in spans)
+    edits: List[SpanEdit] = [
+        _insert_at(last[0], last[1], f", spec={shape.wait_spec_src()}")
+    ]
+    if not _binds_wait_spec(ctx.module):
+        edits.append(_wait_spec_import_edit(ctx))
+    return (
+        Fix(
+            "SC009",
+            f"declare the awaited condition: spec={shape.wait_spec_src()}",
+            tuple(edits),
+        ),
+    )
+
+
+def rule_sc009(ctx: FileContext) -> List[StaticFinding]:
+    """A mechanical threshold spin with no ``WaitSpec`` declaration.
+
+    The fast engine's indexed-waiter path (PR 6) wakes a spinning block
+    only when the exact awaited cells cross the declared threshold;
+    without a ``spec=WaitSpec(...)`` the engine falls back to
+    re-evaluating the Python predicate on every store — correct, but
+    the §5.3 flag-array fast path silently degrades.  Only spins whose
+    predicate is *provably* a threshold check are flagged (and those
+    are exactly the ones the fix can declare mechanically); compound
+    predicates are not WaitSpec-expressible and stay silent.
+    """
+    findings: List[StaticFinding] = []
+    for unit in ctx.units:
+        if unit.kind not in ("barrier-method", "kernel"):
+            continue
+        for node in _walk_scoped(unit.func):
+            if not (
+                isinstance(node, ast.Call)
+                and call_tail(node) == "spin_until"
+            ):
+                continue
+            if _has_wait_spec(node):
+                continue
+            shape = _spin_wait_shape(node)
+            if shape is None:
+                continue
+            findings.append(
+                StaticFinding(
+                    code="SC009",
+                    message=(
+                        f"threshold spin on '{shape.array_src}' carries "
+                        "no WaitSpec; the fast engine degrades to "
+                        "re-evaluating the predicate on every store "
+                        f"(declare spec={shape.wait_spec_src()})"
+                    ),
+                    file=ctx.path,
+                    line=node.lineno,
+                    unit=unit.qualname,
+                    fixes=_sc009_fix(ctx, node, shape),
                 )
             )
     return findings
@@ -854,6 +1417,7 @@ RULES: Dict[str, Callable[[FileContext], List[StaticFinding]]] = {
     "SC006": rule_sc006,
     "SC007": rule_sc007,
     "SC008": rule_sc008,
+    "SC009": rule_sc009,
 }
 
 

@@ -180,3 +180,54 @@ def test_interrupted_sweep_exits_130(tmp_path, capsys, monkeypatch):
     run_id = err.split("--resume")[-1].strip()
     assert main(["fig11", "--rounds", "5", "--journal-dir", str(jdir),
                  "--resume", run_id]) == 0
+
+
+# -- the tune verb ------------------------------------------------------------
+
+
+def test_tune_command_advisory_exits_zero(capsys):
+    code = main(["tune", "--rounds", "100", "--blocks", "30",
+                 "--strategy", "gpu-simple"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "recommended: gpu-lockfree" in out
+    assert "[SC100 advice]" in out
+
+
+def test_tune_strict_gates_on_suboptimal_strategy(capsys):
+    assert main(["tune", "--rounds", "100", "--blocks", "30",
+                 "--strategy", "gpu-simple", "--strict"]) == 1
+    capsys.readouterr()
+    assert main(["tune", "--rounds", "100", "--blocks", "30",
+                 "--strategy", "gpu-lockfree", "--strict"]) == 0
+
+
+def test_tune_recommendation_flips_with_preset(capsys):
+    assert main(["tune", "--rounds", "100", "--blocks", "4",
+                 "--strategy", "gpu-simple"]) == 0
+    assert "matches the cost-model recommendation" in capsys.readouterr().out
+    assert main(["tune", "--rounds", "100", "--blocks", "4",
+                 "--strategy", "gpu-simple", "--preset", "dual_gpu"]) == 0
+    assert "[SC100 advice]" in capsys.readouterr().out
+
+
+def test_tune_json_envelope(capsys):
+    assert main(["tune", "--rounds", "100", "--blocks", "30",
+                 "--strategy", "gpu-simple", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["kind"] == "tune-report"
+    assert payload["recommended"] == "gpu-lockfree"
+    assert payload["advisory"]["code"] == "SC100"
+
+
+def test_tune_measure_runs_the_sweep(capsys):
+    assert main(["tune", "--rounds", "10", "--blocks", "4",
+                 "--strategy", "gpu-lockfree", "--measure"]) == 0
+    out = capsys.readouterr().out
+    assert "measured sync overhead" in out
+
+
+def test_tune_unknown_strategy_fails(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["tune", "--strategy", "gpu-sense-reversal"])
+    assert "unmodeled" in str(exc.value)

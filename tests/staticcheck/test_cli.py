@@ -87,3 +87,91 @@ def test_positional_paths_rejected_for_other_experiments(capsys):
     with pytest.raises(SystemExit) as exc:
         main(["table1", "src/repro"])
     assert exc.value.code == 2
+
+
+# -- lint --fix [--diff|--check] ----------------------------------------------
+
+FIXABLE_SOURCE = '''\
+"""A spin with no WaitSpec declaration (auto-fixable SC009)."""
+
+from repro.sync.base import SyncStrategy
+
+
+class NoSpecSync(SyncStrategy):
+    def barrier(self, ctx, round_idx):
+        goal = round_idx + 1
+        yield from ctx.atomic_add(self._m, 0, 1)
+        yield from ctx.spin_until(
+            self._m, lambda: self._m.data[0] >= goal, "go"
+        )
+'''
+
+
+def test_lint_fix_writes_repairs_in_place(tmp_path, capsys):
+    target = tmp_path / "spin.py"
+    target.write_text(FIXABLE_SOURCE)
+    assert main(["lint", str(target), "--fix"]) == 0
+    out = capsys.readouterr().out
+    assert "fixed 1 finding(s) in 1 file(s)" in out
+    assert "[SC009]" in out
+    on_disk = target.read_text()
+    assert "spec=WaitSpec(goal, lo=0)" in on_disk
+    assert "from repro.simcore.effects import WaitSpec" in on_disk
+    capsys.readouterr()
+    # The repaired file now lints clean and re-fixing is a no-op.
+    assert main(["lint", str(target), "--strict"]) == 0
+    capsys.readouterr()
+    assert main(["lint", str(target), "--fix", "--check"]) == 0
+
+
+def test_lint_fix_diff_is_a_dry_run(tmp_path, capsys):
+    target = tmp_path / "spin.py"
+    target.write_text(FIXABLE_SOURCE)
+    assert main(["lint", str(target), "--fix", "--diff"]) == 0
+    out = capsys.readouterr().out
+    assert f"--- a/{target}" in out
+    assert "+from repro.simcore.effects import WaitSpec" in out
+    assert target.read_text() == FIXABLE_SOURCE  # untouched
+
+
+def test_lint_fix_check_gates_on_pending_repairs(tmp_path, capsys):
+    target = tmp_path / "spin.py"
+    target.write_text(FIXABLE_SOURCE)
+    assert main(["lint", str(target), "--fix", "--check"]) == 1
+    out = capsys.readouterr().out
+    assert "would fix 1 finding(s)" in out
+    assert target.read_text() == FIXABLE_SOURCE  # --check never writes
+
+
+def test_lint_fix_json_uses_fix_report_envelope(tmp_path, capsys):
+    target = tmp_path / "spin.py"
+    target.write_text(FIXABLE_SOURCE)
+    assert main(["lint", str(target), "--fix", "--check", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["kind"] == "fix-report"
+    assert payload["schema"] == 3
+    assert payload["files_changed"] == 1
+    assert payload["fixes_applied"] == 1
+    assert payload["written"] is False
+    assert payload["results"][0]["applied"][0]["code"] == "SC009"
+
+
+def test_lint_fix_check_clean_on_shipped_tree(capsys):
+    """The dogfooded repo is fix-clean: the CI gate passes."""
+    assert main(["lint", "--fix", "--check"]) == 0
+    assert "would fix 0 finding(s)" in capsys.readouterr().out
+
+
+def test_diff_and_check_require_fix():
+    with pytest.raises(SystemExit) as exc:
+        main(["lint", "--check"])
+    assert exc.value.code == 2
+    with pytest.raises(SystemExit) as exc:
+        main(["lint", "--fix", "--diff", "--check"])
+    assert exc.value.code == 2
+
+
+def test_fix_rejected_outside_lint():
+    with pytest.raises(SystemExit) as exc:
+        main(["models", "--fix"])
+    assert exc.value.code == 2

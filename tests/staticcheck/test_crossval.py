@@ -14,7 +14,10 @@ from repro.staticcheck.crossval import (
     crossval_all,
     crossval_mutant,
     expectation_links_ok,
+    repair_mutant,
+    repaired_findings,
     verify_expectations,
+    verify_repairs,
 )
 
 
@@ -79,3 +82,53 @@ def test_mutant_detection_survives_noqa_annotations():
     assert tree.clean and tree.suppressed == 3
     for name, exp in MUTANT_EXPECTATIONS.items():
         assert set(crossval_mutant(name).codes()) == exp.static
+
+
+# ---------------------------------------------------------------------------
+# Repair cross-validation: the mutants must be fixable, not just findable
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(MUTANT_EXPECTATIONS))
+def test_each_mutant_repairs_with_its_expected_codes(name):
+    """The engine applies exactly the expected SC fixes, scoped to the
+    mutant class, and the repaired class lints clean."""
+    repair = repair_mutant(name)
+    assert {a.code for a in repair.fix.applied} == MUTANT_EXPECTATIONS[
+        name
+    ].static
+    assert repaired_findings(repair) == []
+
+
+def test_repair_does_not_touch_neighbouring_mutants():
+    """Class-scoped repair: fixing one mutant leaves the other seeded
+    bugs in the same file detectable."""
+    repair = repair_mutant("broken-simple-undercount")
+    # The other two mutants' bugs survive in the repaired file source.
+    from repro.staticcheck.engine import lint_source
+
+    report = lint_source(repair.fix.fixed, "<x>", respect_noqa=False)
+    codes_by_unit = {(f.unit.split(".")[0], f.code) for f in report.findings}
+    assert ("BrokenLockFreeNoScatter", "SC008") in codes_by_unit
+    assert ("BrokenSimpleSkipRound", "SC001") in codes_by_unit
+    assert not any(
+        unit == "BrokenSimpleUndercount" for unit, _ in codes_by_unit
+    )
+
+
+def test_repair_restores_the_strategy_registry():
+    """Executing repaired module source re-registers strategies; the
+    harness must snapshot and restore so mutants stay seeded."""
+    from repro.sync.base import get_strategy, strategy_names
+
+    before = strategy_names()
+    broken_cls = type(get_strategy("broken-simple-skipround"))
+    repair_mutant("broken-simple-skipround")
+    assert strategy_names() == before
+    assert type(get_strategy("broken-simple-skipround")) is broken_cls
+
+
+def test_verify_repairs_closes_the_loop():
+    """Every mutant repairs back to passing: lint-clean, sanitizer-clean
+    (PR 1), and bit-identical under both engines (PR 6)."""
+    assert verify_repairs(schedules=4) == []

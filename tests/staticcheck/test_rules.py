@@ -22,7 +22,9 @@ class SkipSync(SyncStrategy):
         if ctx.block_id == ctx.num_blocks - 1:
             return
         yield from ctx.atomic_add(self._m, 0, 1)
-        yield from ctx.spin_until(self._m, lambda: self._m.data[0] >= 1, "go")
+        yield from ctx.spin_until(
+            self._m, lambda: self._m.data[0] >= 1, "go", spec=WaitSpec(1, lo=0)
+        )
 """
 
 # Near miss: same early return, but on round index — every block takes
@@ -33,7 +35,9 @@ class RoundGateSync(SyncStrategy):
         if round_idx < 0:
             return
         yield from ctx.atomic_add(self._m, 0, 1)
-        yield from ctx.spin_until(self._m, lambda: self._m.data[0] >= 1, "go")
+        yield from ctx.spin_until(
+            self._m, lambda: self._m.data[0] >= 1, "go", spec=WaitSpec(1, lo=0)
+        )
 """
 
 # Near miss: block-dependent *asymmetric work* that still reaches the
@@ -43,7 +47,9 @@ class CheckerSync(SyncStrategy):
     def barrier(self, ctx, round_idx):
         if ctx.block_id == 0:
             yield from ctx.gwrite(self._out, 0, 1)
-        yield from ctx.spin_until(self._out, lambda: self._out.data[0] >= 1, "go")
+        yield from ctx.spin_until(
+            self._out, lambda: self._out.data[0] >= 1, "go", spec=WaitSpec(1, lo=0)
+        )
         yield from ctx.gwrite(self._out, 0, 1)
 """
 
@@ -134,7 +140,9 @@ def kernel(ctx):
 
 SC003_NEG = """
 def kernel(ctx):
-    yield from ctx.spin_until(flags, lambda: flags.data[0] >= 1, "fresh")
+    yield from ctx.spin_until(
+        flags, lambda: flags.data[0] >= 1, "fresh", spec=WaitSpec(1, lo=0)
+    )
 """
 
 SC003_POS_WHILE = """
@@ -202,7 +210,8 @@ class ResetSync(SyncStrategy):
     def barrier(self, ctx, round_idx):
         yield from ctx.atomic_add(self._count, 0, 1)
         yield from ctx.spin_until(
-            self._count, lambda: self._count.data[0] >= 1, "all in"
+            self._count, lambda: self._count.data[0] >= 1, "all in",
+            spec=WaitSpec(1, lo=0),
         )
         yield from ctx.gwrite(self._count, 0, 0)
 """
@@ -214,7 +223,8 @@ class PublishSync(SyncStrategy):
     def barrier(self, ctx, round_idx):
         yield from ctx.atomic_add(self._count, 0, 1)
         yield from ctx.spin_until(
-            self._count, lambda: self._count.data[0] >= 1, "all in"
+            self._count, lambda: self._count.data[0] >= 1, "all in",
+            spec=WaitSpec(1, lo=0),
         )
         yield from ctx.gwrite(self._result, 0, 0)
 """
@@ -225,7 +235,9 @@ class UnderCountSync(SyncStrategy):
         n = ctx.num_blocks
         goal = round_idx * n + 1
         yield from ctx.atomic_add(self._m, 0, 1)
-        yield from ctx.spin_until(self._m, lambda: self._m.data[0] >= goal, "go")
+        yield from ctx.spin_until(
+            self._m, lambda: self._m.data[0] >= goal, "go", spec=WaitSpec(goal, lo=0)
+        )
 """
 
 SC005_NEG_GOAL = """
@@ -234,7 +246,9 @@ class AccumulateSync(SyncStrategy):
         n = ctx.num_blocks
         goal = (round_idx + 1) * n
         yield from ctx.atomic_add(self._m, 0, 1)
-        yield from ctx.spin_until(self._m, lambda: self._m.data[0] >= goal, "go")
+        yield from ctx.spin_until(
+            self._m, lambda: self._m.data[0] >= goal, "go", spec=WaitSpec(goal, lo=0)
+        )
 """
 
 
@@ -361,7 +375,8 @@ class NoScatterSync(SyncStrategy):
     def barrier(self, ctx, round_idx):
         yield from ctx.gwrite(self._arr_in, ctx.block_id, 1)
         yield from ctx.spin_until(
-            self._arr_out, lambda: self._arr_out.data[0] >= 1, "released"
+            self._arr_out, lambda: self._arr_out.data[0] >= 1, "released",
+            spec=WaitSpec(1, lo=0),
         )
 """
 
@@ -371,7 +386,8 @@ class ScatterSync(SyncStrategy):
         yield from ctx.gwrite(self._arr_in, ctx.block_id, 1)
         yield from self._scatter(ctx)
         yield from ctx.spin_until(
-            self._arr_out, lambda: self._arr_out.data[0] >= 1, "released"
+            self._arr_out, lambda: self._arr_out.data[0] >= 1, "released",
+            spec=WaitSpec(1, lo=0),
         )
 
     def _scatter(self, ctx):
@@ -395,6 +411,60 @@ def test_sc008_accepts_scatter_in_helper_method():
     assert codes(SC008_NEG_CLASS) == []
 
 
+# -- SC009: spin site without a WaitSpec --------------------------------------
+
+SC009_POS = """
+class NoSpecSync(SyncStrategy):
+    def barrier(self, ctx, round_idx):
+        goal = round_idx + 1
+        yield from ctx.atomic_add(self._m, 0, 1)
+        yield from ctx.spin_until(
+            self._m, lambda: self._m.data[0] >= goal, "go"
+        )
+"""
+
+SC009_NEG = """
+class SpecSync(SyncStrategy):
+    def barrier(self, ctx, round_idx):
+        goal = round_idx + 1
+        yield from ctx.atomic_add(self._m, 0, 1)
+        yield from ctx.spin_until(
+            self._m, lambda: self._m.data[0] >= goal, "go",
+            spec=WaitSpec(goal, lo=0),
+        )
+"""
+
+SC009_NEG_UNCONVERTIBLE = """
+class OpaqueSync(SyncStrategy):
+    def barrier(self, ctx, round_idx):
+        yield from ctx.atomic_add(self._m, 0, 1)
+        yield from ctx.spin_until(
+            self._m, lambda: self._check(round_idx), "opaque"
+        )
+"""
+
+
+def test_sc009_flags_spin_without_wait_spec():
+    assert codes(SC009_POS) == ["SC009"]
+
+
+def test_sc009_accepts_declared_wait_spec():
+    assert codes(SC009_NEG) == []
+
+
+def test_sc009_skips_predicates_it_cannot_convert():
+    # No mechanical threshold shape -> no fix is possible, so no advice.
+    assert codes(SC009_NEG_UNCONVERTIBLE) == []
+
+
+def test_sc009_is_advice_severity():
+    report = lint_source(SC009_POS, "<fixture>")
+    assert [f.severity for f in report.findings] == ["advice"]
+    assert report.findings[0].fixes  # carries the insertion fix
+    assert report.exit_code(strict=False) == 0
+    assert report.exit_code(strict=True) == 1
+
+
 # -- shipped code stays clean -------------------------------------------------
 
 
@@ -410,6 +480,7 @@ def test_every_positive_fixture_reports_exactly_one_code():
         SC007_POS,
         SC008_POS_EFFECT,
         SC008_POS_CLASS,
+        SC009_POS,
     ]
     for src in positives:
         found = codes(src)
