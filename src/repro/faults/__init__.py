@@ -14,6 +14,13 @@ atomics, corrupted stores.
 * :mod:`repro.faults.chaos` — :func:`chaos_campaign`: N seeded plans
   against the full retry/degrade runtime, cross-checked against the
   sanitizer's detectors; any unexplained outcome fails the campaign.
+* :mod:`repro.faults.crashpoints` — :class:`CrashPlan`: named crash
+  points inside the *host-side* durability layer (job table, journal,
+  cache, reaper, worker), fired deterministically by a seeded plan.
+* :mod:`repro.faults.crashtest` — the crash matrix: every registered
+  crash point fired against a live multi-host worker fleet, recovery
+  invariants asserted (import it directly; it pulls in the service
+  stack, so the package does not import it eagerly).
 
 The recovery policies themselves (retry with backoff, graceful
 degradation) live in :mod:`repro.harness.resilient`, next to the
@@ -21,6 +28,15 @@ runner they wrap.
 """
 
 from repro.faults.chaos import ChaosReport, ChaosRunRecord, chaos_campaign
+from repro.faults.crashpoints import (
+    CRASH_ACTIONS,
+    CRASHPOINTS,
+    CrashPlan,
+    Crashpoint,
+    CrashSpec,
+    FiredCrash,
+    register_crashpoint,
+)
 from repro.faults.plan import (
     FAULT_KINDS,
     PERSISTENT_KINDS,
@@ -34,15 +50,22 @@ from repro.faults.watchdog import DEFAULT_BARRIER_DEADLINE_NS, BarrierWatchdog
 
 __all__ = [
     "BarrierWatchdog",
+    "CRASH_ACTIONS",
+    "CRASHPOINTS",
     "ChaosReport",
     "ChaosRunRecord",
+    "CrashPlan",
+    "Crashpoint",
+    "CrashSpec",
     "DEFAULT_BARRIER_DEADLINE_NS",
     "FAULT_KINDS",
     "FaultPlan",
     "FaultSpec",
+    "FiredCrash",
     "FiredFault",
     "PERSISTENT_KINDS",
     "TRANSIENT_KINDS",
     "chaos_campaign",
     "fault_plans",
+    "register_crashpoint",
 ]

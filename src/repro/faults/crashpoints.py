@@ -1,0 +1,478 @@
+"""Named crash points inside the durability-critical paths.
+
+:class:`~repro.faults.plan.FaultPlan` injects adversity into the
+*simulated* world — stragglers, hung blocks, dropped atomics.  This
+module applies the same discipline to the *host-side* durability layer
+(the sweep service's SQLite job table, the write-ahead run journal, the
+result cache's atomic renames, the reaper and the worker loop): every
+point where a crash could lose or duplicate work is **registered by
+name**, and a seeded, replayable :class:`CrashPlan` can fire a fault at
+any of them:
+
+* ``kill`` — SIGKILL this process at the point: no cleanup, no atexit,
+  the worst-case crash (what the crash matrix mostly fires);
+* ``raise-operational`` — raise ``sqlite3.OperationalError("database is
+  locked ...")``, the multi-host contention error the job table must
+  absorb with retries;
+* ``raise-oserror`` — raise ``OSError(EIO)``, a transient I/O failure
+  that must spend retry budget, never mark a job failed;
+* ``torn-write`` — write only a byte prefix of the pending record
+  (deliberately allowed to split a UTF-8 multi-byte sequence), fsync
+  the torn bytes, then SIGKILL — the exact tail the journal's replay
+  must tolerate.
+
+Arming is explicit and process-local (:func:`arm` / :func:`disarm` /
+the :func:`armed` context manager), plus **cross-process** via the
+``REPRO_CRASHPOINTS`` environment variable (:meth:`CrashPlan.to_env`),
+which is how the crash-matrix harness (:mod:`repro.faults.crashtest`)
+arms a worker *subprocess* it is about to murder.  An unarmed process
+pays one ``is None`` check per point.
+
+Every site calls :func:`fire` (or :func:`fire_write` for write sites)
+with its registered name; firing is deterministic — a spec names the
+point and the 1-based *hit* at which it triggers — so the same plan
+fires at the same operation on every replay, the same ``FaultPlan``
+idiom the chaos campaign runs on.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import random
+import signal
+import sqlite3
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import IO, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import FaultError
+
+__all__ = [
+    "CRASH_ACTIONS",
+    "CRASHPOINTS",
+    "ENV_VAR",
+    "CrashPlan",
+    "CrashSpec",
+    "Crashpoint",
+    "FiredCrash",
+    "arm",
+    "armed",
+    "armed_plan",
+    "clock_skew_s",
+    "disarm",
+    "fire",
+    "fire_write",
+    "register_crashpoint",
+    "skewed_clock",
+]
+
+#: crash action → one-line description (mirrors ``plan.FAULT_KINDS``).
+CRASH_ACTIONS: Dict[str, str] = {
+    "kill": "SIGKILL this process at the point (no cleanup of any kind)",
+    "raise-operational": "raise sqlite3.OperationalError('database is locked')",
+    "raise-oserror": "raise OSError(EIO) — a transient host I/O failure",
+    "torn-write": "write a byte prefix of the record, fsync it, then SIGKILL",
+}
+
+#: environment variable carrying a serialized plan into subprocesses.
+ENV_VAR = "REPRO_CRASHPOINTS"
+
+
+@dataclass(frozen=True)
+class Crashpoint:
+    """One registered injection site.
+
+    ``actions`` is the subset of :data:`CRASH_ACTIONS` that makes sense
+    at this site (a pure read point cannot tear a write).  ``scenario``
+    tells the crash-matrix harness which script reaches the point:
+    ``"success"`` (a job that completes), ``"failure"`` (a job whose
+    execution raises a deterministic error), ``"preempt"`` (a SIGTERM
+    drain mid-sweep), ``"reaper"`` (an expired-lease recovery sweep) or
+    ``"resume"`` (a journal replay after an earlier interrupted
+    attempt).
+    """
+
+    name: str
+    description: str
+    actions: Tuple[str, ...] = ("kill",)
+    scenario: str = "success"
+
+
+#: point name → :class:`Crashpoint`, in registration order.  Populated
+#: at import time by the instrumented modules (``repro.service.jobs``,
+#: ``repro.parallel.journal``, ``repro.parallel.cache``,
+#: ``repro.service.worker``, ``repro.service.reaper``).
+CRASHPOINTS: Dict[str, Crashpoint] = {}
+
+_SCENARIOS = ("success", "failure", "preempt", "reaper", "resume")
+
+
+def register_crashpoint(
+    name: str,
+    description: str,
+    *,
+    actions: Sequence[str] = ("kill",),
+    scenario: str = "success",
+) -> str:
+    """Register an injection site; returns ``name`` (assign it to a
+    module constant and pass that constant to :func:`fire`).
+
+    Re-registration with identical metadata is a no-op (modules may be
+    re-imported under test runners); changing an existing point's
+    metadata is a typed :class:`~repro.errors.FaultError`.
+    """
+    for action in actions:
+        if action not in CRASH_ACTIONS:
+            raise FaultError(
+                f"crash point {name!r}: unknown action {action!r}; "
+                f"known: {', '.join(sorted(CRASH_ACTIONS))}"
+            )
+    if scenario not in _SCENARIOS:
+        raise FaultError(
+            f"crash point {name!r}: unknown scenario {scenario!r}; "
+            f"known: {', '.join(_SCENARIOS)}"
+        )
+    point = Crashpoint(name, description, tuple(actions), scenario)
+    existing = CRASHPOINTS.get(name)
+    if existing is not None and existing != point:
+        raise FaultError(
+            f"crash point {name!r} is already registered with different "
+            "metadata; points are append-only"
+        )
+    CRASHPOINTS[name] = point
+    return name
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """One planned crash: fire ``action`` the ``hit``-th time ``point``
+    is reached in this process.
+
+    ``keep_bytes`` applies to ``torn-write`` only: how many bytes of
+    the pending record survive (0 keeps the default, half the record —
+    chosen to routinely split multi-byte sequences).
+    """
+
+    point: str
+    action: str = "kill"
+    hit: int = 1
+    keep_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.action not in CRASH_ACTIONS:
+            raise FaultError(
+                f"unknown crash action {self.action!r}; "
+                f"known: {', '.join(sorted(CRASH_ACTIONS))}"
+            )
+        if self.hit < 1:
+            raise FaultError(f"hit must be >= 1, got {self.hit}")
+        if self.keep_bytes < 0:
+            raise FaultError(f"keep_bytes must be >= 0, got {self.keep_bytes}")
+
+    def describe(self) -> str:
+        """Compact human identity of this crash."""
+        extra = f", keep {self.keep_bytes}B" if self.action == "torn-write" else ""
+        return f"{self.action}@{self.point}#{self.hit}{extra}"
+
+
+@dataclass(frozen=True)
+class FiredCrash:
+    """One crash spec that actually triggered (recorded just before the
+    action takes effect — a ``kill`` leaves no one to read it, but a
+    raised error's handler can)."""
+
+    point: str
+    action: str
+    hit: int
+    pid: int
+
+
+class CrashPlan:
+    """A deterministic set of :class:`CrashSpec` plus a clock skew.
+
+    ``clock_skew_s`` shifts every injectable service clock in the armed
+    process (see :func:`skewed_clock`) — the knob that models a host
+    whose wall clock runs fast or slow against the fleet.
+
+    The plan is replayable by construction: hits are counted per point
+    per process, and firing is a pure function of (point, hit count),
+    never of wall-clock time or scheduling.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[CrashSpec] = (),
+        *,
+        seed: Optional[int] = None,
+        clock_skew_s: float = 0.0,
+    ):
+        self.specs: List[CrashSpec] = list(specs)
+        self.seed = seed
+        self.clock_skew_s = clock_skew_s
+        #: crashes that actually triggered, in firing order.
+        self.fired: List[FiredCrash] = []
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        *,
+        points: Optional[Sequence[str]] = None,
+        max_hit: int = 3,
+    ) -> "CrashPlan":
+        """A one-crash plan drawn deterministically from ``seed``.
+
+        ``points`` restricts the draw (default: every registered
+        point).  The action is drawn from the point's supported set,
+        the hit from ``1..max_hit`` — same seed, same crash, always.
+        """
+        pool = sorted(points if points is not None else CRASHPOINTS)
+        if not pool:
+            raise FaultError(
+                "no crash points to draw from (import the instrumented "
+                "modules before generating a plan)"
+            )
+        for name in pool:
+            if name not in CRASHPOINTS:
+                raise FaultError(f"unknown crash point {name!r}")
+        rng = random.Random(seed)
+        name = rng.choice(pool)
+        action = rng.choice(list(CRASHPOINTS[name].actions))
+        return cls(
+            [CrashSpec(name, action, hit=rng.randint(1, max_hit))], seed=seed
+        )
+
+    def match(self, point: str, hit: int) -> Optional[CrashSpec]:
+        """The first spec due at this (point, hit), or ``None``."""
+        for spec in self.specs:
+            if spec.point == point and spec.hit == hit:
+                return spec
+        return None
+
+    @property
+    def descriptions(self) -> List[str]:
+        """One line per planned crash."""
+        return [spec.describe() for spec in self.specs]
+
+    # -- cross-process transport --------------------------------------------
+
+    def to_env(self) -> str:
+        """Serialize for ``env[ENV_VAR]`` — how a worker subprocess is
+        armed before it is spawned."""
+        return json.dumps(
+            {
+                "specs": [
+                    {
+                        "point": s.point,
+                        "action": s.action,
+                        "hit": s.hit,
+                        "keep_bytes": s.keep_bytes,
+                    }
+                    for s in self.specs
+                ],
+                "seed": self.seed,
+                "clock_skew_s": self.clock_skew_s,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_env(cls, text: str) -> "CrashPlan":
+        """Rebuild a plan from :meth:`to_env` output; malformed input is
+        a typed :class:`~repro.errors.FaultError` (an armed-but-broken
+        environment must fail loudly, not silently disarm)."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultError(
+                f"{ENV_VAR} does not hold a serialized CrashPlan: {exc}"
+            ) from exc
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get("specs"), list
+        ):
+            raise FaultError(
+                f"{ENV_VAR} must hold an object with a 'specs' list, "
+                f"got: {text[:120]!r}"
+            )
+        specs = [
+            CrashSpec(
+                point=raw["point"],
+                action=raw.get("action", "kill"),
+                hit=int(raw.get("hit", 1)),
+                keep_bytes=int(raw.get("keep_bytes", 0)),
+            )
+            for raw in payload["specs"]
+        ]
+        return cls(
+            specs,
+            seed=payload.get("seed"),
+            clock_skew_s=float(payload.get("clock_skew_s", 0.0)),
+        )
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CrashPlan(seed={self.seed}, [{', '.join(self.descriptions)}], "
+            f"skew={self.clock_skew_s}s)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Armed state (process-local)
+# ---------------------------------------------------------------------------
+
+_LOCK = threading.Lock()
+_PLAN: Optional[CrashPlan] = None
+_HITS: Dict[str, int] = {}
+
+
+def _kill_self() -> None:  # pragma: no cover - replaced under unit test
+    """The worst-case crash: SIGKILL, bypassing every cleanup path."""
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def arm(plan: CrashPlan) -> None:
+    """Arm ``plan`` in this process (resets hit counters)."""
+    global _PLAN
+    with _LOCK:
+        _PLAN = plan
+        _HITS.clear()
+
+
+def disarm() -> None:
+    """Disarm; every :func:`fire` is a no-op again."""
+    global _PLAN
+    with _LOCK:
+        _PLAN = None
+        _HITS.clear()
+
+
+def armed_plan() -> Optional[CrashPlan]:
+    """The currently armed plan, or ``None``."""
+    return _PLAN
+
+
+@contextmanager
+def armed(plan: CrashPlan) -> Iterator[CrashPlan]:
+    """Scoped arming for tests: arms on entry, disarms on exit."""
+    arm(plan)
+    try:
+        yield plan
+    finally:
+        disarm()
+
+
+def clock_skew_s() -> float:
+    """The armed plan's clock skew (0.0 when unarmed)."""
+    plan = _PLAN
+    return plan.clock_skew_s if plan is not None else 0.0
+
+
+def skewed_clock(
+    clock: Callable[[], float], skew_s: Optional[float] = None
+) -> Callable[[], float]:
+    """Wrap ``clock`` to run ``skew_s`` seconds ahead (negative: behind).
+
+    With ``skew_s=None`` the armed plan's skew applies — zero-cost
+    identity when unarmed or unskewed.
+    """
+    offset = clock_skew_s() if skew_s is None else skew_s
+    if offset == 0.0:
+        return clock
+    return lambda: clock() + offset
+
+
+def _take(point: str) -> Optional[CrashSpec]:
+    """Count one hit of ``point``; return the due spec, if any."""
+    plan = _PLAN
+    if plan is None:
+        return None
+    if point not in CRASHPOINTS:
+        raise FaultError(
+            f"fire() called for unregistered crash point {point!r}; "
+            "register_crashpoint() it first"
+        )
+    with _LOCK:
+        hit = _HITS.get(point, 0) + 1
+        _HITS[point] = hit
+    spec = plan.match(point, hit)
+    if spec is None:
+        return None
+    plan.fired.append(FiredCrash(point, spec.action, hit, os.getpid()))
+    return spec
+
+
+def fire(point: str) -> None:
+    """One instrumented site: crash/raise here when the armed plan says.
+
+    No-op (one ``is None`` check) when unarmed.  ``torn-write`` specs
+    are ignored at plain fire sites — only :func:`fire_write` can tear.
+    """
+    spec = _take(point)
+    if spec is None:
+        return
+    if spec.action == "kill":
+        _kill_self()
+    elif spec.action == "raise-operational":
+        raise sqlite3.OperationalError(
+            f"database is locked [crashpoint {point}]"
+        )
+    elif spec.action == "raise-oserror":
+        raise OSError(
+            errno.EIO, f"injected I/O error [crashpoint {point}]"
+        )
+    # torn-write at a non-write site: nothing to tear; record and go on.
+
+
+def fire_write(point: str, handle: IO[str], text: str) -> None:
+    """Write ``text`` to ``handle``, honoring a due crash at ``point``.
+
+    The torn-write action flushes the handle, appends only a byte
+    prefix of the UTF-8 encoding directly to the file descriptor
+    (``keep_bytes``, default half the record — deliberately free to
+    split a multi-byte sequence), fsyncs the torn bytes so they
+    *survive* the crash, then SIGKILLs.  Other actions behave as in
+    :func:`fire`, before any byte is written.
+    """
+    spec = _take(point)
+    if spec is None or spec.action == "torn-write":
+        if spec is not None:
+            handle.flush()
+            data = text.encode("utf-8")
+            keep = spec.keep_bytes if 0 < spec.keep_bytes < len(data) else (
+                len(data) // 2
+            )
+            os.write(handle.fileno(), data[:keep])
+            os.fsync(handle.fileno())
+            _kill_self()
+            return  # pragma: no cover - only under a patched _kill_self
+        handle.write(text)
+        return
+    if spec.action == "kill":
+        _kill_self()
+    elif spec.action == "raise-operational":
+        raise sqlite3.OperationalError(
+            f"database is locked [crashpoint {point}]"
+        )
+    elif spec.action == "raise-oserror":
+        raise OSError(errno.EIO, f"injected I/O error [crashpoint {point}]")
+
+
+def _arm_from_env() -> None:
+    """Arm from ``REPRO_CRASHPOINTS`` when set (subprocess transport).
+
+    Runs once at import, which is how a worker spawned by the crash
+    matrix comes up already armed — before it touches the job table.
+    """
+    text = os.environ.get(ENV_VAR)
+    if text:
+        arm(CrashPlan.from_env(text))
+
+
+_arm_from_env()
+

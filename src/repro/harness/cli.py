@@ -47,6 +47,15 @@ Extras beyond the paper:
   dedup, lease-based worker recovery, and graceful SIGTERM drain
   (docs/service.md); ``--port``, ``--workers``, ``--lease-s``,
   ``--retry-budget``, ``--max-queued``, ``--service-dir``
+* ``crashtest``  — run the crash matrix against the sweep service: fire
+  every registered crash point (or ``--crash-points``/
+  ``--crash-actions`` subsets) in a live victim worker on one simulated
+  host while a second host stands by, then prove recovery — no job
+  lost, none double-completed, lease takeover by the survivor, final
+  envelope byte-identical to an undisturbed run (docs/crashtest.md);
+  ``--budget-s`` bounds the wall clock, ``--skew-s`` sets the injected
+  clock skew for the skewed-host configs; exits 1 unless every
+  scenario passed
 
 Device flag (docs/topology.md): ``--preset NAME`` runs the whole
 battery against a registered device preset (default ``gtx280``, the
@@ -76,6 +85,7 @@ import time
 from typing import List, Optional
 
 from repro.errors import InterruptedSweepError
+from repro.faults.crashpoints import CRASH_ACTIONS
 from repro.gpu.presets import get_preset, preset_names
 from repro.harness import experiments, report
 
@@ -386,6 +396,7 @@ def _main(argv: Optional[List[str]] = None) -> int:
             "lint",
             "tune",
             "serve",
+            "crashtest",
             "all",
         ],
     )
@@ -619,6 +630,47 @@ def _main(argv: Optional[List[str]] = None) -> int:
         help="serve: bounded-queue capacity; a full queue answers 429 "
         "(default 256)",
     )
+    chaos_grp = parser.add_argument_group(
+        "crashtest", "the service crash matrix (docs/crashtest.md)"
+    )
+    chaos_grp.add_argument(
+        "--budget-s",
+        type=float,
+        default=900.0,
+        help="crashtest: wall-clock budget in seconds; scenarios past "
+        "it are reported as skipped and fail the matrix (default 900)",
+    )
+    chaos_grp.add_argument(
+        "--crash-lease-s",
+        type=float,
+        default=1.0,
+        help="crashtest: worker lease duration (default 1.0 — short, "
+        "so lease-expiry recovery is exercised quickly)",
+    )
+    chaos_grp.add_argument(
+        "--skew-s",
+        type=float,
+        default=0.6,
+        help="crashtest: injected clock skew for the skewed-host "
+        "configs (default 0.6 — more than a third of the lease)",
+    )
+    chaos_grp.add_argument(
+        "--crash-points",
+        nargs="+",
+        default=None,
+        metavar="POINT",
+        help="crashtest: restrict the matrix to these registered crash "
+        "points (default: all of them)",
+    )
+    chaos_grp.add_argument(
+        "--crash-actions",
+        nargs="+",
+        default=None,
+        choices=sorted(CRASH_ACTIONS),
+        metavar="ACTION",
+        help="crashtest: restrict the matrix to these actions "
+        f"({', '.join(sorted(CRASH_ACTIONS))})",
+    )
     parser.add_argument(
         "--save-sweeps",
         metavar="DIR",
@@ -677,6 +729,20 @@ def _main(argv: Optional[List[str]] = None) -> int:
             worker_jobs=args.jobs,
             use_cache=args.cache,
         )
+
+    if want == "crashtest":
+        from repro.faults.crashtest import crash_campaign
+
+        crash_report = crash_campaign(
+            points=args.crash_points,
+            actions=args.crash_actions,
+            budget_s=args.budget_s,
+            lease_s=args.crash_lease_s,
+            skew_s=args.skew_s,
+            log=lambda msg: print(msg, file=sys.stderr),
+        )
+        print(crash_report.render())
+        return 0 if crash_report.ok else 1
 
     if want == "all" and args.resume is not None:
         # 'all' runs many batches; each resumes from its own journal.

@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import Any, Dict, Tuple, Union
 
 from repro.errors import ConfigError
+from repro.faults import crashpoints
 from repro.serialization import canonical_json, plain
 
 __all__ = ["CACHE_SCHEMA_VERSION", "CacheStats", "DEFAULT_CACHE_DIR", "ResultCache", "cache_key"]
@@ -39,6 +40,23 @@ CACHE_SCHEMA_VERSION = 1
 #: default on-disk location (relative to the invocation directory, which
 #: for the CLI and CI is the repo root).
 DEFAULT_CACHE_DIR = Path("benchmarks") / "out" / "cache"
+
+_PUT_PRE_RENAME = crashpoints.register_crashpoint(
+    "cache.put.pre-rename",
+    "the entry's temp file is written and fsync'd but not yet renamed "
+    "over the final path — a crash here must leave only a stray .tmp, "
+    "never a half-entry a later run would trust",
+    actions=("kill", "raise-oserror"),
+    scenario="success",
+)
+
+_PUT_POST_RENAME = crashpoints.register_crashpoint(
+    "cache.put.post-rename",
+    "the atomic rename just landed — the entry is durable but the "
+    "putter never learns it succeeded",
+    actions=("kill", "raise-oserror"),
+    scenario="success",
+)
 
 
 def cache_key(worker: str, payload: Dict[str, Any]) -> str:
@@ -162,7 +180,9 @@ class ResultCache:
                 handle.write(json.dumps(entry))
                 handle.flush()
                 os.fsync(handle.fileno())
+            crashpoints.fire(_PUT_PRE_RENAME)
             tmp.replace(path)
+            crashpoints.fire(_PUT_POST_RENAME)
         except BaseException:
             try:
                 tmp.unlink()

@@ -177,8 +177,6 @@ class Executor:
         ``journal_dir/<run-id>/journal.jsonl`` and SIGINT/SIGTERM
         raise a resumable
         :class:`~repro.errors.InterruptedSweepError`.
-    fsync_every:
-        Journal fsync batching (default 8 completions per fsync).
     poison_kills:
         Attributed worker-process kills before a payload is
         quarantined as poison (default 2).
@@ -200,7 +198,6 @@ class Executor:
         max_inflight: Optional[int] = None,
         progress: Optional[ProgressFn] = None,
         journal_dir: Optional[Union[str, Path]] = None,
-        fsync_every: int = 8,
         poison_kills: int = 2,
         on_poison: str = "raise",
     ):
@@ -214,8 +211,6 @@ class Executor:
             raise ConfigError(
                 f"max_inflight must be >= 1, got {max_inflight}"
             )
-        if fsync_every < 1:
-            raise ConfigError(f"fsync_every must be >= 1, got {fsync_every}")
         if poison_kills < 1:
             raise ConfigError(f"poison_kills must be >= 1, got {poison_kills}")
         if on_poison not in ("raise", "mark"):
@@ -229,7 +224,6 @@ class Executor:
         self.max_inflight = max_inflight or 4 * jobs
         self.progress = progress
         self.journal_dir = Path(journal_dir) if journal_dir is not None else None
-        self.fsync_every = fsync_every
         self.poison_kills = poison_kills
         self.on_poison = on_poison
         #: tasks actually executed (cache misses) across this instance.
@@ -280,7 +274,6 @@ class Executor:
         replayed: Dict[int, JournalEntry] = {}
         if journal_root is not None:
             journal = RunJournal(journal_root, run_id)
-            journal.fsync_every = self.fsync_every
             stats.journal_path = str(journal.path)
             if resume is not None:
                 if resume not in ("auto", run_id):

@@ -15,14 +15,23 @@ The journal is one JSONL file per run under
   :class:`~repro.errors.JournalError`);
 * every later line records one task's completion — index, status
   (``"ok"`` or ``"poison"``), value, retry count — appended as a single
-  ``write`` and fsync'd in batches (``fsync_every``), so a crash loses
-  at most the torn trailing line, never a fully recorded result.
+  ``write`` and **fsync'd before the record counts as durable**, so a
+  crash loses at most the torn trailing line, never a fully recorded
+  result.
 
-Loading tolerates exactly that torn tail: parsing stops at the first
-undecodable line and everything before it is trusted — write-ahead
-semantics.  Resume (:meth:`Executor.map(..., resume=...)
-<repro.parallel.Executor.map>`) replays loaded entries by submission
-index and executes only the remainder.
+Loading tolerates exactly that torn tail — including a tear that
+splits a UTF-8 multi-byte sequence mid-character, which is what a real
+power cut leaves behind: lines are decoded individually from bytes, and
+parsing stops at the first undecodable or unparsable line; everything
+before it is trusted — write-ahead semantics.  Resume
+(:meth:`Executor.map(..., resume=...) <repro.parallel.Executor.map>`)
+replays loaded entries by submission index and executes only the
+remainder.
+
+The append and the replay are named crash points
+(``journal.append`` — which can deliberately tear a record's bytes —
+and ``journal.replay``; see :mod:`repro.faults.crashpoints`), so the
+crash matrix proves both tolerances instead of assuming them.
 """
 
 from __future__ import annotations
@@ -36,6 +45,7 @@ from pathlib import Path
 from typing import Any, Dict, IO, Optional, Sequence, Tuple, Union
 
 from repro.errors import JournalError
+from repro.faults import crashpoints
 from repro.serialization import canonical_json, plain
 
 __all__ = [
@@ -61,6 +71,22 @@ DEFAULT_JOURNAL_DIR = Path("benchmarks") / "out" / "journal"
 _RUN_ID_HEX_CHARS = 16
 
 logger = logging.getLogger(__name__)
+
+_APPEND_POINT = crashpoints.register_crashpoint(
+    "journal.append",
+    "one task-completion record is being appended — a torn or lost "
+    "tail line must cost one task's re-execution, nothing more",
+    actions=("kill", "raise-oserror", "torn-write"),
+    scenario="success",
+)
+
+_REPLAY_POINT = crashpoints.register_crashpoint(
+    "journal.replay",
+    "an existing journal is being replayed for a resume — a crash here "
+    "must leave the journal replayable again",
+    actions=("kill", "raise-oserror"),
+    scenario="resume",
+)
 
 
 def run_id_for(worker: str, payloads: Sequence[Dict[str, Any]]) -> str:
@@ -109,13 +135,11 @@ class RunJournal:
         self.root = Path(root)
         self.run_id = run_id
         self.path = self.root / run_id / "journal.jsonl"
-        self.fsync_every = 8
         #: duplicate index records tolerated by the most recent
         #: :meth:`load` (0 for a single-writer journal; positive when a
         #: lease requeue produced overlapping writers).
         self.last_load_duplicates = 0
         self._handle: Optional[IO[str]] = None
-        self._unsynced = 0
 
     # -- reading ------------------------------------------------------------
 
@@ -132,7 +156,10 @@ class RunJournal:
         given, the expected ``worker`` and ``total`` — every mismatch
         is a typed :class:`~repro.errors.JournalError` naming the file.
         A torn trailing line (crash mid-append) truncates the replay,
-        it does not fail it.
+        it does not fail it — even when the tear split a UTF-8
+        multi-byte sequence, so the file is not decodable as a whole:
+        lines are decoded from bytes one at a time, and the first
+        undecodable line ends the trusted prefix.
 
         Duplicate indices are *expected* under lease-based recovery:
         when a sweep-service lease expires and the job is requeued
@@ -143,13 +170,24 @@ class RunJournal:
         :attr:`last_load_duplicates` so provenance is never silent.
         """
         self.last_load_duplicates = 0
+        crashpoints.fire(_REPLAY_POINT)
         try:
-            lines = self.path.read_text().splitlines()
+            data = self.path.read_bytes()
         except OSError as exc:
             raise JournalError(
                 f"cannot read journal {self.path}: {exc}"
             ) from exc
-        if not lines:
+        raw_lines = data.split(b"\n")
+        lines: list[str] = []
+        for raw in raw_lines:
+            try:
+                lines.append(raw.decode("utf-8"))
+            except UnicodeDecodeError:
+                # A tear mid-character: the line is torn by definition.
+                # For the header that is fatal (below); for the body the
+                # torn tail simply ends the trusted prefix.
+                break
+        if not lines or not lines[0]:
             raise JournalError(f"journal {self.path} is empty (no header)")
         try:
             header = json.loads(lines[0])
@@ -216,12 +254,17 @@ class RunJournal:
 
         ``fresh=True`` truncates and writes a new header (a new batch);
         ``fresh=False`` appends to an existing, already-validated
-        journal (a resume).
+        journal (a resume) — after truncating any torn tail left by a
+        crash mid-append, so the resumed writer's first record starts
+        on a clean line instead of gluing itself onto half of the dead
+        writer's last one (which would corrupt *both* records for the
+        next replay).
         """
         self.path.parent.mkdir(parents=True, exist_ok=True)
         mode = "w" if fresh or not self.exists() else "a"
+        if mode == "a":
+            self._truncate_torn_tail()
         self._handle = open(self.path, mode, encoding="utf-8")
-        self._unsynced = 0
         if mode == "w":
             header = {
                 "journal-schema": JOURNAL_SCHEMA_VERSION,
@@ -232,8 +275,42 @@ class RunJournal:
             self._handle.write(json.dumps(header, sort_keys=True) + "\n")
             self.flush()
 
+    def _truncate_torn_tail(self) -> None:
+        """Drop bytes after the last newline (a crash mid-append).
+
+        Every complete record ends in ``\\n`` (written last), so
+        anything after the final newline is a torn record the loader
+        would ignore anyway; cutting it keeps the append point
+        line-aligned.
+        """
+        try:
+            data = self.path.read_bytes()
+        except OSError as exc:
+            raise JournalError(
+                f"cannot read journal {self.path}: {exc}"
+            ) from exc
+        keep = data.rfind(b"\n") + 1
+        if keep < len(data):
+            logger.warning(
+                "journal %s: truncating %d torn trailing byte(s) "
+                "before resuming appends",
+                self.path,
+                len(data) - keep,
+            )
+            with open(self.path, "r+b") as handle:
+                handle.truncate(keep)
+                handle.flush()
+                os.fsync(handle.fileno())
+
     def record(self, entry: JournalEntry) -> None:
-        """Append one completion as a single write; fsync in batches."""
+        """Append one completion as a single write, then fsync.
+
+        The record is not considered durable — and the caller must not
+        act as if it were (mark the task done, release a lease) — until
+        the fsync returns.  Write-ahead discipline: a crash between the
+        write and the fsync costs that one record, never a recorded
+        one.
+        """
         if self._handle is None:
             raise JournalError(
                 f"journal {self.path} is not open for writing "
@@ -241,11 +318,9 @@ class RunJournal:
             )
         body = asdict(entry)
         body["value"] = plain(body["value"])
-        self._handle.write(json.dumps(body, sort_keys=True) + "\n")
-        self._handle.flush()
-        self._unsynced += 1
-        if self._unsynced >= self.fsync_every:
-            self.flush()
+        line = json.dumps(body, sort_keys=True) + "\n"
+        crashpoints.fire_write(_APPEND_POINT, self._handle, line)
+        self.flush()
 
     def flush(self) -> None:
         """Force journaled lines to disk (flush + fsync)."""
@@ -253,7 +328,6 @@ class RunJournal:
             return
         self._handle.flush()
         os.fsync(self._handle.fileno())
-        self._unsynced = 0
 
     def close(self) -> None:
         """Flush and release the file handle (idempotent)."""

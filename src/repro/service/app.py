@@ -263,6 +263,7 @@ class ServiceApp:
             "reaper": {
                 "requeued": self.reaper.requeued,
                 "failed": self.reaper.failed,
+                "errors": self.reaper.errors,
             },
             "uptime_s": round(time.time() - self.started_at, 3),
         }

@@ -25,16 +25,31 @@ Design rules (py_experimenter's DB-backed experiment rows, adapted):
   take effect while the caller still owns the lease, so a worker whose
   lease was reaped and requeued cannot clobber the rerun — the late
   result is discarded (it is byte-identical anyway; the lease protocol
-  just keeps ownership single-writer).
+  just keeps ownership single-writer).  ``complete`` additionally
+  stamps ``completed_by`` and increments a ``completions`` counter, so
+  "no job was ever double-completed" is a *recorded* fact the crash
+  matrix can assert, not an inference.
 * **Bounded retries with exponential backoff.**  ``requeue_expired``
   (the reaper's engine) requeues an expired lease with an eligibility
   delay of ``backoff_base_s * 2**(attempts-1)`` (capped), until the
   job has used ``retry_budget`` re-executions — then it is marked
   ``failed`` with a typed, serialized ``job-failure`` envelope.
+* **Locked means retry, not crash.**  Under multi-host contention
+  SQLite surfaces ``OperationalError: database is locked`` even with a
+  busy timeout (WAL writers still serialize; a checkpoint can hold the
+  lock past the timeout).  Every transaction here runs under a capped
+  exponential-backoff retry loop (``lock_retries``), so contention
+  costs latency, never a worker crash.
 
 Every timestamp comes from an injectable ``clock`` so the lease
 lifecycle edges (heartbeat exactly at expiry, a reaper racing a late
-result) are deterministically testable.
+result) are deterministically testable — and so a crash plan can skew
+one host's clock against the fleet.
+
+Every transaction is bracketed by two named crash points
+(``jobs.<op>.pre-commit`` / ``jobs.<op>.post-commit``, see
+:mod:`repro.faults.crashpoints`): the crash matrix kills or faults a
+live worker at each of them and proves the table recovers.
 """
 
 from __future__ import annotations
@@ -43,22 +58,36 @@ import hashlib
 import json
 import sqlite3
 import time
-from contextlib import contextmanager
+from contextlib import contextmanager, suppress
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+    Union,
+)
 
 from repro.errors import ServiceError
+from repro.faults import crashpoints
 from repro.serialization import canonical_json, dump_job_failure
 
 __all__ = ["JOB_SCHEMA_VERSION", "JobTable", "job_id_for"]
 
 #: bumped whenever the row format changes; stamped in a meta table so a
 #: service restarted on an old database fails loudly, not subtly.
-JOB_SCHEMA_VERSION = 1
+#: v2 added the ``completions`` counter and ``completed_by`` stamp.
+JOB_SCHEMA_VERSION = 2
 
 #: job ids are the leading 16 hex chars of the sha256 — the same
 #: shape (and for the same reason) as the journal's run-ids.
 _JOB_ID_HEX_CHARS = 16
+
+_T = TypeVar("_T")
 
 
 def job_id_for(spec: Dict[str, Any]) -> str:
@@ -86,6 +115,8 @@ _CREATE = (
     lease_expires_at REAL,
     result           TEXT,
     error            TEXT,
+    completions      INTEGER NOT NULL DEFAULT 0,
+    completed_by     TEXT,
     updated_at       REAL NOT NULL
 )""",
     "CREATE INDEX IF NOT EXISTS jobs_state ON jobs (state, eligible_at)",
@@ -95,7 +126,8 @@ _CREATE = (
 
 _COLUMNS = (
     "id", "spec", "state", "submitted_at", "eligible_at", "attempts",
-    "lease_owner", "lease_expires_at", "result", "error", "updated_at",
+    "lease_owner", "lease_expires_at", "result", "error",
+    "completions", "completed_by", "updated_at",
 )
 
 
@@ -105,13 +137,46 @@ def _row_to_job(row: Tuple[Any, ...]) -> Dict[str, Any]:
     return job
 
 
+#: the table's transactional operations, each bracketed by a pre-commit
+#: and a post-commit crash point.  The scenario tag tells the crash
+#: matrix which script reaches the point (docs/crashtest.md).
+_OPS = {
+    "submit": "success",
+    "claim": "success",
+    "heartbeat": "success",
+    "complete": "success",
+    "fail": "failure",
+    "release": "preempt",
+    "requeue": "reaper",
+}
+
+for _op, _scenario in _OPS.items():
+    register = crashpoints.register_crashpoint
+    register(
+        f"jobs.{_op}.pre-commit",
+        f"inside the {_op} transaction, before COMMIT — the operation "
+        "must be invisible after a crash here",
+        actions=("kill", "raise-operational", "raise-oserror"),
+        scenario=_scenario,
+    )
+    register(
+        f"jobs.{_op}.post-commit",
+        f"immediately after the {_op} transaction committed — the "
+        "operation is durable but its caller never learns the outcome",
+        actions=("kill", "raise-operational", "raise-oserror"),
+        scenario=_scenario,
+    )
+
+
 class JobTable:
     """One service's durable job queue.
 
     Safe for concurrent use from many threads *and* many processes:
     every operation opens its own connection (WAL mode, busy timeout)
-    and writes inside a single transaction, so the HTTP app, the
-    reaper thread and N worker processes can hammer the same file.
+    and writes inside a single transaction — retried under capped
+    backoff when SQLite reports the database locked — so the HTTP app,
+    the reaper thread and N worker processes across several hosts can
+    hammer the same file.
     """
 
     def __init__(
@@ -124,6 +189,9 @@ class JobTable:
         backoff_cap_s: float = 60.0,
         max_queued: Optional[int] = None,
         clock: Callable[[], float] = time.time,
+        lock_retries: int = 5,
+        lock_retry_base_s: float = 0.05,
+        lock_retry_cap_s: float = 1.0,
     ):
         if lease_s <= 0:
             raise ServiceError(f"lease_s must be positive, got {lease_s}", kind="spec")
@@ -135,13 +203,20 @@ class JobTable:
             raise ServiceError(
                 f"max_queued must be >= 1, got {max_queued}", kind="spec"
             )
+        if lock_retries < 0:
+            raise ServiceError(
+                f"lock_retries must be >= 0, got {lock_retries}", kind="spec"
+            )
         self.path = Path(path)
         self.lease_s = lease_s
         self.retry_budget = retry_budget
         self.backoff_base_s = backoff_base_s
         self.backoff_cap_s = backoff_cap_s
         self.max_queued = max_queued
-        self.clock = clock
+        self.clock = crashpoints.skewed_clock(clock)
+        self.lock_retries = lock_retries
+        self.lock_retry_base_s = lock_retry_base_s
+        self.lock_retry_cap_s = lock_retry_cap_s
         self._init_db()
 
     # -- connection plumbing -------------------------------------------------
@@ -158,9 +233,57 @@ class JobTable:
         finally:
             conn.close()
 
+    @staticmethod
+    def _is_locked(exc: sqlite3.OperationalError) -> bool:
+        text = str(exc).lower()
+        return "database is locked" in text or "database table is locked" in text
+
+    def _transact(
+        self, op: Optional[str], body: Callable[[sqlite3.Connection], _T]
+    ) -> _T:
+        """Run ``body`` in one ``BEGIN IMMEDIATE`` transaction.
+
+        ``OperationalError: database is locked`` rolls back and retries
+        the whole transaction under capped exponential backoff
+        (``lock_retry_base_s * 2**attempt``, capped at
+        ``lock_retry_cap_s``, at most ``lock_retries`` retries) — the
+        multi-host contention path.  Any other error propagates after
+        rollback.  The ``jobs.<op>.pre-commit`` crash point fires just
+        before COMMIT (a crash there must make the operation
+        invisible); ``jobs.<op>.post-commit`` fires after the loop
+        exits successfully (the operation is durable, the caller never
+        hears back).  ``op=None`` (schema init) fires no points, so hit
+        counting starts at the first real operation.
+        """
+        attempt = 0
+        while True:
+            try:
+                with self._connect() as conn:
+                    conn.execute("BEGIN IMMEDIATE")
+                    try:
+                        out = body(conn)
+                        if op is not None:
+                            crashpoints.fire(f"jobs.{op}.pre-commit")
+                        conn.execute("COMMIT")
+                    except BaseException:
+                        with suppress(sqlite3.OperationalError):
+                            conn.execute("ROLLBACK")
+                        raise
+                break
+            except sqlite3.OperationalError as exc:
+                if not self._is_locked(exc) or attempt >= self.lock_retries:
+                    raise
+                delay = min(
+                    self.lock_retry_base_s * 2**attempt, self.lock_retry_cap_s
+                )
+                attempt += 1
+                time.sleep(delay)
+        if op is not None:
+            crashpoints.fire(f"jobs.{op}.post-commit")
+        return out
+
     def _init_db(self) -> None:
-        with self._connect() as conn:
-            conn.execute("BEGIN IMMEDIATE")
+        def body(conn: sqlite3.Connection) -> None:
             for statement in _CREATE:
                 conn.execute(statement)
             row = conn.execute(
@@ -172,13 +295,13 @@ class JobTable:
                     (str(JOB_SCHEMA_VERSION),),
                 )
             elif row[0] != str(JOB_SCHEMA_VERSION):
-                conn.execute("ROLLBACK")
                 raise ServiceError(
                     f"job table {self.path} has schema {row[0]}; this "
                     f"build writes version {JOB_SCHEMA_VERSION}",
                     kind="protocol",
                 )
-            conn.execute("COMMIT")
+
+        self._transact(None, body)
 
     # -- submission ----------------------------------------------------------
 
@@ -197,20 +320,18 @@ class JobTable:
         """
         job_id = job_id_for(spec)
         now = self.clock()
-        with self._connect() as conn:
-            conn.execute("BEGIN IMMEDIATE")
+
+        def body(conn: sqlite3.Connection) -> Optional[Dict[str, Any]]:
             row = conn.execute(
                 f"SELECT {','.join(_COLUMNS)} FROM jobs WHERE id=?", (job_id,)
             ).fetchone()
             if row is not None:
-                conn.execute("COMMIT")
-                return _row_to_job(row), False
+                return _row_to_job(row)
             if self.max_queued is not None:
                 queued = conn.execute(
                     "SELECT COUNT(*) FROM jobs WHERE state='queued'"
                 ).fetchone()[0]
                 if queued >= self.max_queued:
-                    conn.execute("ROLLBACK")
                     raise ServiceError(
                         f"queue is full ({queued}/{self.max_queued} jobs "
                         "queued); retry after backing off",
@@ -222,7 +343,11 @@ class JobTable:
                 "VALUES (?, ?, 'queued', ?, ?, 0, ?)",
                 (job_id, canonical_json(spec), now, now, now),
             )
-            conn.execute("COMMIT")
+            return None
+
+        existing = self._transact("submit", body)
+        if existing is not None:
+            return existing, False
         job = self.get(job_id)
         assert job is not None
         return job, True
@@ -238,15 +363,14 @@ class JobTable:
         never lease the same job.
         """
         now = self.clock()
-        with self._connect() as conn:
-            conn.execute("BEGIN IMMEDIATE")
+
+        def body(conn: sqlite3.Connection) -> Optional[Tuple[Any, ...]]:
             row = conn.execute(
                 "SELECT id FROM jobs WHERE state='queued' AND eligible_at<=? "
                 "ORDER BY submitted_at, id LIMIT 1",
                 (now,),
             ).fetchone()
             if row is None:
-                conn.execute("COMMIT")
                 return None
             job_id = row[0]
             conn.execute(
@@ -258,8 +382,10 @@ class JobTable:
             full = conn.execute(
                 f"SELECT {','.join(_COLUMNS)} FROM jobs WHERE id=?", (job_id,)
             ).fetchone()
-            conn.execute("COMMIT")
-        return _row_to_job(full)
+            return full
+
+        full = self._transact("claim", body)
+        return _row_to_job(full) if full is not None else None
 
     def heartbeat(self, job_id: str, owner: str) -> bool:
         """Extend ``owner``'s lease; returns False when the lease is gone.
@@ -273,16 +399,17 @@ class JobTable:
         rejected anyway once the reaper requeues the job).
         """
         now = self.clock()
-        with self._connect() as conn:
-            conn.execute("BEGIN IMMEDIATE")
+
+        def body(conn: sqlite3.Connection) -> int:
             cur = conn.execute(
                 "UPDATE jobs SET lease_expires_at=?, updated_at=? "
                 "WHERE id=? AND state='leased' AND lease_owner=? "
                 "AND lease_expires_at>?",
                 (now + self.lease_s, now, job_id, owner, now),
             )
-            conn.execute("COMMIT")
-        return cur.rowcount == 1
+            return cur.rowcount
+
+        return self._transact("heartbeat", body) == 1
 
     def complete(self, job_id: str, owner: str, result_text: str) -> bool:
         """Store a result and mark the job done — iff ``owner`` still
@@ -295,6 +422,11 @@ class JobTable:
         byte-identical — rejection costs nothing but keeps the
         protocol single-writer.
 
+        A successful complete stamps ``completed_by = owner`` and
+        increments ``completions``: after any crash campaign, a done
+        job must show exactly one completion, by exactly one owner —
+        the recorded proof of the no-double-completion invariant.
+
         A worker *may* complete after its deadline passed, as long as
         the reaper has not yet acted: the lease row is still owned, the
         work is done, and accepting it beats re-running.  The
@@ -302,16 +434,18 @@ class JobTable:
         commits first wins, and both outcomes are valid.
         """
         now = self.clock()
-        with self._connect() as conn:
-            conn.execute("BEGIN IMMEDIATE")
+
+        def body(conn: sqlite3.Connection) -> int:
             cur = conn.execute(
                 "UPDATE jobs SET state='done', result=?, lease_owner=NULL, "
-                "lease_expires_at=NULL, updated_at=? "
+                "lease_expires_at=NULL, completions=completions+1, "
+                "completed_by=?, updated_at=? "
                 "WHERE id=? AND state='leased' AND lease_owner=?",
-                (result_text, now, job_id, owner),
+                (result_text, owner, now, job_id, owner),
             )
-            conn.execute("COMMIT")
-        return cur.rowcount == 1
+            return cur.rowcount
+
+        return self._transact("complete", body) == 1
 
     def fail(self, job_id: str, owner: str, error_text: str) -> bool:
         """Mark the job failed with a serialized ``job-failure`` envelope.
@@ -322,16 +456,17 @@ class JobTable:
         terminal immediately.  Lease-conditional like :meth:`complete`.
         """
         now = self.clock()
-        with self._connect() as conn:
-            conn.execute("BEGIN IMMEDIATE")
+
+        def body(conn: sqlite3.Connection) -> int:
             cur = conn.execute(
                 "UPDATE jobs SET state='failed', error=?, lease_owner=NULL, "
                 "lease_expires_at=NULL, updated_at=? "
                 "WHERE id=? AND state='leased' AND lease_owner=?",
                 (error_text, now, job_id, owner),
             )
-            conn.execute("COMMIT")
-        return cur.rowcount == 1
+            return cur.rowcount
+
+        return self._transact("fail", body) == 1
 
     def release(self, job_id: str, owner: str) -> bool:
         """Hand a leased job back uncharged (graceful preemption).
@@ -342,8 +477,8 @@ class JobTable:
         failure and must not eat into the retry budget.
         """
         now = self.clock()
-        with self._connect() as conn:
-            conn.execute("BEGIN IMMEDIATE")
+
+        def body(conn: sqlite3.Connection) -> int:
             cur = conn.execute(
                 "UPDATE jobs SET state='queued', lease_owner=NULL, "
                 "lease_expires_at=NULL, attempts=attempts-1, "
@@ -351,8 +486,9 @@ class JobTable:
                 "WHERE id=? AND state='leased' AND lease_owner=?",
                 (now, now, job_id, owner),
             )
-            conn.execute("COMMIT")
-        return cur.rowcount == 1
+            return cur.rowcount
+
+        return self._transact("release", body) == 1
 
     # -- reaper-side recovery ------------------------------------------------
 
@@ -369,10 +505,10 @@ class JobTable:
         ``job-failure`` envelope recording the attempt history.
         """
         now = self.clock()
-        requeued: List[str] = []
-        failed: List[str] = []
-        with self._connect() as conn:
-            conn.execute("BEGIN IMMEDIATE")
+
+        def body(conn: sqlite3.Connection) -> Tuple[List[str], List[str]]:
+            requeued: List[str] = []
+            failed: List[str] = []
             rows = conn.execute(
                 "SELECT id, attempts FROM jobs "
                 "WHERE state='leased' AND lease_expires_at<=?",
@@ -407,8 +543,9 @@ class JobTable:
                         (now + delay, now, job_id),
                     )
                     requeued.append(job_id)
-            conn.execute("COMMIT")
-        return requeued, failed
+            return requeued, failed
+
+        return self._transact("requeue", body)
 
     # -- inspection ----------------------------------------------------------
 

@@ -11,6 +11,11 @@ nothing, so running it twice (two service instances pointed at one
 database, or a restart racing a leftover) is harmless — the
 transactional requeue means each expired lease is recovered exactly
 once.
+
+For the same reason a *failed* sweep is harmless: the periodic loop
+logs it, counts it and tries again next interval — a transient database
+error (or an injected fault at the ``reaper.sweep`` crash point) must
+never take the recovery authority down with it.
 """
 
 from __future__ import annotations
@@ -18,11 +23,20 @@ from __future__ import annotations
 import logging
 import threading
 
+from repro.faults import crashpoints
 from repro.service.jobs import JobTable
 
 __all__ = ["Reaper"]
 
 logger = logging.getLogger(__name__)
+
+_SWEEP_POINT = crashpoints.register_crashpoint(
+    "reaper.sweep",
+    "a recovery sweep is starting — a crash here must leave every "
+    "expired lease recoverable by the next sweep",
+    actions=("kill", "raise-operational", "raise-oserror"),
+    scenario="reaper",
+)
 
 
 class Reaper(threading.Thread):
@@ -35,14 +49,24 @@ class Reaper(threading.Thread):
         #: lifetime counters, surfaced by /readyz for observability.
         self.requeued = 0
         self.failed = 0
+        #: sweeps that raised (transient database trouble); the loop
+        #: survives them and retries next interval.
+        self.errors = 0
         self._stop = threading.Event()
 
     def run(self) -> None:
         while not self._stop.wait(self.interval_s):
-            self.sweep()
+            try:
+                self.sweep()
+            except Exception:
+                self.errors += 1
+                logger.exception(
+                    "reaper sweep failed; retrying in %.1fs", self.interval_s
+                )
 
     def sweep(self) -> None:
         """One recovery pass (also callable directly, e.g. at startup)."""
+        crashpoints.fire(_SWEEP_POINT)
         requeued, failed = self.table.requeue_expired()
         self.requeued += len(requeued)
         self.failed += len(failed)

@@ -21,34 +21,55 @@ Execution failures split by recoverability:
   marked ``failed`` immediately with a ``job-failure`` envelope;
 * an :class:`~repro.errors.InterruptedSweepError` (SIGTERM drain) hands
   the job back uncharged;
+* any *other* exception is an **infrastructure** failure (an I/O error,
+  a database hiccup past its retry loop, an injected fault): retrying
+  may well succeed, so the worker must NOT burn the job's ``failed``
+  state on it — it re-raises and lets the process die, which is
+  indistinguishable from a crash: the lease expires, the reaper
+  requeues, the retry budget bounds a crash-looping host;
 * a crash (SIGKILL, OOM) never reaches this code at all — that is what
   the lease + reaper recover.
+
+For multi-host proofs the owner string's host part and the table clock
+are injectable (``--host-label``, ``--clock-skew-s``): the crash matrix
+runs ≥2 "hosts" against one service directory from a single machine,
+with one host's clock deliberately wrong.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import signal
 import socket
 import threading
 import time
-import traceback
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import Callable, List, Optional, Union
 
 from repro.errors import InterruptedSweepError, ReproError
+from repro.faults import crashpoints
 from repro.serialization import dump_job_failure
 from repro.service.jobs import JobTable
-from repro.service.runners import execute_spec
+from repro.service.runners import execute_spec, validate_spec
 
 __all__ = ["Worker", "default_owner", "main"]
 
+_HEARTBEAT_POINT = crashpoints.register_crashpoint(
+    "worker.heartbeat",
+    "inside the heartbeat loop, before the lease-extension update — a "
+    "dead heartbeat must cost the lease (and only the lease)",
+    actions=("kill", "raise-oserror"),
+    scenario="success",
+)
 
-def default_owner() -> str:
+
+def default_owner(host_label: Optional[str] = None) -> str:
     """``worker-<pid>@<host>`` — the pid is parseable, so a chaos test
-    (or an operator) can SIGKILL the worker that owns a lease."""
-    return f"worker-{os.getpid()}@{socket.gethostname()}"
+    (or an operator) can SIGKILL the worker that owns a lease, and the
+    host part names which (possibly simulated) host holds it."""
+    return f"worker-{os.getpid()}@{host_label or socket.gethostname()}"
 
 
 class Worker:
@@ -131,17 +152,14 @@ class Worker:
             if not self.table.fail(job_id, self.owner, envelope):
                 self.stale_results += 1
             return
-        except Exception as exc:  # pragma: no cover - defensive
+        except Exception:
+            # Infrastructure failure (I/O, database, injected fault):
+            # retrying may succeed, so do NOT mark the job failed —
+            # die like a crash would and let the lease + reaper + retry
+            # budget decide.  Only a typed ReproError (deterministic)
+            # is terminal on first sight.
             beat.stop()
-            envelope = dump_job_failure(
-                type(exc).__name__,
-                f"{exc}\n{traceback.format_exc()}",
-                job_id=job_id,
-                attempts=job["attempts"],
-            )
-            if not self.table.fail(job_id, self.owner, envelope):
-                self.stale_results += 1
-            return
+            raise
         beat.stop()
         if not self.table.complete(job_id, self.owner, result_text):
             self.stale_results += 1
@@ -166,6 +184,7 @@ class _HeartbeatThread(threading.Thread):
     def run(self) -> None:
         interval = max(self.table.lease_s / 3.0, 0.05)
         while not self._stop.wait(interval):
+            crashpoints.fire(_HEARTBEAT_POINT)
             if not self.table.heartbeat(self.job_id, self.owner):
                 self.lost = True
                 return
@@ -175,7 +194,17 @@ class _HeartbeatThread(threading.Thread):
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point for one worker process (spawned by ``repro serve``)."""
+    """Entry point for one worker process (spawned by ``repro serve``).
+
+    The extra knobs exist for the crash matrix and multi-host proofs:
+    ``--host-label`` simulates a distinct host in the owner string,
+    ``--clock-skew-s`` runs this process's table clock fast (positive)
+    or slow (negative) against the fleet, ``--submit-spec`` lets the
+    armed victim process perform the submission itself (so the submit
+    crash points are reachable), and ``--reap-once`` runs a single
+    reaper sweep instead of a pull loop (so reaper crash points fire in
+    a killable subprocess, not inside the harness).
+    """
     parser = argparse.ArgumentParser(prog="repro-service-worker")
     parser.add_argument("--service-dir", required=True)
     parser.add_argument("--lease-s", type=float, default=30.0)
@@ -187,17 +216,56 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--once", action="store_true",
         help="exit after at most one job (tests)",
     )
+    parser.add_argument(
+        "--once-timeout-s", type=float, default=30.0,
+        help="give up waiting for a claimable job after this long "
+        "(with --once)",
+    )
+    parser.add_argument(
+        "--host-label", default=None,
+        help="host part of the owner string (default: the real "
+        "hostname) — lets one machine simulate a multi-host fleet",
+    )
+    parser.add_argument(
+        "--clock-skew-s", type=float, default=0.0,
+        help="run this process's table clock this many seconds ahead "
+        "(negative: behind) of the shared wall clock",
+    )
+    parser.add_argument(
+        "--submit-spec", default=None, metavar="JSON",
+        help="submit this job spec (JSON) before pulling — dedup makes "
+        "it idempotent",
+    )
+    parser.add_argument(
+        "--reap-once", action="store_true",
+        help="run one reaper sweep and exit instead of pulling jobs",
+    )
     args = parser.parse_args(argv)
 
     service_dir = Path(args.service_dir)
+    clock: Callable[[], float] = time.time
+    if args.clock_skew_s:
+        clock = crashpoints.skewed_clock(time.time, args.clock_skew_s)
     table = JobTable(
         service_dir / "jobs.sqlite3",
         lease_s=args.lease_s,
         retry_budget=args.retry_budget,
+        clock=clock,
     )
+
+    if args.submit_spec is not None:
+        table.submit(validate_spec(json.loads(args.submit_spec)))
+
+    if args.reap_once:
+        from repro.service.reaper import Reaper
+
+        Reaper(table).sweep()
+        return 0
+
     worker = Worker(
         table,
         service_dir=service_dir,
+        owner=default_owner(args.host_label),
         jobs=args.jobs,
         poll_s=args.poll_s,
         use_cache=args.cache,
@@ -212,7 +280,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     signal.signal(signal.SIGTERM, _sigterm)
     if args.once:
-        deadline = time.monotonic() + 30.0
+        deadline = time.monotonic() + args.once_timeout_s
         while time.monotonic() < deadline:
             if worker.run_once():
                 break

@@ -1,0 +1,306 @@
+"""Tests for the crash-point registry, plans, and firing semantics.
+
+A ``kill`` action SIGKILLs the current process, so every firing test
+monkeypatches :func:`crashpoints._kill_self` and asserts it was
+*called* — except the one subprocess test that proves the real thing.
+"""
+
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import crashpoints
+from repro.faults.crashpoints import (
+    CRASH_ACTIONS,
+    CRASHPOINTS,
+    CrashPlan,
+    CrashSpec,
+    register_crashpoint,
+)
+
+# Registered once for this module; re-registration below proves
+# idempotence, so the module-level registration is safe under re-import.
+POINT = register_crashpoint(
+    "test.crashpoints.site",
+    "a synthetic site for registry tests",
+    actions=("kill", "raise-operational", "raise-oserror", "torn-write"),
+)
+
+
+@pytest.fixture(autouse=True)
+def disarmed():
+    """Every test starts and ends unarmed."""
+    crashpoints.disarm()
+    yield
+    crashpoints.disarm()
+
+
+@pytest.fixture
+def kills(monkeypatch):
+    """Replace the SIGKILL with a recording no-op."""
+    calls = []
+    monkeypatch.setattr(crashpoints, "_kill_self", lambda: calls.append(1))
+    return calls
+
+
+# -- registry ---------------------------------------------------------------
+
+
+def test_reregistration_with_identical_metadata_is_noop():
+    assert (
+        register_crashpoint(
+            "test.crashpoints.site",
+            "a synthetic site for registry tests",
+            actions=("kill", "raise-operational", "raise-oserror", "torn-write"),
+        )
+        == POINT
+    )
+
+
+def test_changing_registered_metadata_is_typed():
+    with pytest.raises(FaultError, match="append-only"):
+        register_crashpoint(
+            "test.crashpoints.site", "a different description"
+        )
+
+
+def test_unknown_action_or_scenario_is_typed():
+    with pytest.raises(FaultError, match="unknown action"):
+        register_crashpoint("test.bad", "x", actions=("explode",))
+    with pytest.raises(FaultError, match="unknown scenario"):
+        register_crashpoint("test.bad", "x", scenario="apocalypse")
+
+
+def test_instrumented_modules_register_their_points():
+    # Importing the durability layer populates the registry.
+    import repro.parallel.cache  # noqa: F401
+    import repro.parallel.journal  # noqa: F401
+    import repro.service.jobs  # noqa: F401
+    import repro.service.reaper  # noqa: F401
+    import repro.service.worker  # noqa: F401
+
+    expected = {
+        "cache.put.pre-rename",
+        "cache.put.post-rename",
+        "journal.append",
+        "journal.replay",
+        "reaper.sweep",
+        "worker.heartbeat",
+    } | {
+        f"jobs.{op}.{side}"
+        for op in (
+            "submit", "claim", "heartbeat", "complete",
+            "fail", "release", "requeue",
+        )
+        for side in ("pre-commit", "post-commit")
+    }
+    assert expected <= set(CRASHPOINTS)
+    for name in expected:
+        point = CRASHPOINTS[name]
+        assert point.description
+        assert set(point.actions) <= set(CRASH_ACTIONS)
+
+
+# -- specs and plans --------------------------------------------------------
+
+
+def test_spec_validation_is_typed():
+    with pytest.raises(FaultError, match="unknown crash action"):
+        CrashSpec(POINT, "explode")
+    with pytest.raises(FaultError, match="hit"):
+        CrashSpec(POINT, hit=0)
+    with pytest.raises(FaultError, match="keep_bytes"):
+        CrashSpec(POINT, "torn-write", keep_bytes=-1)
+
+
+def test_spec_describe_is_compact():
+    assert CrashSpec(POINT, "kill", hit=2).describe() == f"kill@{POINT}#2"
+    torn = CrashSpec(POINT, "torn-write", keep_bytes=7)
+    assert torn.describe() == f"torn-write@{POINT}#1, keep 7B"
+
+
+def test_generate_is_deterministic_per_seed():
+    a = CrashPlan.generate(42)
+    b = CrashPlan.generate(42)
+    assert a.specs == b.specs
+    assert a.seed == 42
+    # Different seeds eventually draw different crashes.
+    assert any(
+        CrashPlan.generate(s).specs != a.specs for s in range(100)
+    )
+    spec = a.specs[0]
+    assert spec.point in CRASHPOINTS
+    assert spec.action in CRASHPOINTS[spec.point].actions
+
+
+def test_generate_rejects_unknown_points():
+    with pytest.raises(FaultError, match="unknown crash point"):
+        CrashPlan.generate(1, points=["no.such.point"])
+
+
+def test_env_round_trip():
+    plan = CrashPlan(
+        [CrashSpec(POINT, "torn-write", hit=3, keep_bytes=5)],
+        seed=7,
+        clock_skew_s=-0.6,
+    )
+    back = CrashPlan.from_env(plan.to_env())
+    assert back.specs == plan.specs
+    assert back.seed == 7
+    assert back.clock_skew_s == -0.6
+
+
+def test_malformed_env_is_typed():
+    with pytest.raises(FaultError, match="serialized CrashPlan"):
+        CrashPlan.from_env("{ not json")
+    with pytest.raises(FaultError, match="'specs' list"):
+        CrashPlan.from_env("[1, 2, 3]")
+
+
+# -- firing -----------------------------------------------------------------
+
+
+def test_fire_is_noop_when_unarmed(kills):
+    crashpoints.fire(POINT)
+    assert kills == []
+
+
+def test_fire_counts_hits_and_fires_on_the_nth(kills):
+    with crashpoints.armed(CrashPlan([CrashSpec(POINT, "kill", hit=3)])) as plan:
+        crashpoints.fire(POINT)
+        crashpoints.fire(POINT)
+        assert kills == []
+        crashpoints.fire(POINT)
+        assert kills == [1]
+        assert [(f.point, f.hit) for f in plan.fired] == [(POINT, 3)]
+    # Disarmed again: further fires are free.
+    crashpoints.fire(POINT)
+    assert kills == [1]
+
+
+def test_arm_resets_hit_counters(kills):
+    crashpoints.arm(CrashPlan([CrashSpec(POINT, "kill", hit=2)]))
+    crashpoints.fire(POINT)
+    crashpoints.arm(CrashPlan([CrashSpec(POINT, "kill", hit=2)]))
+    crashpoints.fire(POINT)  # hit 1 again, not 2
+    assert kills == []
+
+
+def test_fire_unregistered_point_while_armed_is_typed():
+    with crashpoints.armed(CrashPlan([CrashSpec(POINT, "kill")])):
+        with pytest.raises(FaultError, match="unregistered"):
+            crashpoints.fire("never.registered")
+
+
+def test_raise_actions_raise_the_advertised_errors():
+    import sqlite3
+
+    with crashpoints.armed(
+        CrashPlan([CrashSpec(POINT, "raise-operational", hit=1)])
+    ):
+        with pytest.raises(sqlite3.OperationalError, match="database is locked"):
+            crashpoints.fire(POINT)
+    with crashpoints.armed(
+        CrashPlan([CrashSpec(POINT, "raise-oserror", hit=1)])
+    ):
+        with pytest.raises(OSError, match="injected I/O error"):
+            crashpoints.fire(POINT)
+
+
+def test_torn_write_is_ignored_at_plain_fire_sites(kills):
+    with crashpoints.armed(CrashPlan([CrashSpec(POINT, "torn-write")])):
+        crashpoints.fire(POINT)  # nothing to tear here
+    assert kills == []
+
+
+def test_fire_write_tears_the_byte_prefix(tmp_path, kills):
+    """The torn bytes must be on disk (fsync'd) and may split a UTF-8
+    multi-byte sequence — exactly what the journal loader tolerates."""
+    record = '{"value": "héllo wörld"}\n'
+    data = record.encode("utf-8")
+    path = tmp_path / "file.txt"
+    with crashpoints.armed(CrashPlan([CrashSpec(POINT, "torn-write")])):
+        with open(path, "w", encoding="utf-8") as handle:
+            crashpoints.fire_write(POINT, handle, record)
+    assert kills == [1]
+    torn = path.read_bytes()
+    assert torn == data[: len(data) // 2]
+    with pytest.raises(UnicodeDecodeError):
+        torn.decode("utf-8")  # the default cut splits "ö" for this record
+
+
+def test_fire_write_honors_keep_bytes(tmp_path, kills):
+    path = tmp_path / "file.txt"
+    with crashpoints.armed(
+        CrashPlan([CrashSpec(POINT, "torn-write", keep_bytes=3)])
+    ):
+        with open(path, "w", encoding="utf-8") as handle:
+            crashpoints.fire_write(POINT, handle, "abcdef\n")
+    assert path.read_bytes() == b"abc"
+
+
+def test_fire_write_passes_text_through_when_not_due(tmp_path, kills):
+    path = tmp_path / "file.txt"
+    with open(path, "w", encoding="utf-8") as handle:
+        crashpoints.fire_write(POINT, handle, "clean line\n")
+    assert path.read_text() == "clean line\n"
+    assert kills == []
+
+
+# -- clock skew -------------------------------------------------------------
+
+
+def test_skewed_clock_explicit_and_identity():
+    base = lambda: 100.0  # noqa: E731
+    assert crashpoints.skewed_clock(base, 0.0) is base
+    assert crashpoints.skewed_clock(base, 2.5)() == 102.5
+    assert crashpoints.skewed_clock(base, -2.5)() == 97.5
+
+
+def test_skewed_clock_reads_the_armed_plan():
+    base = lambda: 100.0  # noqa: E731
+    assert crashpoints.clock_skew_s() == 0.0
+    with crashpoints.armed(CrashPlan([], clock_skew_s=0.4)):
+        assert crashpoints.clock_skew_s() == 0.4
+        assert crashpoints.skewed_clock(base)() == 100.4
+    # Binding happens at wrap time, by design: a worker builds its
+    # clock once, at startup, from the plan it was armed with.
+    assert crashpoints.skewed_clock(base)() == 100.0
+
+
+# -- cross-process arming ---------------------------------------------------
+
+
+def test_env_armed_subprocess_dies_of_sigkill(tmp_path):
+    """The real thing, end to end: a subprocess armed via REPRO_CRASHPOINTS
+    fires a registered point and dies of an uncatchable SIGKILL."""
+    plan = CrashPlan([CrashSpec("test.sub.point", "kill", hit=2)])
+    code = (
+        "from repro.faults import crashpoints\n"
+        "p = crashpoints.register_crashpoint('test.sub.point', 'sub test')\n"
+        "assert crashpoints.armed_plan() is not None\n"
+        "crashpoints.fire(p)\n"
+        "print('survived hit 1', flush=True)\n"
+        "crashpoints.fire(p)\n"
+        "print('never printed', flush=True)\n"
+    )
+    import os
+
+    env = dict(os.environ)
+    env[crashpoints.ENV_VAR] = plan.to_env()
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert proc.returncode == -signal.SIGKILL
+    assert "survived hit 1" in proc.stdout
+    assert "never printed" not in proc.stdout

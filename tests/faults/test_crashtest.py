@@ -1,0 +1,108 @@
+"""Tests for the crash-matrix harness (report logic + one live slice).
+
+The full matrix — every point × every action × skew configs — runs in
+CI's ``service-chaos`` job (``repro crashtest``); these tests pin the
+report semantics and run one real single-point campaign end to end so
+the harness itself cannot rot between full runs.
+"""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults.crashtest import (
+    SKEW_POINTS,
+    CrashOutcome,
+    CrashTestReport,
+    crash_campaign,
+)
+
+
+def outcome(status: str, detail: str = "") -> CrashOutcome:
+    return CrashOutcome(
+        "jobs.claim.pre-commit", "kill", "success", "baseline", status, detail
+    )
+
+
+# -- report semantics -------------------------------------------------------
+
+
+def test_report_ok_requires_all_pass_and_none_skipped():
+    assert CrashTestReport([outcome("pass")], 10.0, 1.0).ok
+    assert not CrashTestReport([outcome("fail", "boom")], 10.0, 1.0).ok
+    assert not CrashTestReport(
+        [outcome("pass"), outcome("skip", "budget")], 10.0, 1.0
+    ).ok
+    # An empty matrix proved nothing; it must not read as green.
+    assert not CrashTestReport([], 10.0, 1.0).ok
+
+
+def test_report_counts():
+    report = CrashTestReport(
+        [outcome("pass"), outcome("pass"), outcome("fail", "x"),
+         outcome("skip", "y")],
+        10.0,
+        2.0,
+    )
+    assert (report.passed, report.failed, report.skipped) == (2, 1, 1)
+
+
+def test_report_render_is_a_complete_table():
+    report = CrashTestReport(
+        [outcome("pass"), outcome("fail", "it broke")], 900.0, 12.3
+    )
+    text = report.render()
+    assert "POINT" in text and "STATUS" in text
+    assert "jobs.claim.pre-commit" in text
+    assert "it broke" in text
+    assert "1 passed, 1 failed, 0 skipped" in text
+    assert "budget 900s" in text
+
+
+# -- campaign validation ----------------------------------------------------
+
+
+def test_campaign_rejects_unknown_points():
+    with pytest.raises(FaultError, match="unknown crash point"):
+        crash_campaign(points=["no.such.point"])
+
+
+def test_campaign_rejects_negative_skew():
+    with pytest.raises(FaultError, match="skew_s"):
+        crash_campaign(points=["jobs.claim.pre-commit"], skew_s=-1.0)
+
+
+def test_skew_points_are_registered():
+    from repro.faults.crashpoints import CRASHPOINTS
+
+    for name in SKEW_POINTS:
+        assert name in CRASHPOINTS
+
+
+def test_exhausted_budget_reports_skips_not_green(tmp_path):
+    report = crash_campaign(
+        points=["jobs.claim.pre-commit"],
+        actions=["kill"],
+        budget_s=0.0,
+        skew_s=0.0,
+        workdir=tmp_path,
+    )
+    assert report.skipped == 1 and report.passed == 0
+    assert not report.ok
+    assert "budget" in report.outcomes[0].detail
+
+
+# -- one live slice ---------------------------------------------------------
+
+
+def test_single_point_campaign_passes_live(tmp_path):
+    """One real scenario end to end: arm a worker subprocess to die of
+    a raised OperationalError inside the claim transaction, recover on
+    a second host, and pass every invariant."""
+    report = crash_campaign(
+        points=["jobs.claim.post-commit"],
+        actions=["raise-operational"],
+        skew_s=0.0,
+        workdir=tmp_path,
+    )
+    assert [o.status for o in report.outcomes] == ["pass"], report.render()
+    assert report.ok

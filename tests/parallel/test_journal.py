@@ -238,3 +238,72 @@ def test_duplicate_tolerance_is_logged(journal, caplog):
     journal.close()
     journal.load()
     assert journal.last_load_duplicates == 0
+
+
+# -- durability (fsync-before-durable, multibyte tears) ---------------------
+
+
+def test_every_record_is_fsynced_before_returning(journal, monkeypatch):
+    """Write-ahead discipline: ``record`` must not return before the
+    bytes are fsync'd — one fsync (at least) per record."""
+    import repro.parallel.journal as journal_mod
+
+    synced = []
+    real_fsync = journal_mod.os.fsync
+    monkeypatch.setattr(
+        journal_mod.os, "fsync", lambda fd: synced.append(fd) or real_fsync(fd)
+    )
+    journal.start(worker="run-total", total=len(PAYLOADS), fresh=True)
+    synced.clear()  # ignore the header's own flush
+    for i in range(4):
+        before = len(synced)
+        journal.record(JournalEntry(i, "ok", i))
+        assert len(synced) > before  # durable before record() returned
+    journal.close()
+
+
+@given(cut=st.integers(min_value=1, max_value=40))
+@settings(max_examples=50, deadline=None)
+def test_torn_tail_may_split_a_multibyte_sequence(tmp_path_factory, cut):
+    """A crash mid-append can cut anywhere in the byte stream — including
+    the middle of a UTF-8 multi-byte sequence, leaving an undecodable
+    tail.  Replay must keep every fully recorded entry regardless of the
+    cut position."""
+    root = tmp_path_factory.mktemp("journal")
+    journal = RunJournal(root, run_id_for("run-total", PAYLOADS))
+    write_batch(
+        journal,
+        [JournalEntry(0, "ok", "héllo"), JournalEntry(1, "ok", "wörld")],
+    )
+    torn = json.dumps(
+        {"index": 2, "status": "ok", "value": "über-naïve-żółć"},
+        ensure_ascii=False,
+    ).encode("utf-8")
+    with open(journal.path, "ab") as handle:
+        handle.write(torn[: min(cut, len(torn) - 1)])
+    _, entries = journal.load()
+    assert {i: e.value for i, e in entries.items()} == {0: "héllo", 1: "wörld"}
+
+
+def test_resume_truncates_the_torn_tail_before_appending(journal, caplog):
+    """Re-opening after a crash must physically drop the torn bytes so
+    the next append starts on a clean line — otherwise the new record
+    would fuse with the tear and be lost too."""
+    import logging
+
+    write_batch(journal, [JournalEntry(0, "ok", 1)])
+    # Crash mid-append, cutting inside the "ö" of a multibyte payload.
+    torn = json.dumps(
+        {"index": 1, "status": "ok", "value": "wör"}, ensure_ascii=False
+    ).encode("utf-8")
+    with open(journal.path, "ab") as handle:
+        handle.write(torn[:24])
+    with caplog.at_level(logging.WARNING, logger="repro.parallel.journal"):
+        journal.start(worker="run-total", total=len(PAYLOADS), fresh=False)
+    journal.record(JournalEntry(2, "ok", 3))
+    journal.close()
+    raw = journal.path.read_bytes()
+    assert torn[:24] not in raw  # the tear is gone from disk
+    _, entries = journal.load()
+    assert {i: e.value for i, e in entries.items()} == {0: 1, 2: 3}
+    assert any("torn" in r.message.lower() for r in caplog.records)

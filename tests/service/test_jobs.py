@@ -294,3 +294,123 @@ def test_counts_cover_every_state(table, clock):
 
 def test_get_unknown_job_is_none(table):
     assert table.get("0" * 16) is None
+
+
+# -- completion proof columns (schema v2) -----------------------------------
+
+
+def test_schema_version_is_2():
+    from repro.service.jobs import JOB_SCHEMA_VERSION
+
+    assert JOB_SCHEMA_VERSION == 2
+
+
+def test_complete_stamps_completions_and_completed_by(table, clock):
+    job, _ = table.submit(SPEC)
+    row = table.get(job["id"])
+    assert row["completions"] == 0 and row["completed_by"] is None
+    table.claim("worker-1@hostA")
+    assert table.complete(job["id"], "worker-1@hostA", "bytes")
+    row = table.get(job["id"])
+    assert row["completions"] == 1
+    assert row["completed_by"] == "worker-1@hostA"
+
+
+def test_rejected_late_complete_does_not_touch_the_proof(table, clock):
+    """The no-double-completion invariant is *recorded*: a bounced late
+    result must leave both proof columns exactly as the winner wrote
+    them."""
+    job, _ = table.submit(SPEC)
+    table.claim("worker-1@hostA")
+    clock.advance(30.0)
+    table.requeue_expired()
+    clock.advance(1.0)
+    table.claim("worker-2@hostB")
+    assert table.complete(job["id"], "worker-2@hostB", "winner-bytes")
+    assert not table.complete(job["id"], "worker-1@hostA", "loser-bytes")
+    row = table.get(job["id"])
+    assert row["completions"] == 1
+    assert row["completed_by"] == "worker-2@hostB"
+
+
+# -- locked-database retry (satellite: contention never crashes a worker) ---
+
+
+def test_locked_error_is_retried_with_backoff(table, monkeypatch):
+    """An injected 'database is locked' inside the complete transaction
+    must be absorbed by the retry loop — the caller never sees it."""
+    import time as _time
+
+    from repro.faults import crashpoints
+    from repro.faults.crashpoints import CrashPlan, CrashSpec
+
+    sleeps = []
+    monkeypatch.setattr(
+        "repro.service.jobs.time.sleep", lambda s: sleeps.append(s)
+    )
+    job, _ = table.submit(SPEC)
+    table.claim("w1")
+    plan = CrashPlan(
+        [
+            CrashSpec("jobs.complete.pre-commit", "raise-operational", hit=1),
+            CrashSpec("jobs.complete.pre-commit", "raise-operational", hit=2),
+        ]
+    )
+    with crashpoints.armed(plan) as armed:
+        assert table.complete(job["id"], "w1", "bytes")
+        assert len(armed.fired) == 2
+    assert table.get(job["id"])["state"] == "done"
+    # Capped exponential backoff: base * 2**attempt.
+    assert sleeps == [
+        pytest.approx(table.lock_retry_base_s),
+        pytest.approx(table.lock_retry_base_s * 2),
+    ]
+    _ = _time  # keep the import local to the test
+
+
+def test_locked_retries_are_capped(table, monkeypatch):
+    """Past lock_retries attempts the OperationalError propagates — a
+    permanently wedged database must not hang the worker forever."""
+    import sqlite3
+
+    from repro.faults import crashpoints
+    from repro.faults.crashpoints import CrashPlan, CrashSpec
+
+    monkeypatch.setattr("repro.service.jobs.time.sleep", lambda s: None)
+    job, _ = table.submit(SPEC)
+    table.claim("w1")
+    plan = CrashPlan(
+        [
+            CrashSpec("jobs.complete.pre-commit", "raise-operational", hit=h)
+            for h in range(1, table.lock_retries + 2)
+        ]
+    )
+    with crashpoints.armed(plan):
+        with pytest.raises(sqlite3.OperationalError, match="database is locked"):
+            table.complete(job["id"], "w1", "bytes")
+    # The transaction never committed: the job is still leased, and a
+    # clean retry by the same owner succeeds.
+    assert table.get(job["id"])["state"] == "leased"
+    assert table.complete(job["id"], "w1", "bytes")
+
+
+def test_non_locked_operational_error_is_not_retried(table, monkeypatch):
+    """Only contention is retried; anything else propagates first try."""
+    import sqlite3
+
+    from repro.faults import crashpoints
+    from repro.faults.crashpoints import CrashPlan, CrashSpec
+
+    sleeps = []
+    monkeypatch.setattr(
+        "repro.service.jobs.time.sleep", lambda s: sleeps.append(s)
+    )
+    job, _ = table.submit(SPEC)
+    table.claim("w1")
+    with crashpoints.armed(
+        CrashPlan([CrashSpec("jobs.complete.pre-commit", "raise-oserror")])
+    ):
+        with pytest.raises(OSError, match="injected I/O error"):
+            table.complete(job["id"], "w1", "bytes")
+    assert sleeps == []
+    assert table.get(job["id"])["state"] == "leased"  # rolled back

@@ -138,6 +138,9 @@ def test_healthz_and_readyz(app, client):
     assert ok and ready["ready"] is True
     assert ready["counts"] == {"queued": 0, "leased": 0, "done": 0, "failed": 0}
     assert "uptime_s" in ready and ready["workers"] == 0
+    # Survived-but-counted sweep failures are part of readiness:
+    # a reaper quietly erroring every interval must be visible.
+    assert ready["reaper"] == {"requeued": 0, "failed": 0, "errors": 0}
 
 
 def test_drain_flips_readiness_and_refuses_submissions(app, client):
